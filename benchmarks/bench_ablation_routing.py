@@ -1,0 +1,55 @@
+"""E11 -- Ablation: token routing (Theorem 2.2) vs broadcasting everything (Lemma B.1).
+
+The same point-to-point workload is delivered once with the helper-set routing
+protocol and once by naive global broadcast; the report compares rounds and the
+busiest node's cumulative global receive load (the broadcast strategy forces
+every node to take in the entire workload).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach, bench_network, locality_workload, run_once
+from repro.baselines import predicted_broadcast_rounds, route_tokens_by_broadcast
+from repro.core.token_routing import make_tokens, predicted_routing_rounds, route_tokens
+from repro.util.rand import RandomSource
+
+
+def build_workload(n, sender_count, tokens_per_sender, seed):
+    rng = RandomSource(seed)
+    senders = rng.sample(list(range(n)), sender_count)
+    return make_tokens(
+        {
+            s: [(rng.randrange(n), ("w", s, i)) for i in range(tokens_per_sender)]
+            for s in senders
+        }
+    )
+
+
+@pytest.mark.parametrize("strategy", ["token-routing", "broadcast"])
+def test_routing_vs_broadcast(benchmark, strategy):
+    n = 150
+    graph = locality_workload(n, seed=41)
+    tokens = build_workload(n, sender_count=30, tokens_per_sender=16, seed=7)
+
+    def run():
+        network = bench_network(graph, seed=1)
+        if strategy == "token-routing":
+            result = route_tokens(network, tokens)
+        else:
+            result = route_tokens_by_broadcast(network, tokens)
+        return network, result
+
+    network, result = run_once(benchmark, run)
+    attach(
+        benchmark,
+        {
+            "experiment": "E11",
+            "strategy": strategy,
+            "n": n,
+            "tokens": len(tokens),
+            "measured_rounds": result.rounds,
+            "busiest_node_received": network.max_total_received(),
+            "theorem_2_2_shape": round(predicted_routing_rounds(n, 30, n, 16, 4), 1),
+            "broadcast_shape": round(predicted_broadcast_rounds(len(tokens), 16), 1),
+        },
+    )

@@ -1,0 +1,43 @@
+"""E5 -- Diameter approximation (Theorem 1.4 / 5.1).
+
+Measures rounds and the achieved approximation ratio ``D̃ / D`` for the exact
+and the 2-approximate CLIQUE plug-ins, next to the transformed guarantee
+``α + 2/η + β/T_B``.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach, bench_network, locality_workload, run_once
+from repro.clique import EccentricityDiameter, GatherDiameter
+from repro.core.diameter import approximate_diameter
+
+
+@pytest.mark.parametrize(
+    "plugin_name, plugin_factory",
+    [("gather-exact", GatherDiameter), ("eccentricity-2approx", EccentricityDiameter)],
+)
+@pytest.mark.parametrize("n", [120, 240])
+def test_diameter_approximation(benchmark, plugin_name, plugin_factory, n):
+    graph = locality_workload(n, seed=n)
+    true_diameter = graph.hop_diameter()
+
+    def run():
+        network = bench_network(graph, seed=n)
+        return approximate_diameter(network, plugin_factory())
+
+    result = run_once(benchmark, run)
+    attach(
+        benchmark,
+        {
+            "experiment": "E5",
+            "plugin": plugin_name,
+            "n": n,
+            "true_diameter": true_diameter,
+            "estimate": result.estimate,
+            "measured_ratio": round(result.estimate / true_diameter, 4),
+            "guaranteed_alpha": result.guaranteed_alpha(),
+            "measured_rounds": result.rounds,
+            "used_local_estimate": result.used_local_estimate,
+            "skeleton_size": result.skeleton_size,
+        },
+    )

@@ -1,0 +1,97 @@
+"""E7 -- The diameter lower bound (Theorem 1.6, Figure 2, Lemmas 7.1-7.3).
+
+For disjoint and intersecting set-disjointness inputs the benchmark constructs
+``Γ^{a,b}_{k,ℓ,W}``, verifies the diameter dichotomy of Lemmas 7.1/7.2 (the
+reduction's correctness), checks the Lemma 7.3 column-partition property, and
+reports the implied ``Ω̃(n^{1/3})``-style round lower bound next to the rounds
+and cut-crossing bits of an actual HYBRID diameter computation on the gadget.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach, bench_network, run_once
+from repro.clique import GatherDiameter
+from repro.core.diameter import approximate_diameter
+from repro.graphs import reference
+from repro.hybrid import ModelConfig
+from repro.lower_bounds import (
+    build_gamma_gadget,
+    classify_disjointness_from_diameter,
+    measure_cut_traffic,
+    predicted_diameter,
+    random_disjointness_instance,
+    verify_simulation_partition,
+)
+from repro.lower_bounds.set_disjointness import implied_round_lower_bound
+from repro.util.rand import RandomSource
+
+
+@pytest.mark.parametrize("disjoint", [True, False])
+def test_gamma_gadget_unweighted_dichotomy(benchmark, disjoint):
+    """Lemma 7.2 (W = 1): diameter ℓ+1 iff the inputs are disjoint."""
+    k, path_hops = 6, 8
+
+    def run():
+        a, b = random_disjointness_instance(k, RandomSource(3 if disjoint else 4), disjoint)
+        gadget = build_gamma_gadget(k, path_hops, 1, a, b)
+        diameter = reference.hop_diameter(gadget.graph)
+        return gadget, diameter
+
+    gadget, diameter = run_once(benchmark, run)
+    attach(
+        benchmark,
+        {
+            "experiment": "E7",
+            "case": "unweighted",
+            "disjoint": disjoint,
+            "n": gadget.node_count,
+            "measured_diameter": diameter,
+            "lemma_7_2_prediction": predicted_diameter(gadget),
+            "classification_correct": classify_disjointness_from_diameter(gadget, diameter)
+            == disjoint,
+            "partition_property_holds": verify_simulation_partition(gadget, path_hops // 2),
+            "implied_lower_bound_rounds": round(
+                implied_round_lower_bound(gadget, ModelConfig()), 3
+            ),
+        },
+    )
+
+
+@pytest.mark.parametrize("disjoint", [True, False])
+def test_gamma_gadget_weighted_dichotomy_and_cut_traffic(benchmark, disjoint):
+    """Lemma 7.1 (W > ℓ) plus bit accounting of a real diameter run across the cut."""
+    k, path_hops, weight = 5, 6, 20
+
+    def run():
+        a, b = random_disjointness_instance(k, RandomSource(7 if disjoint else 8), disjoint)
+        gadget = build_gamma_gadget(k, path_hops, weight, a, b)
+        diameter = reference.weighted_diameter(gadget.graph)
+        # Run an actual HYBRID computation on the unweighted variant of the
+        # gadget to measure global bits crossing the Alice/Bob cut.
+        unweighted = build_gamma_gadget(k, path_hops, 1, a, b)
+        measurement = measure_cut_traffic(
+            unweighted,
+            ModelConfig(rng_seed=1),
+            lambda network: approximate_diameter(network, GatherDiameter()),
+        )
+        return gadget, diameter, measurement
+
+    gadget, diameter, measurement = run_once(benchmark, run)
+    attach(
+        benchmark,
+        {
+            "experiment": "E7",
+            "case": "weighted",
+            "disjoint": disjoint,
+            "W": weight,
+            "measured_diameter": diameter,
+            "disjoint_upper_bound_W_plus_2l": gadget.weight + 2 * gadget.path_hops,
+            "intersecting_lower_bound_2W_plus_l": 2 * gadget.weight + gadget.path_hops,
+            "classification_correct": classify_disjointness_from_diameter(gadget, diameter)
+            == disjoint,
+            "algorithm_rounds_on_gadget": measurement.total_rounds,
+            "cut_bits_moved": measurement.cut_bits,
+            "disjointness_bits_required": measurement.required_bits,
+            "implied_lower_bound_rounds": round(measurement.implied_lower_bound, 3),
+        },
+    )

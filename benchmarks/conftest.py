@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark measures wall-clock time of the *simulation* (pytest-benchmark's
+native metric) but the quantity the paper is about -- simulated HYBRID rounds --
+is attached to ``benchmark.extra_info`` together with the relevant theoretical
+bound, so ``pytest benchmarks/ --benchmark-only`` regenerates the comparison
+tables of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import pytest
+
+from repro.graphs import generators
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.util.rand import RandomSource
+
+# Benchmark workloads are intentionally modest so the whole harness finishes in
+# a few minutes; EXPERIMENTS.md records a larger offline sweep produced with
+# the same code.
+BENCH_CONFIG = dict(skeleton_xi=0.75)
+
+
+def bench_network(graph, seed: int = 1) -> HybridNetwork:
+    """A HYBRID network with the benchmark configuration."""
+    return HybridNetwork(graph, ModelConfig(rng_seed=seed, **BENCH_CONFIG))
+
+
+def random_workload(n: int, seed: int = 1, weighted: bool = True):
+    """The default random-graph workload."""
+    return generators.connected_workload(n, RandomSource(seed), weighted=weighted, max_weight=8)
+
+
+def locality_workload(n: int, seed: int = 1):
+    """A high-diameter, locality-heavy workload (ring of local neighbourhoods)."""
+    return generators.random_geometric_like_graph(
+        n, neighbourhood=2, rng=RandomSource(seed), extra_edge_probability=0.01
+    )
+
+
+def run_once(benchmark, function: Callable[[], object]):
+    """Run a simulation exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def attach(benchmark, info: Dict[str, object]) -> None:
+    """Attach experiment metadata to the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,60 @@
+"""Quickstart: exact APSP and SSSP on a hybrid network.
+
+Builds a random connected weighted graph, wraps it in a HYBRID network
+(unbounded local edges + capacity-limited global network), runs the paper's
+exact APSP algorithm (Theorem 1.1) and exact SSSP (Theorem 1.3), and checks
+the answers against a sequential Dijkstra oracle.
+
+Run with:  python examples/quickstart.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import HybridNetwork, ModelConfig, apsp_exact, sssp_exact
+from repro.graphs import generators, reference
+from repro.util.rand import RandomSource
+
+
+def main(n: int = 120) -> None:
+    rng = RandomSource(2024)
+    graph = generators.connected_workload(n, rng, weighted=True, max_weight=10)
+    print(f"local graph: {graph.node_count} nodes, {graph.edge_count} edges, "
+          f"hop diameter {graph.hop_diameter():.0f}")
+
+    # --- exact all-pairs shortest paths (Theorem 1.1) -----------------------
+    network = HybridNetwork(graph, ModelConfig(rng_seed=1))
+    apsp = apsp_exact(network)
+    truth = reference.all_pairs_distances(graph)
+    mismatches = sum(
+        1
+        for u in range(n)
+        for v, d in truth[u].items()
+        if abs(apsp.distance(u, v) - d) > 1e-9
+    )
+    print("\n[Theorem 1.1] exact APSP")
+    print(f"  rounds (local + global): {apsp.rounds}")
+    print(f"  skeleton size |V_S|:     {apsp.skeleton_size} (hop length h = {apsp.hop_length})")
+    print(f"  mismatches vs Dijkstra:  {mismatches}")
+    print(f"  busiest node received:   {network.max_total_received()} global messages")
+
+    # --- exact single-source shortest paths (Theorem 1.3) -------------------
+    network2 = HybridNetwork(graph, ModelConfig(rng_seed=2))
+    sssp = sssp_exact(network2, source=0)
+    sssp_truth = reference.single_source_distances(graph, 0)
+    sssp_mismatches = sum(
+        1 for v, d in sssp_truth.items() if abs(sssp.distance(v) - d) > 1e-9
+    )
+    print("\n[Theorem 1.3] exact SSSP from node 0")
+    print(f"  rounds:                  {sssp.rounds}")
+    print(f"  mismatches vs Dijkstra:  {sssp_mismatches}")
+
+    # --- what the local network alone would cost ----------------------------
+    print("\npure-LOCAL comparison: any distance computation needs "
+          f"Θ(D) = {graph.hop_diameter():.0f} rounds; the HYBRID algorithms above "
+          "stay useful when D is large (try a ring-like topology).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 120)

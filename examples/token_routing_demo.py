@@ -1,0 +1,70 @@
+"""Scenario: point-to-point data delivery in a wireless mesh (token routing).
+
+Mobile devices with short-range radios plus a cellular uplink form the paper's
+first motivating hybrid network.  Devices continuously exchange small
+point-to-point payloads (telemetry, acknowledgements); the question is how to
+use the low-bandwidth cellular channel without hot-spotting any device.
+
+This example creates a ring-of-neighbourhoods mesh, generates a random
+point-to-point workload, and delivers it twice:
+
+* with the token-routing protocol of Theorem 2.2 (helper sets + pseudo-random
+  intermediates), and
+* by naive global broadcast of every payload (the strategy the paper's
+  Section 2 improves on).
+
+It prints rounds, the busiest device's global traffic, and the theoretical
+shapes of both approaches.
+
+Run with:  python examples/token_routing_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import HybridNetwork, ModelConfig, make_tokens, route_tokens
+from repro.baselines import predicted_broadcast_rounds, route_tokens_by_broadcast
+from repro.core.token_routing import predicted_routing_rounds
+from repro.graphs import generators
+from repro.util.rand import RandomSource
+
+
+def main() -> None:
+    n, senders, payloads_each = 200, 40, 12
+    rng = RandomSource(99)
+    graph = generators.random_geometric_like_graph(n, neighbourhood=3, rng=rng)
+    print(f"wireless mesh: {n} devices, hop diameter {graph.hop_diameter():.0f}")
+
+    sender_ids = rng.sample(list(range(n)), senders)
+    tokens = make_tokens(
+        {s: [(rng.randrange(n), ("telemetry", s, i)) for i in range(payloads_each)] for s in sender_ids}
+    )
+    print(f"workload: {len(tokens)} point-to-point payloads from {senders} devices")
+
+    routing_net = HybridNetwork(graph, ModelConfig(rng_seed=1))
+    routing = route_tokens(routing_net, tokens)
+    print("\n[Theorem 2.2] token routing via helper sets")
+    print(f"  rounds:                  {routing.rounds}")
+    print(f"  busiest device received: {routing_net.max_total_received()} global messages")
+    print(f"  theoretical shape:       K/n + sqrt(kS) + sqrt(kR) ≈ "
+          f"{predicted_routing_rounds(n, senders, n, payloads_each, 2):.1f}")
+
+    broadcast_net = HybridNetwork(graph, ModelConfig(rng_seed=1))
+    broadcast = route_tokens_by_broadcast(broadcast_net, tokens)
+    print("\n[baseline] broadcast every payload to everyone")
+    print(f"  rounds:                  {broadcast.rounds}")
+    print(f"  busiest device received: {broadcast_net.max_total_received()} global messages")
+    print(f"  theoretical shape:       sqrt(K) + l ≈ "
+          f"{predicted_broadcast_rounds(len(tokens), payloads_each):.1f}")
+
+    message_saving = broadcast_net.metrics.global_messages / max(1, routing_net.metrics.global_messages)
+    print("\nsummary")
+    print(f"  global messages moved:  routing {routing_net.metrics.global_messages}, "
+          f"broadcast {broadcast_net.metrics.global_messages} "
+          f"({message_saving:.1f}x more for broadcast)")
+    print("  routing delivers each payload only to its destination; broadcast makes "
+          "every device learn the whole workload, which is what the asymptotic "
+          "Ω̃(√(k·|S|)) vs Õ(K/n + √k) separation of Section 2 is about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro: a reproduction of *Computing Shortest Paths and Diameter in the Hybrid
+Network Model* (Kuhn & Schneider, PODC 2020).
+
+The package simulates the HYBRID communication model (unbounded local edges +
+a capacity-limited global network) and implements the paper's algorithms on
+top of it:
+
+* token routing (Theorem 2.2),
+* exact APSP in ``Õ(√n)`` rounds (Theorem 1.1),
+* the CLIQUE-simulation framework for k-SSP / SSSP (Theorems 4.1, 1.2, 1.3),
+* diameter approximation (Theorems 5.1, 1.4), and
+* the lower-bound constructions of Sections 6 and 7 (Theorems 1.5, 1.6).
+
+Quick start::
+
+    from repro import HybridNetwork, ModelConfig, generators, apsp_exact
+    from repro.util import RandomSource
+
+    graph = generators.connected_workload(120, RandomSource(1), weighted=True)
+    network = HybridNetwork(graph, ModelConfig(rng_seed=1))
+    result = apsp_exact(network)
+    print(result.rounds, result.distance(0, 5))
+"""
+
+from repro.baselines import (
+    apsp_broadcast_baseline,
+    local_only_diameter,
+    local_only_shortest_paths,
+    ncc_only_shortest_paths,
+    route_tokens_by_broadcast,
+)
+from repro.clique import (
+    BroadcastBellmanFordSSSP,
+    BroadcastKSourceBellmanFord,
+    CliqueAlgorithmSpec,
+    CliqueNetwork,
+    EccentricityDiameter,
+    GatherDiameter,
+    GatherShortestPaths,
+)
+from repro.core import (
+    APSPResult,
+    DiameterResult,
+    HelperSets,
+    RoutingToken,
+    ShortestPathsResult,
+    Skeleton,
+    SSSPResult,
+    TokenRouter,
+    TokenRoutingResult,
+    approximate_diameter,
+    apsp_exact,
+    compute_helper_sets,
+    compute_representatives,
+    compute_skeleton,
+    make_tokens,
+    route_tokens,
+    shortest_paths_via_clique,
+    sssp_exact,
+)
+from repro.graphs import WeightedGraph, generators, reference
+from repro.hybrid import HybridNetwork, ModelConfig, RoundMetrics
+from repro.localnet import disseminate_tokens
+from repro.util.rand import RandomSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "HybridNetwork",
+    "ModelConfig",
+    "RoundMetrics",
+    "WeightedGraph",
+    "RandomSource",
+    "generators",
+    "reference",
+    # core algorithms
+    "apsp_exact",
+    "APSPResult",
+    "sssp_exact",
+    "SSSPResult",
+    "shortest_paths_via_clique",
+    "ShortestPathsResult",
+    "approximate_diameter",
+    "DiameterResult",
+    "route_tokens",
+    "make_tokens",
+    "RoutingToken",
+    "TokenRouter",
+    "TokenRoutingResult",
+    "compute_helper_sets",
+    "HelperSets",
+    "compute_skeleton",
+    "Skeleton",
+    "compute_representatives",
+    "disseminate_tokens",
+    # clique substrate
+    "CliqueNetwork",
+    "CliqueAlgorithmSpec",
+    "GatherShortestPaths",
+    "BroadcastKSourceBellmanFord",
+    "BroadcastBellmanFordSSSP",
+    "GatherDiameter",
+    "EccentricityDiameter",
+    # baselines
+    "apsp_broadcast_baseline",
+    "local_only_shortest_paths",
+    "local_only_diameter",
+    "ncc_only_shortest_paths",
+    "route_tokens_by_broadcast",
+]

@@ -1,0 +1,25 @@
+"""Analysis utilities: scaling-law fits and markdown reporting for EXPERIMENTS.md."""
+
+from repro.analysis.complexity import (
+    PowerLawFit,
+    exponent_gap,
+    fit_power_law,
+    fit_power_law_with_log,
+    geometric_sweep,
+)
+from repro.analysis.report import (
+    format_key_values,
+    format_markdown_table,
+    summarize_comparison,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "exponent_gap",
+    "fit_power_law",
+    "fit_power_law_with_log",
+    "geometric_sweep",
+    "format_key_values",
+    "format_markdown_table",
+    "summarize_comparison",
+]

@@ -1,0 +1,53 @@
+"""Small reporting helpers used by benchmarks and examples.
+
+The benchmark harness regenerates, for every theorem, a table of
+``parameter -> measured rounds / approximation ratio`` next to the paper's
+bound.  These helpers format such tables as GitHub-flavoured markdown so the
+output can be pasted directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a markdown table with the given headers and rows."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        if abs(cell) >= 1000 or (abs(cell) < 0.01 and cell != 0):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_key_values(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a mapping as an indented, human-readable block."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in values.items():
+        lines.append(f"  {key}: {_format_cell(value)}")
+    return "\n".join(lines)
+
+
+def summarize_comparison(
+    label_a: str, rounds_a: float, label_b: str, rounds_b: float
+) -> str:
+    """One-line comparison of two round counts (used by examples)."""
+    if rounds_b <= 0:
+        return f"{label_a}: {rounds_a:.0f} rounds; {label_b}: {rounds_b:.0f} rounds"
+    factor = rounds_a / rounds_b
+    return (
+        f"{label_a}: {rounds_a:.0f} rounds vs {label_b}: {rounds_b:.0f} rounds "
+        f"({factor:.2f}x)"
+    )

@@ -1,0 +1,31 @@
+"""Prior-work baselines the paper compares against analytically.
+
+* :mod:`repro.baselines.apsp_broadcast` -- the ``Õ(n^{2/3})`` APSP of Augustine
+  et al. SODA'20 (improved to ``Õ(√n)`` by Theorem 1.1).
+* :mod:`repro.baselines.local_only` -- the ``Θ(D)``-round pure-LOCAL approach.
+* :mod:`repro.baselines.ncc_only` -- the ``Ω̃(n)``-round pure-global approach.
+* :mod:`repro.baselines.naive_routing` -- broadcasting instead of routing
+  (the comparator / ablation for Section 2).
+"""
+
+from repro.baselines.apsp_broadcast import BaselineAPSPResult, apsp_broadcast_baseline
+from repro.baselines.local_only import LocalOnlyResult, local_only_diameter, local_only_shortest_paths
+from repro.baselines.naive_routing import (
+    NaiveRoutingResult,
+    predicted_broadcast_rounds,
+    route_tokens_by_broadcast,
+)
+from repro.baselines.ncc_only import NCCOnlyResult, ncc_only_shortest_paths
+
+__all__ = [
+    "BaselineAPSPResult",
+    "apsp_broadcast_baseline",
+    "LocalOnlyResult",
+    "local_only_diameter",
+    "local_only_shortest_paths",
+    "NaiveRoutingResult",
+    "predicted_broadcast_rounds",
+    "route_tokens_by_broadcast",
+    "NCCOnlyResult",
+    "ncc_only_shortest_paths",
+]

@@ -1,0 +1,52 @@
+"""Pure-LOCAL baselines: distance computation without the global network.
+
+With only the LOCAL mode, any distance or diameter computation takes ``Θ(D)``
+rounds (Section 1): in ``D`` rounds every node can learn the entire graph and
+solve everything locally, and no algorithm can do better because information
+has to travel ``D`` hops.  These baselines mark the "no global network" end of
+the spectrum in the benchmark plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.graphs import reference
+from repro.hybrid.network import HybridNetwork
+
+
+@dataclass
+class LocalOnlyResult:
+    """Result of a pure-LOCAL computation: exact answers after ``D`` rounds."""
+
+    rounds: int
+    distances: List[Dict[int, float]]
+    diameter: float
+
+
+def local_only_shortest_paths(
+    network: HybridNetwork, sources: Sequence[int], phase: str = "local-only"
+) -> LocalOnlyResult:
+    """Exact k-SSP using only the local network (``Θ(D)`` rounds)."""
+    diameter = network.graph.hop_diameter()
+    if diameter == float("inf"):
+        raise ValueError("graph must be connected")
+    rounds = int(diameter)
+    network.charge_local_rounds(rounds, phase)
+    per_source = reference.multi_source_distances(network.graph, list(sources))
+    estimates: List[Dict[int, float]] = [dict() for _ in range(network.n)]
+    for source, distances in per_source.items():
+        for node, value in distances.items():
+            estimates[node][source] = value
+    return LocalOnlyResult(rounds=rounds, distances=estimates, diameter=diameter)
+
+
+def local_only_diameter(network: HybridNetwork, phase: str = "local-only-diameter") -> LocalOnlyResult:
+    """Exact diameter using only the local network (``Θ(D)`` rounds)."""
+    diameter = network.graph.hop_diameter()
+    if diameter == float("inf"):
+        raise ValueError("graph must be connected")
+    rounds = int(diameter)
+    network.charge_local_rounds(rounds, phase)
+    return LocalOnlyResult(rounds=rounds, distances=[], diameter=diameter)

@@ -1,0 +1,56 @@
+"""Naive token "routing" by broadcasting everything (the Section 2 comparator).
+
+The paper motivates token routing by noting that simply broadcasting all
+point-to-point tokens with the dissemination protocol of Lemma B.1 costs
+``Ω̃(√(k·|S|))`` rounds, whereas routing them costs ``Õ(K/n + √k + √|S|)``.
+This module implements the broadcast strategy so benchmark E11 can measure the
+gap (it is also the natural ablation of the helper-set machinery).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.token_routing import RoutingToken
+from repro.hybrid.network import HybridNetwork
+from repro.localnet.token_dissemination import disseminate_tokens
+
+
+@dataclass
+class NaiveRoutingResult:
+    """Outcome of solving a token-routing instance by global broadcast."""
+
+    delivered: Dict[int, List[RoutingToken]]
+    rounds: int
+    token_count: int
+
+
+def route_tokens_by_broadcast(
+    network: HybridNetwork,
+    tokens: Sequence[RoutingToken],
+    phase: str = "naive-routing",
+) -> NaiveRoutingResult:
+    """Deliver all tokens by making every token known to every node.
+
+    Correct but wasteful: each receiver ends up knowing all ``K`` tokens rather
+    than only its own, and the round cost follows Lemma B.1's ``Õ(√K + ℓ)``
+    instead of Theorem 2.2's ``Õ(K/n + √k_S + √k_R)``.
+    """
+    rounds_before = network.metrics.total_rounds
+    per_sender: Dict[int, List[RoutingToken]] = {}
+    for token in tokens:
+        per_sender.setdefault(token.sender, []).append(token)
+    disseminate_tokens(network, per_sender, phase=phase + ":broadcast")
+
+    delivered: Dict[int, List[RoutingToken]] = {}
+    for token in tokens:
+        delivered.setdefault(token.receiver, []).append(token)
+    rounds = network.metrics.total_rounds - rounds_before
+    return NaiveRoutingResult(delivered=delivered, rounds=rounds, token_count=len(tokens))
+
+
+def predicted_broadcast_rounds(token_count: int, max_per_sender: int) -> float:
+    """The Lemma B.1 shape ``√K + ℓ`` the broadcast strategy follows."""
+    return math.sqrt(max(token_count, 0)) + max_per_sender

@@ -1,0 +1,91 @@
+"""Command-line interface for regenerating the paper's evaluation.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run E2 [--scale medium]
+    python -m repro.cli run-all [--scale small] [--output EXPERIMENTS_GENERATED.md]
+
+``run`` prints one experiment's markdown table; ``run-all`` renders every
+registered experiment (the content recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import available_experiments, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Computing Shortest Paths and Diameter in the "
+            "Hybrid Network Model' (Kuhn & Schneider, PODC 2020)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E2")
+    run_parser.add_argument(
+        "--scale", choices=["small", "medium"], default="small", help="sweep size"
+    )
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument(
+        "--scale", choices=["small", "medium"], default="small", help="sweep size"
+    )
+    run_all_parser.add_argument(
+        "--output", default=None, help="write the markdown report to this file instead of stdout"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        try:
+            table = run_experiment(args.experiment, scale=args.scale)
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(table.to_markdown())
+        return 0
+
+    if args.command == "run-all":
+        sections = [table.to_markdown() for table in run_all(scale=args.scale)]
+        report = (
+            "# Regenerated experiment tables\n\n"
+            + f"Scale: {args.scale}\n\n"
+            + "\n\n".join(sections)
+            + "\n"
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"wrote {args.output}")
+        else:
+            print(report)
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""The CLIQUE (congested clique) substrate: model simulator and plug-in algorithms.
+
+These are the algorithms ``A`` consumed by the framework of Theorems 4.1 and
+5.1.  See DESIGN.md for how they substitute the algebraic CLIQUE algorithms of
+the paper's corollaries.
+"""
+
+from repro.clique.apsp import BroadcastKSourceBellmanFord, GatherShortestPaths
+from repro.clique.diameter import EccentricityDiameter, GatherDiameter
+from repro.clique.interfaces import (
+    CliqueAlgorithmSpec,
+    CliqueDiameterAlgorithm,
+    CliqueShortestPathAlgorithm,
+    CliqueTransport,
+)
+from repro.clique.model import CliqueNetwork
+from repro.clique.sssp import BroadcastBellmanFordSSSP
+
+__all__ = [
+    "CliqueAlgorithmSpec",
+    "CliqueDiameterAlgorithm",
+    "CliqueShortestPathAlgorithm",
+    "CliqueTransport",
+    "CliqueNetwork",
+    "GatherShortestPaths",
+    "BroadcastKSourceBellmanFord",
+    "BroadcastBellmanFordSSSP",
+    "EccentricityDiameter",
+    "GatherDiameter",
+]

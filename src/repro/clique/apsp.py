@@ -1,0 +1,147 @@
+"""Multi-source shortest-path algorithms for the CLIQUE model.
+
+The paper plugs the algebraic CLIQUE algorithms of Censor-Hillel et al.
+[7, 8] into its framework.  Re-implementing distributed fast matrix
+multiplication is out of scope for this reproduction (see the substitution
+table in DESIGN.md); instead we provide CLIQUE algorithms with the same
+interface and honest round accounting in the simulated CLIQUE:
+
+* :class:`GatherShortestPaths` -- exact APSP / k-SSP with ``δ = 1``: every node
+  broadcasts its incident edges (one edge per round to everybody), after which
+  each node knows the whole graph and solves the problem locally.  This is the
+  classic "learn everything" CLIQUE routine; its declared spec
+  ``(γ=1, δ=1, η=1, α=1, β=0)`` is what Theorem 4.1 transforms.
+* :class:`BroadcastKSourceBellmanFord` -- exact k-SSP with round complexity
+  ``k · SPD(S)``: the ``k`` sources run Bellman-Ford phases one after another,
+  each phase broadcasting current estimates.  Declared ``δ = 1`` as well; it
+  exists to exercise the framework with a second, structurally different
+  algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.clique.interfaces import (
+    CliqueAlgorithmSpec,
+    CliqueShortestPathAlgorithm,
+    CliqueTransport,
+)
+from repro.graphs.graph import INFINITY, WeightedGraph
+
+
+def _gather_graph(
+    transport: CliqueTransport, incident_edges: Sequence[Dict[int, int]]
+) -> WeightedGraph:
+    """Make the whole graph known to every node; return it (identical everywhere).
+
+    Round ``r``: every node broadcasts its ``r``-th incident edge to all nodes.
+    The number of CLIQUE rounds is the maximum degree (at least 1 so that even
+    an edgeless instance costs a round).
+    """
+    size = transport.size
+    edge_lists: List[List[Tuple[int, int, int]]] = [
+        sorted((node, neighbour, weight) for neighbour, weight in edges.items())
+        for node, edges in enumerate(incident_edges)
+    ]
+    rounds = max(1, max((len(edges) for edges in edge_lists), default=1))
+    known: List[Tuple[int, int, int]] = []
+    for r in range(rounds):
+        outboxes: Dict[int, List[Tuple[int, object]]] = {}
+        for node, edges in enumerate(edge_lists):
+            if r < len(edges):
+                outboxes[node] = [(target, edges[r]) for target in range(size)]
+        inboxes = transport.exchange(outboxes)
+        # Every node receives the same set of edges; record them once.
+        for _, messages in sorted(inboxes.items())[:1]:
+            for _, edge in messages:
+                known.append(edge)
+    graph = WeightedGraph(size)
+    for u, v, w in known:
+        if u != v and (not graph.has_edge(u, v) or graph.weight(u, v) > w):
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+            graph.add_edge(u, v, w)
+    return graph
+
+
+class GatherShortestPaths(CliqueShortestPathAlgorithm):
+    """Exact multi-source shortest paths by gathering the graph everywhere."""
+
+    def __init__(self) -> None:
+        self.spec = CliqueAlgorithmSpec(
+            gamma=1.0, delta=1.0, eta=1.0, alpha=1.0, beta=0.0, name="gather-exact"
+        )
+
+    def run(
+        self,
+        transport: CliqueTransport,
+        incident_edges: Sequence[Dict[int, int]],
+        sources: Sequence[int],
+    ) -> List[Dict[int, float]]:
+        graph = _gather_graph(transport, incident_edges)
+        estimates: List[Dict[int, float]] = [dict() for _ in range(transport.size)]
+        for source in sources:
+            distances = graph.dijkstra(source)
+            for node in range(transport.size):
+                estimates[node][source] = distances.get(node, INFINITY)
+        return estimates
+
+
+class BroadcastKSourceBellmanFord(CliqueShortestPathAlgorithm):
+    """Exact k-SSP via per-source Bellman-Ford phases (one broadcast per round).
+
+    Each source runs a Bellman-Ford computation in which every node broadcasts
+    its current tentative distance once per round and relaxes against its
+    incident edges.  A phase ends when no estimate changed, so the measured
+    CLIQUE round count is ``Σ_s (SPD_s(S) + 1)``.
+    """
+
+    def __init__(self) -> None:
+        self.spec = CliqueAlgorithmSpec(
+            gamma=1.0, delta=1.0, eta=1.0, alpha=1.0, beta=0.0, name="bellman-ford-kssp"
+        )
+
+    def run(
+        self,
+        transport: CliqueTransport,
+        incident_edges: Sequence[Dict[int, int]],
+        sources: Sequence[int],
+    ) -> List[Dict[int, float]]:
+        size = transport.size
+        estimates: List[Dict[int, float]] = [dict() for _ in range(size)]
+        for source in sources:
+            distances = _bellman_ford_phase(transport, incident_edges, source)
+            for node in range(size):
+                estimates[node][source] = distances[node]
+        return estimates
+
+
+def _bellman_ford_phase(
+    transport: CliqueTransport,
+    incident_edges: Sequence[Dict[int, int]],
+    source: int,
+) -> List[float]:
+    """One broadcast-based Bellman-Ford run from ``source``; returns all distances."""
+    size = transport.size
+    distances: List[float] = [INFINITY] * size
+    distances[source] = 0.0
+    for _ in range(size):
+        outboxes: Dict[int, List[Tuple[int, object]]] = {}
+        for node in range(size):
+            if distances[node] < INFINITY:
+                outboxes[node] = [(target, (node, distances[node])) for target in range(size)]
+        inboxes = transport.exchange(outboxes)
+        changed = False
+        for node in range(size):
+            for _, (origin, estimate) in inboxes.get(node, []):
+                weight = incident_edges[node].get(origin)
+                if weight is None:
+                    continue
+                candidate = estimate + weight
+                if candidate < distances[node]:
+                    distances[node] = candidate
+                    changed = True
+        if not changed:
+            break
+    return distances

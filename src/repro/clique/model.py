@@ -1,0 +1,75 @@
+"""Standalone CLIQUE (congested clique) model simulator.
+
+The CLIQUE model (footnote 4 of the paper): in every synchronous round every
+node may send one ``O(log n)``-bit message to every other node; with Lenzen's
+routing scheme this is equivalent to every node sending and receiving up to
+``n`` messages with arbitrary targets per round.
+
+:class:`CliqueNetwork` simulates this directly.  It exists so the plug-in
+algorithms of :mod:`repro.clique` can be unit-tested in their native model
+(with their declared round complexity checked) before they are simulated
+inside a HYBRID network via Corollary 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hybrid.errors import CapacityExceededError
+
+
+class CliqueNetwork:
+    """A congested clique on ``size`` nodes with per-round accounting."""
+
+    def __init__(self, size: int, strict: bool = True) -> None:
+        if size < 1:
+            raise ValueError("a clique needs at least one node")
+        self.size = size
+        self.strict = strict
+        self._rounds = 0
+        self._messages = 0
+
+    @property
+    def rounds_used(self) -> int:
+        """CLIQUE rounds executed so far."""
+        return self._rounds
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages moved so far."""
+        return self._messages
+
+    def exchange(
+        self, outboxes: Dict[int, List[Tuple[int, object]]]
+    ) -> Dict[int, List[Tuple[int, object]]]:
+        """Execute one CLIQUE round.
+
+        Each node may send at most ``size`` messages (Lenzen routing) and, in
+        strict mode, receive at most ``size`` messages.  Violations raise
+        :class:`~repro.hybrid.errors.CapacityExceededError`.
+        """
+        inboxes: Dict[int, List[Tuple[int, object]]] = {}
+        received: Dict[int, int] = {}
+        for sender, messages in outboxes.items():
+            if not 0 <= sender < self.size:
+                raise ValueError(f"sender {sender} outside the clique")
+            if self.strict and len(messages) > self.size:
+                raise CapacityExceededError(
+                    f"clique node {sender} sent {len(messages)} messages in one "
+                    f"round (cap {self.size})"
+                )
+            for target, payload in messages:
+                if not 0 <= target < self.size:
+                    raise ValueError(f"target {target} outside the clique")
+                inboxes.setdefault(target, []).append((sender, payload))
+                received[target] = received.get(target, 0) + 1
+                self._messages += 1
+        if self.strict:
+            for target, count in received.items():
+                if count > self.size:
+                    raise CapacityExceededError(
+                        f"clique node {target} received {count} messages in one "
+                        f"round (cap {self.size})"
+                    )
+        self._rounds += 1
+        return inboxes

@@ -1,0 +1,46 @@
+"""Single-source shortest paths in the CLIQUE model.
+
+Theorem 1.3 of the paper plugs the exact ``Õ(n^{1/6})``-round CLIQUE SSSP
+algorithm of Censor-Hillel et al. [7] into the framework of Theorem 4.1.  Our
+substitute (:class:`BroadcastBellmanFordSSSP`) is an exact broadcast-based
+Bellman-Ford whose declared exponent is ``δ = 1``; the framework transformation
+itself (skeleton, representative handling, Equation (1)) is identical, only the
+final runtime exponent differs and is reported with the substitute's ``δ`` in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.clique.apsp import _bellman_ford_phase
+from repro.clique.interfaces import (
+    CliqueAlgorithmSpec,
+    CliqueShortestPathAlgorithm,
+    CliqueTransport,
+)
+
+
+class BroadcastBellmanFordSSSP(CliqueShortestPathAlgorithm):
+    """Exact SSSP: every node broadcasts its tentative distance each round.
+
+    The number of CLIQUE rounds is the shortest-path hop diameter of the
+    instance plus one (the final round in which nothing changes).
+    """
+
+    def __init__(self) -> None:
+        self.spec = CliqueAlgorithmSpec(
+            gamma=0.0, delta=1.0, eta=1.0, alpha=1.0, beta=0.0, name="bellman-ford-sssp"
+        )
+
+    def run(
+        self,
+        transport: CliqueTransport,
+        incident_edges: Sequence[Dict[int, int]],
+        sources: Sequence[int],
+    ) -> List[Dict[int, float]]:
+        if len(sources) != 1:
+            raise ValueError("an SSSP algorithm expects exactly one source")
+        source = sources[0]
+        distances = _bellman_ford_phase(transport, incident_edges, source)
+        return [{source: distances[node]} for node in range(transport.size)]

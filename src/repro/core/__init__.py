@@ -1,0 +1,65 @@
+"""The paper's algorithmic contributions (Sections 2-5).
+
+* :mod:`repro.core.helper_sets`, :mod:`repro.core.token_routing` -- Section 2.
+* :mod:`repro.core.apsp` -- exact APSP in ``Õ(√n)`` rounds (Theorem 1.1).
+* :mod:`repro.core.skeleton`, :mod:`repro.core.representatives`,
+  :mod:`repro.core.clique_simulation`, :mod:`repro.core.kssp`,
+  :mod:`repro.core.sssp` -- the CLIQUE-simulation framework of Section 4
+  (Theorem 4.1) and its instantiations (Theorems 1.2 / 1.3).
+* :mod:`repro.core.diameter` -- diameter approximation (Theorem 5.1 / 1.4).
+"""
+
+from repro.core.apsp import APSPResult, apsp_exact
+from repro.core.clique_simulation import HybridCliqueTransport, predicted_simulation_rounds
+from repro.core.diameter import DiameterResult, approximate_diameter
+from repro.core.helper_sets import HelperSets, compute_helper_sets, helper_parameter
+from repro.core.kssp import (
+    ShortestPathsResult,
+    predicted_framework_rounds,
+    shortest_paths_via_clique,
+)
+from repro.core.representatives import Representatives, compute_representatives
+from repro.core.skeleton import (
+    Skeleton,
+    compute_skeleton,
+    framework_exponent,
+    framework_sampling_probability,
+)
+from repro.core.sssp import SSSPResult, sssp_exact
+from repro.core.token_routing import (
+    RoutingToken,
+    TokenRouter,
+    TokenRoutingResult,
+    make_tokens,
+    predicted_routing_rounds,
+    route_tokens,
+)
+
+__all__ = [
+    "APSPResult",
+    "apsp_exact",
+    "HybridCliqueTransport",
+    "predicted_simulation_rounds",
+    "DiameterResult",
+    "approximate_diameter",
+    "HelperSets",
+    "compute_helper_sets",
+    "helper_parameter",
+    "ShortestPathsResult",
+    "predicted_framework_rounds",
+    "shortest_paths_via_clique",
+    "Representatives",
+    "compute_representatives",
+    "Skeleton",
+    "compute_skeleton",
+    "framework_exponent",
+    "framework_sampling_probability",
+    "SSSPResult",
+    "sssp_exact",
+    "RoutingToken",
+    "TokenRouter",
+    "TokenRoutingResult",
+    "make_tokens",
+    "predicted_routing_rounds",
+    "route_tokens",
+]

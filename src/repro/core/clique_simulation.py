@@ -1,0 +1,117 @@
+"""Simulating the CLIQUE model on a skeleton of a HYBRID network (Corollary 4.1).
+
+Corollary 4.1: if ``S ⊆ V`` is obtained by sampling every node with
+probability ``1/n^{1-x}``, one CLIQUE round on ``S`` can be simulated in
+``Õ(n^{2x-1} + n^{x/2})`` HYBRID rounds.  The simulation is a direct
+application of token routing: in a CLIQUE round every node of ``S`` sends and
+receives at most ``|S|`` messages, which is exactly a token-routing instance
+with senders = receivers = ``S`` and ``k_S = k_R = |S|``.
+
+:class:`HybridCliqueTransport` implements the
+:class:`~repro.clique.interfaces.CliqueTransport` protocol on top of a
+:class:`~repro.core.token_routing.TokenRouter`, so any CLIQUE algorithm from
+:mod:`repro.clique` can be executed unchanged inside a HYBRID network.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.skeleton import Skeleton
+from repro.core.token_routing import RoutingToken, TokenRouter
+from repro.hybrid.network import HybridNetwork
+from repro.localnet.token_dissemination import disseminate_tokens
+
+
+class HybridCliqueTransport:
+    """A CLIQUE round transport backed by token routing on a HYBRID network.
+
+    Construction makes the skeleton membership public knowledge (one token
+    dissemination of ``|S|`` IDs, ``Õ(√|S|)`` rounds -- every simulated node
+    must know whom it may receive messages from) and builds the helper sets
+    used by every subsequent routing instance once.
+    """
+
+    def __init__(self, network: HybridNetwork, skeleton: Skeleton, phase: str = "clique-simulation") -> None:
+        if skeleton.size < 1:
+            raise ValueError("cannot simulate a CLIQUE on an empty skeleton")
+        self.network = network
+        self.skeleton = skeleton
+        self.phase = phase
+        self.size = skeleton.size
+        self._rounds = 0
+
+        disseminate_tokens(
+            network,
+            {node: [("skeleton-member", node)] for node in skeleton.nodes},
+            phase=phase + ":announce-members",
+        )
+        self.router = TokenRouter(
+            network,
+            senders=skeleton.nodes,
+            receivers=skeleton.nodes,
+            max_tokens_per_sender=skeleton.size,
+            max_tokens_per_receiver=skeleton.size,
+            phase=phase + ":routing",
+        )
+
+    @property
+    def rounds_used(self) -> int:
+        """Number of CLIQUE rounds simulated so far."""
+        return self._rounds
+
+    def exchange(
+        self, outboxes: Dict[int, List[Tuple[int, object]]]
+    ) -> Dict[int, List[Tuple[int, object]]]:
+        """Simulate one CLIQUE round among the skeleton nodes.
+
+        ``outboxes`` use *skeleton indices* (``0..|S|-1``), as do the returned
+        inboxes.  Every ordered pair of skeleton nodes exchanges exactly one
+        token per round (pairs without an algorithm message carry a padding
+        token), matching the proof of Corollary 4.1 where each node is sender
+        and receiver of exactly ``|S|`` messages and therefore knows the label
+        set it expects.
+        """
+        payloads: Dict[Tuple[int, int], List[object]] = {}
+        for sender_index, messages in outboxes.items():
+            if not 0 <= sender_index < self.size:
+                raise ValueError(f"sender index {sender_index} outside the skeleton")
+            for target_index, payload in messages:
+                if not 0 <= target_index < self.size:
+                    raise ValueError(f"target index {target_index} outside the skeleton")
+                payloads.setdefault((sender_index, target_index), []).append(payload)
+
+        tokens: List[RoutingToken] = []
+        for sender_index in range(self.size):
+            sender = self.skeleton.original_id(sender_index)
+            for target_index in range(self.size):
+                target = self.skeleton.original_id(target_index)
+                contents = payloads.get((sender_index, target_index), [None])
+                for position, payload in enumerate(contents):
+                    tokens.append(
+                        RoutingToken(
+                            sender=sender,
+                            receiver=target,
+                            index=position,
+                            payload=(sender_index, payload),
+                        )
+                    )
+
+        result = self.router.route(tokens)
+        self._rounds += 1
+
+        inboxes: Dict[int, List[Tuple[int, object]]] = {}
+        for receiver, delivered in result.delivered.items():
+            receiver_index = self.skeleton.index_of[receiver]
+            for token in delivered:
+                sender_index, payload = token.payload
+                if payload is None:
+                    continue
+                inboxes.setdefault(receiver_index, []).append((sender_index, payload))
+        return inboxes
+
+
+def predicted_simulation_rounds(n: int, skeleton_size: int) -> float:
+    """The Corollary 4.1 bound ``|S|^2/n + √|S|`` per CLIQUE round (no polylogs)."""
+    return skeleton_size * skeleton_size / max(n, 1) + math.sqrt(max(skeleton_size, 0))

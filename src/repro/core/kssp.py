@@ -1,0 +1,199 @@
+"""The k-source shortest-path framework (Section 4, Theorem 4.1, Algorithm 5).
+
+``shortest_paths_via_clique`` takes an arbitrary CLIQUE shortest-path
+algorithm ``A`` (parameterised by ``γ, δ, η, α, β``) and turns it into a HYBRID
+algorithm:
+
+1. ``Compute-Skeleton`` with sampling probability ``1/n^{1-x}`` where
+   ``x = 2/(3+2δ)`` balances the CLIQUE simulation cost against the local
+   exploration cost (Algorithm 6).  For a single source (``γ = 0``) the source
+   itself is added to the skeleton (Lemma 4.5).
+2. ``Compute-Representatives``: every source tags its closest skeleton node
+   and the pairs are made public knowledge (Algorithm 7).
+3. ``Clique-Simulation``: ``A`` runs on the skeleton through the token-routing
+   based transport of Corollary 4.1 (Algorithm 8).
+4. A final local phase of ``η·h`` rounds floods the skeleton estimates and
+   gives every node its ``η·h``-hop-limited distances; each node then combines
+   everything with Equation (1).
+
+The resulting guarantees (Theorem 4.1): runtime ``Õ(η · n^{1-x})``,
+approximation factor ``2α + 1 + β/T_B`` on weighted graphs, ``α + 2/η + β/T_B``
+on unweighted graphs, and no loss at all for a single source (``α + β/T_B``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueShortestPathAlgorithm
+from repro.core.clique_simulation import HybridCliqueTransport
+from repro.core.representatives import Representatives, compute_representatives
+from repro.core.skeleton import (
+    Skeleton,
+    compute_skeleton,
+    framework_exponent,
+    framework_sampling_probability,
+)
+from repro.graphs.graph import INFINITY
+from repro.hybrid.network import HybridNetwork
+
+
+@dataclass
+class ShortestPathsResult:
+    """Result of the Theorem 4.1 framework (and of Theorem 1.3 via ``γ = 0``).
+
+    Attributes
+    ----------
+    sources:
+        The query sources (original node IDs).
+    estimates:
+        Per node ``v``: ``{source: d̃(v, source)}``, satisfying the transformed
+        approximation guarantee of Theorem 4.1.
+    rounds:
+        Total rounds consumed.
+    skeleton_size / hop_length:
+        Parameters of the skeleton used.
+    clique_rounds:
+        Number of CLIQUE rounds the simulated algorithm took.
+    spec:
+        The plugged-in CLIQUE algorithm's declared parameters.
+    exploration_depth:
+        The depth ``η·h`` of the final local phase (the ``T_B`` surrogate in
+        the approximation bound).
+    """
+
+    sources: List[int]
+    estimates: List[Dict[int, float]]
+    rounds: int
+    skeleton_size: int
+    hop_length: int
+    clique_rounds: int
+    spec: CliqueAlgorithmSpec
+    exploration_depth: int
+
+    def estimate(self, node: int, source: int) -> float:
+        """The estimate ``d̃(node, source)``."""
+        return self.estimates[node].get(source, INFINITY)
+
+    def guaranteed_alpha(self, weighted: bool) -> float:
+        """The multiplicative guarantee of Theorem 4.1 for this run.
+
+        ``β`` enters divided by ``T_B``; we use the exploration depth as the
+        (conservative) ``T_B`` surrogate, matching Lemma 4.3.
+        """
+        beta_term = self.spec.beta / max(1, self.exploration_depth)
+        if len(self.sources) == 1:
+            return self.spec.alpha + beta_term
+        if weighted:
+            return 2.0 * self.spec.alpha + 1.0 + beta_term
+        return self.spec.alpha + 2.0 / self.spec.eta + beta_term
+
+
+def shortest_paths_via_clique(
+    network: HybridNetwork,
+    sources: Sequence[int],
+    algorithm: CliqueShortestPathAlgorithm,
+    phase: str = "kssp",
+) -> ShortestPathsResult:
+    """Run Algorithm 5 (``SP-Simulation``) with the given CLIQUE algorithm."""
+    if not sources:
+        raise ValueError("at least one source is required")
+    sources = sorted(set(sources))
+    rounds_before = network.metrics.total_rounds
+    n = network.n
+    spec = algorithm.spec
+
+    # Step 1: skeleton of size ~n^x with x = 2/(3+2δ); a single source joins it.
+    single_source = len(sources) == 1
+    probability = framework_sampling_probability(n, spec.delta)
+    skeleton = compute_skeleton(
+        network,
+        probability,
+        forced_members=sources if single_source else (),
+        phase=phase + ":skeleton",
+        ensure_connected=True,
+        keep_local_knowledge=True,
+    )
+
+    # Step 2: representatives of the sources on the skeleton.
+    representatives = compute_representatives(
+        network, skeleton, sources, phase=phase + ":representatives"
+    )
+
+    # Step 3: simulate the CLIQUE algorithm on the skeleton.
+    transport = HybridCliqueTransport(network, skeleton, phase=phase + ":simulation")
+    clique_sources = [skeleton.index_of[rep] for rep in representatives.skeleton_sources]
+    skeleton_estimates = algorithm.run(transport, skeleton.incident_edges(), clique_sources)
+
+    # Step 4: local spreading of the results and combination via Equation (1).
+    exploration_depth = max(
+        skeleton.hop_length, int(math.ceil(spec.eta * skeleton.hop_length))
+    )
+    network.charge_local_rounds(exploration_depth, phase + ":result-spread")
+    estimates = _combine_estimates(
+        network,
+        skeleton,
+        representatives,
+        skeleton_estimates,
+        sources,
+        exploration_depth,
+    )
+
+    rounds = network.metrics.total_rounds - rounds_before
+    return ShortestPathsResult(
+        sources=list(sources),
+        estimates=estimates,
+        rounds=rounds,
+        skeleton_size=skeleton.size,
+        hop_length=skeleton.hop_length,
+        clique_rounds=transport.rounds_used,
+        spec=spec,
+        exploration_depth=exploration_depth,
+    )
+
+
+def _combine_estimates(
+    network: HybridNetwork,
+    skeleton: Skeleton,
+    representatives: Representatives,
+    skeleton_estimates: Sequence[Dict[int, float]],
+    sources: Sequence[int],
+    exploration_depth: int,
+) -> List[Dict[int, float]]:
+    """Equation (1): combine local exact distances with skeleton estimates.
+
+    ``d̃(v, s) = min( d_{ηh}(v, s),
+                     min_{u ∈ V_S near v} d_h(v, u) + d̃(u, r_s) + d_h(r_s, s) )``
+    """
+    n = network.n
+    estimates: List[Dict[int, float]] = [dict() for _ in range(n)]
+
+    # The ηh-limited exact distances are computed once per source (symmetric).
+    local_exact: Dict[int, Dict[int, float]] = {
+        source: network.graph.shortest_distances_within_hops(source, exploration_depth)
+        for source in sources
+    }
+
+    for source in sources:
+        rep = representatives.representative[source]
+        rep_index = skeleton.index_of[rep]
+        rep_distance = representatives.distance_to_representative[source]
+        exact_from_source = local_exact[source]
+        for v in range(n):
+            best = exact_from_source.get(v, INFINITY)
+            for skeleton_node, d_to_skeleton in skeleton.local_distances[v].items():
+                u_index = skeleton.index_of[skeleton_node]
+                estimate_u_rep = skeleton_estimates[u_index].get(rep_index, INFINITY)
+                candidate = d_to_skeleton + estimate_u_rep + rep_distance
+                if candidate < best:
+                    best = candidate
+            estimates[v][source] = best
+    return estimates
+
+
+def predicted_framework_rounds(n: int, spec: CliqueAlgorithmSpec) -> float:
+    """The Theorem 4.1 runtime shape ``η · n^{1-x}`` (without polylog factors)."""
+    x = framework_exponent(spec.delta)
+    return spec.eta * (n ** (1.0 - x))

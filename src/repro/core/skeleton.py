@@ -1,0 +1,207 @@
+"""Distributed skeleton-graph construction (Algorithm 6, Lemmas C.1 / C.2).
+
+A skeleton graph ``S = (V_S, E_S)`` is obtained by sampling every node of the
+local graph ``G`` with probability ``1/x`` and connecting sampled nodes that
+are within ``h ∈ Θ(x log n)`` hops of each other with an edge weighted by
+their ``h``-hop-limited distance.  W.h.p. the skeleton is connected, preserves
+exact distances between sampled nodes (Lemma C.2) and, on every long shortest
+path of ``G``, a sampled node appears at least every ``h`` hops (Lemma C.1).
+
+The construction costs ``Õ(x)`` local rounds: sampled nodes learn their
+skeleton neighbourhood by flooding graph information to depth ``h``, and every
+node simultaneously learns its ``h``-limited distances to the nearby skeleton
+nodes (which is all later phases need from it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.skeleton_analysis import skeleton_hop_length
+from repro.hybrid.network import HybridNetwork
+from repro.localnet.flooding import explore_limited_distances
+from repro.util.rand import RandomSource, sample_nodes
+
+
+@dataclass
+class Skeleton:
+    """A constructed skeleton graph plus the per-node local knowledge about it.
+
+    Attributes
+    ----------
+    nodes:
+        The sampled node IDs ``V_S`` (original graph IDs, sorted).
+    index_of:
+        Mapping original node ID -> index in the relabelled skeleton graph.
+    graph:
+        The skeleton ``S`` itself on nodes ``0..|V_S|-1`` with ``d_h`` weights.
+    hop_length:
+        The parameter ``h``: maximum hop length of a skeleton edge.
+    sampling_probability:
+        The probability each node was sampled with.
+    local_distances:
+        For every original node ``v``: ``{skeleton node s (original ID): d_h(v, s)}``
+        restricted to skeleton nodes within ``h`` hops -- exactly what ``v``
+        learns from the local exploration of Algorithm 6.
+    local_knowledge:
+        When requested (``keep_local_knowledge=True``), the full ``h``-limited
+        distance map of every node (``{other: d_h(v, other)}``), i.e. the whole
+        outcome of the depth-``h`` exploration.  The exact APSP algorithm of
+        Section 3 needs this for its final combination step.
+    rounds_charged:
+        Rounds consumed by the construction.
+    """
+
+    nodes: List[int]
+    index_of: Dict[int, int]
+    graph: WeightedGraph
+    hop_length: int
+    sampling_probability: float
+    local_distances: List[Dict[int, float]]
+    rounds_charged: int
+    local_knowledge: Optional[List[Dict[int, float]]] = None
+
+    @property
+    def size(self) -> int:
+        """``|V_S|``."""
+        return len(self.nodes)
+
+    def contains(self, node: int) -> bool:
+        """Whether the original node ``node`` was sampled into ``V_S``."""
+        return node in self.index_of
+
+    def original_id(self, index: int) -> int:
+        """The original graph ID of skeleton index ``index``."""
+        return self.nodes[index]
+
+    def incident_edges(self) -> List[Dict[int, int]]:
+        """Per skeleton index, its incident skeleton edges ``{neighbour_index: weight}``.
+
+        This is the *local input* each skeleton node feeds into a simulated
+        CLIQUE algorithm (it knows only its own incident edges, Fact 4.3).
+        """
+        edges: List[Dict[int, int]] = [dict() for _ in range(self.graph.node_count)]
+        for u, v, w in self.graph.edges():
+            edges[u][v] = w
+            edges[v][u] = w
+        return edges
+
+    def closest_skeleton_node(self, node: int) -> Optional[int]:
+        """The skeleton node minimising ``d_h(node, ·)`` (None if none within ``h`` hops)."""
+        known = self.local_distances[node]
+        if not known:
+            return None
+        return min(known, key=lambda s: (known[s], s))
+
+
+def compute_skeleton(
+    network: HybridNetwork,
+    sampling_probability: float,
+    forced_members: Sequence[int] = (),
+    phase: str = "skeleton",
+    rng: Optional[RandomSource] = None,
+    ensure_nonempty: bool = True,
+    ensure_connected: bool = False,
+    keep_local_knowledge: bool = False,
+) -> Skeleton:
+    """Run Algorithm 6 (``Compute-Skeleton``) on the network.
+
+    Parameters
+    ----------
+    sampling_probability:
+        Each node joins ``V_S`` independently with this probability
+        (``1/n^{1-x}`` in the framework of Section 4).
+    forced_members:
+        Nodes added to ``V_S`` deterministically -- Algorithm 6 adds the source
+        when the simulated CLIQUE algorithm is an SSSP algorithm (``γ = 0``).
+    ensure_nonempty:
+        At simulation scale the random sample can come out empty; when True,
+        node 0 is drafted so downstream phases always have a skeleton to work
+        with (the asymptotic statements are unaffected).
+    ensure_connected:
+        Lemma C.2 guarantees a connected skeleton w.h.p. for the asymptotic
+        choice of ``h``; at simulation scale the constant-factor choice of
+        ``ξ`` can occasionally produce a disconnected skeleton.  When True the
+        exploration depth is doubled (and re-charged) until the skeleton is
+        connected, which keeps small instances correct without affecting the
+        measured asymptotic shape.
+    keep_local_knowledge:
+        Retain every node's full ``h``-limited distance map (needed by the
+        exact APSP algorithm of Section 3 and by Equation (1)).
+    """
+    if not 0 < sampling_probability <= 1:
+        raise ValueError("sampling_probability must be in (0, 1]")
+    rng = rng or network.fork_rng(phase + ":sampling")
+    rounds_before = network.metrics.total_rounds
+
+    sampled = set(sample_nodes(network.graph.nodes(), sampling_probability, rng))
+    sampled.update(forced_members)
+    if not sampled and ensure_nonempty:
+        sampled.add(0)
+    nodes = sorted(sampled)
+    index_of = {node: index for index, node in enumerate(nodes)}
+
+    denominator = 1.0 / sampling_probability
+    hop_length = skeleton_hop_length(network.n, denominator, xi=network.config.skeleton_xi)
+
+    while True:
+        # Local exploration to depth h: every node learns its h-limited
+        # distances; skeleton nodes in particular learn their incident
+        # skeleton edges.  A connectivity retry re-runs (and conservatively
+        # re-charges) the exploration at the doubled depth.
+        limited = explore_limited_distances(network, hop_length, phase=phase + ":exploration")
+        skeleton_graph = WeightedGraph(max(1, len(nodes)))
+        for node in nodes:
+            for other, distance in limited[node].items():
+                if other in index_of and other != node:
+                    u, v = index_of[node], index_of[other]
+                    weight = max(1, int(round(distance)))
+                    if not skeleton_graph.has_edge(u, v) or skeleton_graph.weight(u, v) > weight:
+                        if skeleton_graph.has_edge(u, v):
+                            skeleton_graph.remove_edge(u, v)
+                        skeleton_graph.add_edge(u, v, weight)
+        connected = len(nodes) <= 1 or skeleton_graph.is_connected()
+        if connected or not ensure_connected or hop_length >= network.n:
+            break
+        hop_length = min(network.n, 2 * hop_length)
+
+    local_distances: List[Dict[int, float]] = []
+    for node in range(network.n):
+        nearby = {
+            other: distance
+            for other, distance in limited[node].items()
+            if other in index_of and other != node
+        }
+        if node in index_of:
+            nearby[node] = 0.0
+        local_distances.append(nearby)
+
+    rounds_charged = network.metrics.total_rounds - rounds_before
+    return Skeleton(
+        nodes=nodes,
+        index_of=index_of,
+        graph=skeleton_graph,
+        hop_length=hop_length,
+        sampling_probability=sampling_probability,
+        local_distances=local_distances,
+        rounds_charged=rounds_charged,
+        local_knowledge=limited if keep_local_knowledge else None,
+    )
+
+
+def framework_exponent(delta: float) -> float:
+    """The skeleton-size exponent ``x = 2 / (3 + 2δ)`` of Theorems 4.1 and 5.1."""
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return 2.0 / (3.0 + 2.0 * delta)
+
+
+def framework_sampling_probability(n: int, delta: float) -> float:
+    """The sampling probability ``1 / n^{1-x}`` used by Algorithms 5 and 9."""
+    x = framework_exponent(delta)
+    if n < 2:
+        return 1.0
+    return min(1.0, n ** (x - 1.0))

@@ -1,0 +1,15 @@
+"""The experiment registry: programmatic re-generation of every EXPERIMENTS.md table.
+
+``run_experiment("E2")`` reruns the corresponding sweep; ``run_all()`` rebuilds
+the whole evaluation.  The command-line entry point is ``python -m repro.cli``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentTable,
+    available_experiments,
+    run_all,
+    run_experiment,
+)
+from repro.experiments import sweeps  # noqa: F401  (imports register the experiments)
+
+__all__ = ["ExperimentTable", "available_experiments", "run_all", "run_experiment"]

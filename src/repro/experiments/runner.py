@@ -1,0 +1,89 @@
+"""Experiment registry and result containers.
+
+An *experiment* is a named, parameterised sweep that reproduces one artefact of
+the paper (a theorem's round bound, a lemma's structural property, a lower
+bound construction).  Each experiment function returns an
+:class:`ExperimentTable`; the CLI (``python -m repro.cli``) renders them as the
+markdown tables recorded in EXPERIMENTS.md, so the whole evaluation can be
+regenerated with one command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.report import format_markdown_table
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's regenerated table.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from the DESIGN.md index (``E1`` ... ``E12``).
+    title:
+        Human-readable description including the paper artefact it reproduces.
+    headers / rows:
+        The tabular results.
+    notes:
+        Free-form remarks (what the paper predicts, how to read the columns).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        """Render the experiment as a markdown section."""
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        lines.append(format_markdown_table(self.headers, self.rows))
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        return "\n".join(lines)
+
+
+ExperimentFunction = Callable[[str], ExperimentTable]
+
+_REGISTRY: Dict[str, ExperimentFunction] = {}
+
+
+def register(experiment_id: str) -> Callable[[ExperimentFunction], ExperimentFunction]:
+    """Decorator that registers an experiment under its DESIGN.md identifier."""
+
+    def decorator(function: ExperimentFunction) -> ExperimentFunction:
+        key = experiment_id.upper()
+        if key in _REGISTRY:
+            raise ValueError(f"experiment {key} registered twice")
+        _REGISTRY[key] = function
+        return function
+
+    return decorator
+
+
+def available_experiments() -> List[str]:
+    """Sorted list of registered experiment identifiers."""
+    return sorted(_REGISTRY, key=lambda key: (len(key), key))
+
+
+def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentTable:
+    """Run one experiment at the given scale (``small`` or ``medium``)."""
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(available_experiments())}"
+        )
+    if scale not in ("small", "medium"):
+        raise ValueError("scale must be 'small' or 'medium'")
+    return _REGISTRY[key](scale)
+
+
+def run_all(scale: str = "small") -> List[ExperimentTable]:
+    """Run every registered experiment."""
+    return [run_experiment(key, scale) for key in available_experiments()]

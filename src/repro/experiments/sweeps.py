@@ -1,0 +1,637 @@
+"""The per-experiment sweeps (E1-E12 of the DESIGN.md index).
+
+Every function reproduces one artefact of the paper and returns an
+:class:`~repro.experiments.runner.ExperimentTable`.  Two scales are supported:
+``small`` (seconds, used by the test suite and CI) and ``medium`` (the scale
+recorded in EXPERIMENTS.md).  All sweeps are deterministic given the built-in
+seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.complexity import fit_power_law_with_log
+from repro.baselines import (
+    apsp_broadcast_baseline,
+    local_only_shortest_paths,
+    route_tokens_by_broadcast,
+)
+from repro.clique import (
+    BroadcastBellmanFordSSSP,
+    EccentricityDiameter,
+    GatherDiameter,
+    GatherShortestPaths,
+)
+from repro.core.apsp import apsp_exact
+from repro.core.clique_simulation import HybridCliqueTransport, predicted_simulation_rounds
+from repro.core.diameter import approximate_diameter
+from repro.core.helper_sets import compute_helper_sets
+from repro.core.kssp import predicted_framework_rounds, shortest_paths_via_clique
+from repro.core.skeleton import compute_skeleton
+from repro.core.sssp import sssp_exact
+from repro.core.token_routing import make_tokens, predicted_routing_rounds, route_tokens
+from repro.experiments.runner import ExperimentTable, register
+from repro.graphs import generators, reference
+from repro.graphs.skeleton_analysis import audit_skeleton
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.localnet import aggregate_max, disseminate_tokens
+from repro.lower_bounds import (
+    assignment_entropy_bits,
+    build_gamma_gadget,
+    build_kssp_gadget,
+    classify_disjointness_from_diameter,
+    distance_gap_factor,
+    measure_cut_traffic,
+    random_disjointness_instance,
+    verify_simulation_partition,
+)
+from repro.lower_bounds import kssp_gadget as kssp_lb
+from repro.lower_bounds import set_disjointness as diam_lb
+from repro.util.rand import RandomSource, sample_nodes
+
+
+def _network(graph, seed: int = 1) -> HybridNetwork:
+    return HybridNetwork(graph, ModelConfig(rng_seed=seed))
+
+
+def _locality_graph(n: int, seed: int = 1):
+    return generators.random_geometric_like_graph(
+        n, neighbourhood=2, rng=RandomSource(seed), extra_edge_probability=0.01
+    )
+
+
+def _random_graph(n: int, seed: int = 1, weighted: bool = True):
+    return generators.connected_workload(
+        n, RandomSource(seed), weighted=weighted, max_weight=8
+    )
+
+
+# --------------------------------------------------------------------------- E1
+@register("E1")
+def token_routing_experiment(scale: str) -> ExperimentTable:
+    """Theorem 2.2: token-routing rounds vs the ``K/n + √k_S + √k_R`` shape."""
+    n = 150 if scale == "small" else 400
+    workloads = [2, 8, 32] if scale == "small" else [2, 8, 32, 128]
+    graph = _locality_graph(n, seed=1)
+    rows = []
+    for tokens_per_sender in workloads:
+        rng = RandomSource(tokens_per_sender)
+        senders = rng.sample(list(range(n)), max(4, n // 5))
+        tokens = make_tokens(
+            {
+                s: [(rng.randrange(n), ("p", s, i)) for i in range(tokens_per_sender)]
+                for s in senders
+            }
+        )
+        network = _network(graph, seed=tokens_per_sender)
+        result = route_tokens(network, tokens)
+        receivers = len(result.delivered)
+        shape = predicted_routing_rounds(
+            n, len(senders), receivers, tokens_per_sender, max(1, len(tokens) // max(1, receivers))
+        )
+        rows.append(
+            [
+                n,
+                len(senders),
+                tokens_per_sender,
+                len(tokens),
+                result.rounds,
+                round(shape, 1),
+                network.metrics.max_received_per_round,
+                network.receive_cap,
+            ]
+        )
+    return ExperimentTable(
+        "E1",
+        "Token routing (Theorem 2.2)",
+        ["n", "senders", "k per sender", "K total", "measured rounds", "K/n+√kS+√kR", "max recv/round", "recv cap"],
+        rows,
+        notes=[
+            "The protocol keeps the per-round receive load within the O(log n) budget "
+            "(last two columns) while the rounds grow with the Theorem 2.2 shape.",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E2
+@register("E2")
+def apsp_experiment(scale: str) -> ExperimentTable:
+    """Theorem 1.1 vs the SODA'20 baseline on the same instances."""
+    sizes = [64, 100, 160] if scale == "small" else [100, 200, 400, 800]
+    rows = []
+    new_rounds, baseline_rounds = [], []
+    for n in sizes:
+        graph = _locality_graph(n, seed=n)
+        truth = reference.all_pairs_distances(graph)
+
+        network = _network(graph, seed=n)
+        new = apsp_exact(network)
+        new_exact = all(
+            abs(new.distance(u, v) - d) <= 1e-9 for u in range(n) for v, d in truth[u].items()
+        )
+
+        baseline_network = _network(graph, seed=n)
+        baseline = apsp_broadcast_baseline(baseline_network)
+        base_exact = all(
+            abs(baseline.distance(u, v) - d) <= 1e-9
+            for u in range(n)
+            for v, d in truth[u].items()
+        )
+        # The step the two algorithms differ in: Theorem 1.1 replaces the
+        # baseline's broadcast of all |V|·|V_S| labels with one token-routing
+        # instance.  Its cost is read off the phase accounting.
+        new_bottleneck = network.metrics.rounds_for_phase_prefix("apsp:routing")
+        baseline_bottleneck = baseline_network.metrics.rounds_for_phase_prefix(
+            "apsp-baseline:label-broadcast"
+        )
+        new_rounds.append(new.rounds)
+        baseline_rounds.append(baseline.rounds)
+        rows.append(
+            [
+                n,
+                int(graph.hop_diameter()),
+                new.rounds,
+                baseline.rounds,
+                new_bottleneck,
+                baseline_bottleneck,
+                round(n ** 0.5, 1),
+                round(n ** (2 / 3), 1),
+                new_exact and base_exact,
+            ]
+        )
+    fit_new = fit_power_law_with_log(sizes, new_rounds)
+    fit_base = fit_power_law_with_log(sizes, baseline_rounds)
+    bottleneck_fit_new = fit_power_law_with_log(sizes, [row[4] for row in rows])
+    bottleneck_fit_base = fit_power_law_with_log(sizes, [row[5] for row in rows])
+    return ExperimentTable(
+        "E2",
+        "Exact APSP: Theorem 1.1 (Õ(√n)) vs Augustine et al. baseline (Õ(n^2/3))",
+        [
+            "n",
+            "D",
+            "rounds (Thm 1.1)",
+            "rounds (baseline)",
+            "last-step rounds (routing)",
+            "last-step rounds (label broadcast)",
+            "√n",
+            "n^2/3",
+            "both exact",
+        ],
+        rows,
+        notes=[
+            f"fitted exponent of total rounds (with log factor): new {fit_new.exponent:.2f}, "
+            f"baseline {fit_base.exponent:.2f}; paper: 0.5 vs 0.667.",
+            f"fitted exponent of the differing last step: routing {bottleneck_fit_new.exponent:.2f} "
+            f"vs label broadcast {bottleneck_fit_base.exponent:.2f} -- this is the step whose "
+            "cost separates √n from n^2/3 in the paper.",
+            "At simulation scale total rounds are dominated by local phases capped at D "
+            "(the paper's min(D, ·) reading), so the separation is visible in the "
+            "last-step columns rather than in the totals (discussion in EXPERIMENTS.md).",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E3
+@register("E3")
+def kssp_experiment(scale: str) -> ExperimentTable:
+    """Theorem 4.1 framework: rounds and stretch for several source counts."""
+    n = 120 if scale == "small" else 300
+    ks = [2, 8] if scale == "small" else [2, 8, 32]
+    rows = []
+    for k in ks:
+        for weighted in (True, False):
+            graph = _random_graph(n, seed=k + (1 if weighted else 0), weighted=weighted)
+            sources = RandomSource(k).sample(list(range(n)), k)
+            network = _network(graph, seed=k)
+            result = shortest_paths_via_clique(network, sources, GatherShortestPaths())
+            truth = reference.multi_source_distances(graph, sources)
+            stretch = 1.0
+            undershoot = False
+            for s in sources:
+                for v in range(n):
+                    true_value = truth[s][v]
+                    estimate = result.estimate(v, s)
+                    if estimate < true_value - 1e-9:
+                        undershoot = True
+                    if true_value > 0:
+                        stretch = max(stretch, estimate / true_value)
+            rows.append(
+                [
+                    n,
+                    k,
+                    "weighted" if weighted else "unweighted",
+                    result.rounds,
+                    round(predicted_framework_rounds(n, result.spec), 1),
+                    round(stretch, 3),
+                    round(result.guaranteed_alpha(weighted), 2),
+                    not undershoot,
+                    result.skeleton_size,
+                ]
+            )
+    return ExperimentTable(
+        "E3",
+        "k-SSP framework (Theorem 4.1) with the gather-exact CLIQUE plug-in",
+        [
+            "n",
+            "k",
+            "weights",
+            "measured rounds",
+            "η·n^(1-x)",
+            "measured stretch",
+            "guaranteed α",
+            "one-sided",
+            "skeleton size",
+        ],
+        rows,
+        notes=[
+            "Measured stretch is far below the transformed guarantee (the guarantee is "
+            "worst-case over the representative detour); estimates never undershoot.",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E4
+@register("E4")
+def sssp_experiment(scale: str) -> ExperimentTable:
+    """Theorem 1.3: exact SSSP rounds vs the framework shape and the LOCAL baseline."""
+    sizes = [64, 128] if scale == "small" else [100, 200, 400]
+    rows = []
+    for n in sizes:
+        graph = _locality_graph(n, seed=n + 3)
+        network = _network(graph, seed=n)
+        result = sssp_exact(network, source=0)
+        truth = reference.single_source_distances(graph, 0)
+        exact = all(abs(result.distance(v) - d) <= 1e-9 for v, d in truth.items())
+        spec = BroadcastBellmanFordSSSP().spec
+        rows.append(
+            [
+                n,
+                int(graph.hop_diameter()),
+                result.rounds,
+                round(predicted_framework_rounds(n, spec), 1),
+                int(graph.hop_diameter()),
+                exact,
+                result.skeleton_size,
+            ]
+        )
+    return ExperimentTable(
+        "E4",
+        "Exact SSSP (Theorem 1.3) via the framework with γ = 0",
+        ["n", "D", "measured rounds", "η·n^(1-x)", "LOCAL-only rounds (D)", "exact", "skeleton size"],
+        rows,
+        notes=[
+            "The substitute CLIQUE SSSP has δ = 1 (x = 2/5), so the framework shape is "
+            "n^(3/5); with the paper's algebraic CLIQUE algorithm (δ = 1/6) the same "
+            "framework yields the Õ(n^{2/5}) of Theorem 1.3.",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E5
+@register("E5")
+def diameter_experiment(scale: str) -> ExperimentTable:
+    """Theorem 1.4 / 5.1: diameter approximation quality and rounds."""
+    sizes = [100, 200] if scale == "small" else [200, 400]
+    rows = []
+    for n in sizes:
+        graph = _locality_graph(n, seed=n + 7)
+        true_diameter = graph.hop_diameter()
+        for name, plugin in (("gather-exact", GatherDiameter()), ("eccentricity", EccentricityDiameter())):
+            network = _network(graph, seed=n)
+            result = approximate_diameter(network, plugin)
+            rows.append(
+                [
+                    n,
+                    int(true_diameter),
+                    name,
+                    round(result.estimate, 1),
+                    round(result.estimate / true_diameter, 3),
+                    round(result.guaranteed_alpha(), 2),
+                    result.rounds,
+                    result.used_local_estimate,
+                ]
+            )
+    return ExperimentTable(
+        "E5",
+        "Diameter approximation (Theorem 5.1 / 1.4)",
+        ["n", "D", "CLIQUE plug-in", "estimate", "ratio", "guaranteed α", "rounds", "local branch"],
+        rows,
+        notes=[
+            "Estimates never undershoot D and stay well within the transformed "
+            "guarantee α + 2/η + β/T_B.",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E6
+@register("E6")
+def kssp_lower_bound_experiment(scale: str) -> ExperimentTable:
+    """Theorem 1.5 / Figure 1: the k-SSP lower-bound gadget."""
+    ks = [16, 64] if scale == "small" else [16, 64, 256]
+    path_hops = 120 if scale == "small" else 400
+    rows = []
+    for k in ks:
+        gadget = build_kssp_gadget(path_hops, k, RandomSource(k))
+        config = ModelConfig()
+        n = gadget.graph.node_count
+        bound = kssp_lb.implied_round_lower_bound(
+            gadget, config.message_bits, config.send_cap(n)
+        )
+        rows.append(
+            [
+                k,
+                n,
+                gadget.bottleneck_distance,
+                round(distance_gap_factor(gadget), 1),
+                round(n / math.sqrt(k), 1),
+                round(assignment_entropy_bits(gadget), 1),
+                round(bound, 2),
+                round(math.sqrt(k), 1),
+            ]
+        )
+    return ExperimentTable(
+        "E6",
+        "k-SSP lower bound gadget (Theorem 1.5, Figure 1)",
+        [
+            "k",
+            "n",
+            "L",
+            "distance gap",
+            "Θ(n/√k)",
+            "entropy bits",
+            "implied lower bound (rounds)",
+            "√k",
+        ],
+        rows,
+        notes=[
+            "The distance gap grows as Θ(n/√k) (columns 4-5), so any approximation "
+            "below that factor must identify the hidden split, whose Ω(k) bits must "
+            "cross the L-hop bottleneck: Ω̃(√k) rounds.",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E7
+@register("E7")
+def diameter_lower_bound_experiment(scale: str) -> ExperimentTable:
+    """Theorem 1.6 / Figure 2: diameter dichotomy and Alice/Bob accounting."""
+    k = 5 if scale == "small" else 8
+    path_hops = 6 if scale == "small" else 10
+    weight = 4 * path_hops
+    rows = []
+    for weighted in (False, True):
+        for disjoint in (True, False):
+            seed = (17 if disjoint else 23) + (100 if weighted else 0)
+            a, b = random_disjointness_instance(k, RandomSource(seed), disjoint)
+            gadget = build_gamma_gadget(k, path_hops, weight if weighted else 1, a, b)
+            diameter = (
+                reference.weighted_diameter(gadget.graph)
+                if weighted
+                else reference.hop_diameter(gadget.graph)
+            )
+            correct = classify_disjointness_from_diameter(gadget, diameter) == disjoint
+            partition_ok = verify_simulation_partition(gadget, path_hops // 2)
+            measurement = measure_cut_traffic(
+                build_gamma_gadget(k, path_hops, 1, a, b),
+                ModelConfig(rng_seed=1),
+                lambda network: approximate_diameter(network, GatherDiameter()),
+            )
+            rows.append(
+                [
+                    "weighted" if weighted else "unweighted",
+                    "disjoint" if disjoint else "intersecting",
+                    gadget.node_count,
+                    round(diameter, 1),
+                    correct,
+                    partition_ok,
+                    measurement.total_rounds,
+                    measurement.cut_bits,
+                    int(measurement.required_bits),
+                ]
+            )
+    return ExperimentTable(
+        "E7",
+        "Diameter lower bound gadget Γ (Theorem 1.6, Lemmas 7.1-7.3, Figure 2)",
+        [
+            "case",
+            "inputs",
+            "n",
+            "diameter",
+            "classification correct",
+            "Lemma 7.3 partition ok",
+            "algorithm rounds",
+            "cut bits moved",
+            "Ω(k²) bits required",
+        ],
+        rows,
+        notes=[
+            "Exact diameters separate disjoint from intersecting instances exactly as "
+            "Lemmas 7.1/7.2 predict, and the Alice/Bob column partition never needs a "
+            "local message to cross the cut (Lemma 7.3).",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E8
+@register("E8")
+def clique_simulation_experiment(scale: str) -> ExperimentTable:
+    """Corollary 4.1: HYBRID cost of one simulated CLIQUE round vs skeleton size."""
+    n = 180 if scale == "small" else 400
+    exponents = [0.3, 0.5, 0.7]
+    graph = _locality_graph(n, seed=2)
+    rows = []
+    for x in exponents:
+        network = _network(graph, seed=int(100 * x))
+        skeleton = compute_skeleton(network, n ** (x - 1.0), ensure_connected=True)
+        transport = HybridCliqueTransport(network, skeleton)
+        before = network.metrics.total_rounds
+        repeats = 3
+        for _ in range(repeats):
+            transport.exchange({})
+        per_round = (network.metrics.total_rounds - before) / repeats
+        rows.append(
+            [
+                n,
+                x,
+                skeleton.size,
+                round(per_round, 1),
+                round(predicted_simulation_rounds(n, skeleton.size), 1),
+            ]
+        )
+    return ExperimentTable(
+        "E8",
+        "Simulating one CLIQUE round on a skeleton (Corollary 4.1)",
+        ["n", "x (skeleton ≈ n^x)", "skeleton size", "HYBRID rounds / CLIQUE round", "s²/n + √s"],
+        rows,
+        notes=[
+            "The per-round simulation cost grows with the skeleton size; at this scale "
+            "it is dominated by the Routing-Preparation local floods of the underlying "
+            "token-routing instance (a polylog-factor additive term in Corollary 4.1), "
+            "with the |S|²/n + √|S| global term on top.",
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- E9
+@register("E9")
+def skeleton_experiment(scale: str) -> ExperimentTable:
+    """Lemmas C.1 / C.2: skeleton connectivity, distance preservation, path gaps."""
+    n = 150 if scale == "small" else 400
+    graph = _random_graph(n, seed=5)
+    probabilities = [0.1, 0.25, 0.5]
+    rows = []
+    for p in probabilities:
+        network = _network(graph, seed=int(p * 100))
+        skeleton = compute_skeleton(network, p)
+        report = audit_skeleton(graph, skeleton.nodes, skeleton.hop_length, RandomSource(3), 40)
+        rows.append(
+            [
+                n,
+                p,
+                report.node_count,
+                report.edge_count,
+                skeleton.hop_length,
+                report.connected,
+                report.distance_preserving,
+                report.max_gap_hops,
+            ]
+        )
+    return ExperimentTable(
+        "E9",
+        "Skeleton graph properties (Lemmas C.1 / C.2)",
+        ["n", "sampling p", "skeleton size", "skeleton edges", "h", "connected", "distance preserving", "max gap (hops)"],
+        rows,
+        notes=[
+            "Every audited skeleton is connected and preserves exact distances between "
+            "sampled nodes; the largest skeleton-free stretch on audited shortest paths "
+            "stays below the hop length h, as Lemma C.1 promises w.h.p.",
+        ],
+    )
+
+
+# -------------------------------------------------------------------------- E10
+@register("E10")
+def helper_set_experiment(scale: str) -> ExperimentTable:
+    """Lemma 2.2: the three helper-set properties of Definition 2.1."""
+    n = 160 if scale == "small" else 400
+    graph = _locality_graph(n, seed=9)
+    settings = [(0.1, 4), (0.1, 64), (0.3, 16)]
+    rows = []
+    for probability, tokens in settings:
+        members = sample_nodes(range(n), probability, RandomSource(int(probability * 100))) or [0]
+        network = _network(graph, seed=tokens)
+        helpers = compute_helper_sets(network, members, tokens_per_member=tokens)
+        rows.append(
+            [
+                n,
+                len(members),
+                tokens,
+                helpers.mu,
+                helpers.min_helper_count(),
+                helpers.max_membership_load(),
+                helpers.max_helper_radius(network),
+                helpers.rounds_charged,
+            ]
+        )
+    return ExperimentTable(
+        "E10",
+        "Helper sets (Definition 2.1 / Lemma 2.2)",
+        ["n", "members", "k", "µ", "min helper count", "max load", "max radius", "rounds"],
+        rows,
+        notes=[
+            "Helper sets reach the target size µ, no node serves many members, and "
+            "helpers stay within Õ(µ) hops -- the three properties Definition 2.1 needs.",
+        ],
+    )
+
+
+# -------------------------------------------------------------------------- E11
+@register("E11")
+def routing_ablation_experiment(scale: str) -> ExperimentTable:
+    """Ablation: token routing vs broadcasting the same workload."""
+    n = 150 if scale == "small" else 400
+    graph = _locality_graph(n, seed=13)
+    rng = RandomSource(13)
+    senders = rng.sample(list(range(n)), n // 5)
+    tokens = make_tokens(
+        {s: [(rng.randrange(n), ("w", s, i)) for i in range(16)] for s in senders}
+    )
+    rows = []
+    routing_network = _network(graph, seed=1)
+    routing = route_tokens(routing_network, tokens)
+    broadcast_network = _network(graph, seed=1)
+    broadcast = route_tokens_by_broadcast(broadcast_network, tokens)
+    for label, network, rounds in (
+        ("token routing (Thm 2.2)", routing_network, routing.rounds),
+        ("broadcast (Lemma B.1)", broadcast_network, broadcast.rounds),
+    ):
+        rows.append(
+            [
+                label,
+                len(tokens),
+                rounds,
+                network.metrics.global_messages,
+                network.max_total_received(),
+            ]
+        )
+    return ExperimentTable(
+        "E11",
+        "Ablation: routing point-to-point tokens vs broadcasting them",
+        ["strategy", "K", "rounds", "global messages", "busiest node received"],
+        rows,
+        notes=[
+            "Broadcasting forces the whole workload through every node's global budget; "
+            "routing touches only the endpoints' helper sets (Section 2's motivation).",
+        ],
+    )
+
+
+# -------------------------------------------------------------------------- E12
+@register("E12")
+def dissemination_experiment(scale: str) -> ExperimentTable:
+    """Lemma B.1 (token dissemination) and Lemma B.2 (aggregation)."""
+    n = 150 if scale == "small" else 400
+    graph = _locality_graph(n, seed=15)
+    per_node_counts = [1, 4, 16]
+    rows = []
+    for per_node in per_node_counts:
+        tokens = {node: [("t", node, i) for i in range(per_node)] for node in range(n)}
+        network = _network(graph, seed=per_node)
+        result = disseminate_tokens(network, tokens)
+        total = n * per_node
+        rows.append(
+            [
+                "dissemination",
+                n,
+                total,
+                result.rounds,
+                network.metrics.global_rounds,
+                round(math.sqrt(total) + per_node + total / n, 1),
+            ]
+        )
+    aggregation_network = _network(graph, seed=99)
+    aggregate_max(aggregation_network, {node: float(node) for node in range(n)})
+    rows.append(
+        [
+            "aggregation (max)",
+            n,
+            n,
+            aggregation_network.metrics.total_rounds,
+            aggregation_network.metrics.global_rounds,
+            round(math.log2(n), 1),
+        ]
+    )
+    return ExperimentTable(
+        "E12",
+        "Token dissemination (Lemma B.1) and NCC aggregation (Lemma B.2)",
+        ["protocol", "n", "k values", "total rounds", "global rounds", "paper shape"],
+        rows,
+        notes=[
+            "Total dissemination rounds at this scale are dominated by the cluster "
+            "construction's local floods (capped at D); the global-mode rounds grow "
+            "with √k / log n as Lemma B.1's bandwidth argument predicts.  The "
+            "aggregation completes in O(log n) global rounds.",
+        ],
+    )

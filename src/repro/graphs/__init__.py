@@ -1,0 +1,16 @@
+"""Graph kernel: the local communication graph ``G`` and everything offline about it.
+
+Public surface:
+
+* :class:`~repro.graphs.graph.WeightedGraph` -- the adjacency structure used by
+  the whole library.
+* :mod:`repro.graphs.generators` -- workload graph families.
+* :mod:`repro.graphs.reference` -- sequential ground-truth algorithms.
+* :mod:`repro.graphs.skeleton_analysis` -- offline audits of skeleton graphs
+  (Appendix C).
+"""
+
+from repro.graphs.graph import INFINITY, WeightedGraph
+from repro.graphs import generators, reference, skeleton_analysis
+
+__all__ = ["WeightedGraph", "INFINITY", "generators", "reference", "skeleton_analysis"]

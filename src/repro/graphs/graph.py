@@ -1,0 +1,396 @@
+"""Weighted graph kernel used by every layer of the library.
+
+The paper's local communication graph ``G = (V, E)`` is an undirected graph
+with integer edge weights ``w : E -> [W]`` where ``W`` is at most polynomial in
+``n`` (Section 1.3).  :class:`WeightedGraph` is a small, dependency-free
+adjacency structure with exactly the operations the HYBRID algorithms need:
+
+* neighbourhood queries (the LOCAL mode),
+* hop-limited breadth-first search (``hop(u, v)`` and ``h``-hop balls),
+* hop-limited weighted distances ``d_h(u, v)`` (Section 1.3), and
+* conversions to/from :mod:`networkx` for cross-checking in tests.
+
+Nodes are always the integers ``0 .. n-1``; the paper identifies nodes with IDs
+``[n]`` and several protocols (hashing to intermediate nodes, implicit
+aggregation trees) rely on the ID space being exactly ``[0, n)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+INFINITY = float("inf")
+
+
+class WeightedGraph:
+    """An undirected graph with positive integer edge weights.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are ``0 .. n-1``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("a graph needs at least one node")
+        self._n = n
+        self._adjacency: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def node_count(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return self._edge_count
+
+    def nodes(self) -> range:
+        """Iterable over all node IDs."""
+        return range(self._n)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return v in self._adjacency[u]
+
+    def add_edge(self, u: int, v: int, weight: int = 1) -> None:
+        """Insert (or overwrite) the undirected edge ``{u, v}``.
+
+        Weights must be positive integers; the paper assumes ``w : E -> [W]``
+        with ``W`` polynomial in ``n`` so that a weight fits in one message.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        if weight <= 0:
+            raise ValueError("edge weights must be positive")
+        if v not in self._adjacency[u]:
+            self._edge_count += 1
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}`` (must exist)."""
+        if v not in self._adjacency[u]:
+            raise KeyError(f"edge {{{u}, {v}}} does not exist")
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+        self._edge_count -= 1
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of the edge ``{u, v}`` (must exist)."""
+        return self._adjacency[u][v]
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate over the neighbours of ``u``."""
+        return iter(self._adjacency[u])
+
+    def neighbor_items(self, u: int) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(neighbour, weight)`` pairs of ``u``."""
+        return iter(self._adjacency[u].items())
+
+    def degree(self, u: int) -> int:
+        """Number of neighbours of ``u``."""
+        return len(self._adjacency[u])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes."""
+        return max(len(adj) for adj in self._adjacency)
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over undirected edges as ``(u, v, weight)`` with ``u < v``."""
+        for u in range(self._n):
+            for v, w in self._adjacency[u].items():
+                if u < v:
+                    yield (u, v, w)
+
+    def max_weight(self) -> int:
+        """Largest edge weight ``W`` (1 for an edgeless graph)."""
+        best = 1
+        for _, _, w in self.edges():
+            if w > best:
+                best = w
+        return best
+
+    def is_unweighted(self) -> bool:
+        """Whether every edge has weight 1 (the paper's ``W = 1`` case)."""
+        return all(w == 1 for _, _, w in self.edges())
+
+    def total_weight(self) -> int:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._n:
+            raise ValueError(f"node {u} outside [0, {self._n})")
+
+    # ----------------------------------------------------------- traversal
+    def bfs_hops(self, source: int, max_hops: Optional[int] = None) -> Dict[int, int]:
+        """Hop distances from ``source`` to every node within ``max_hops`` hops.
+
+        This is ``hop(source, ·)`` from Section 1.3 restricted to the ball of
+        radius ``max_hops`` (or the whole component when ``max_hops`` is None).
+        """
+        self._check_node(source)
+        distances = {source: 0}
+        frontier = [source]
+        hops = 0
+        while frontier and (max_hops is None or hops < max_hops):
+            hops += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if v not in distances:
+                        distances[v] = hops
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return distances
+
+    def ball(self, source: int, radius: int) -> List[int]:
+        """The nodes within ``radius`` hops of ``source`` (including itself)."""
+        return list(self.bfs_hops(source, radius))
+
+    def hop_distance(self, u: int, v: int) -> float:
+        """``hop(u, v)``: the minimum number of edges on a u-v path."""
+        if u == v:
+            return 0
+        distances = self.bfs_hops(u)
+        return distances.get(v, INFINITY)
+
+    def hop_eccentricity(self, u: int) -> float:
+        """Largest hop distance from ``u`` to any node (infinite if disconnected)."""
+        distances = self.bfs_hops(u)
+        if len(distances) != self._n:
+            return INFINITY
+        return max(distances.values())
+
+    def hop_diameter(self) -> float:
+        """``D(G)``: the maximum hop distance over all pairs (Section 1.3)."""
+        best = 0.0
+        for u in range(self._n):
+            ecc = self.hop_eccentricity(u)
+            if ecc == INFINITY:
+                return INFINITY
+            best = max(best, ecc)
+        return best
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the paper assumes ``G`` connected)."""
+        return len(self.bfs_hops(0)) == self._n
+
+    def connected_components(self) -> List[List[int]]:
+        """List of connected components (each a sorted list of nodes)."""
+        seen = [False] * self._n
+        components: List[List[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            component = []
+            stack = [start]
+            seen[start] = True
+            while stack:
+                u = stack.pop()
+                component.append(u)
+                for v in self._adjacency[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+            components.append(sorted(component))
+        return components
+
+    # ----------------------------------------------------------- distances
+    def dijkstra(self, source: int, targets: Optional[Sequence[int]] = None) -> Dict[int, float]:
+        """Exact weighted distances ``d(source, ·)`` via Dijkstra.
+
+        If ``targets`` is given, the search may stop early once all targets are
+        settled; the returned dict still contains every settled node.
+        """
+        self._check_node(source)
+        remaining = set(targets) if targets is not None else None
+        dist: Dict[int, float] = {source: 0.0}
+        settled: Dict[int, float] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            if remaining is not None:
+                remaining.discard(u)
+                if not remaining:
+                    break
+            for v, w in self._adjacency[u].items():
+                nd = d + w
+                if nd < dist.get(v, INFINITY):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return settled
+
+    def dijkstra_with_parents(self, source: int) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """Exact distances plus a shortest-path-tree parent pointer per node."""
+        self._check_node(source)
+        dist: Dict[int, float] = {source: 0.0}
+        parent: Dict[int, int] = {}
+        settled: Dict[int, float] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            for v, w in self._adjacency[u].items():
+                nd = d + w
+                if nd < dist.get(v, INFINITY):
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+        return settled, parent
+
+    def hop_limited_distances(self, source: int, hop_limit: int) -> Dict[int, float]:
+        """``d_h(source, ·)``: cheapest path weight using at most ``hop_limit`` edges.
+
+        Implemented as ``hop_limit`` rounds of Bellman-Ford restricted to the
+        ball of radius ``hop_limit`` around the source.  Nodes not reachable
+        within the hop limit are absent from the result (``d_h = ∞``).
+        """
+        self._check_node(source)
+        if hop_limit < 0:
+            raise ValueError("hop_limit must be non-negative")
+        ball = self.ball(source, hop_limit)
+        current: Dict[int, float] = {source: 0.0}
+        for _ in range(hop_limit):
+            updated = dict(current)
+            changed = False
+            for u, du in current.items():
+                for v, w in self._adjacency[u].items():
+                    nd = du + w
+                    if nd < updated.get(v, INFINITY):
+                        updated[v] = nd
+                        changed = True
+            current = updated
+            if not changed:
+                break
+        ball_set = set(ball)
+        return {v: d for v, d in current.items() if v in ball_set}
+
+    def shortest_distances_within_hops(self, source: int, hop_limit: int) -> Dict[int, float]:
+        """Exact distances to nodes whose shortest path uses at most ``hop_limit`` edges.
+
+        Runs a lexicographic Dijkstra minimising ``(weight, hops)``.  Relation
+        to ``d_h`` (Section 1.3): every node whose (minimum-hop) shortest path
+        fits in the hop budget is returned with its *exact* distance, which for
+        those nodes equals ``d_h(source, ·)`` -- this covers every case the
+        HYBRID algorithms rely on (consecutive skeleton nodes, connectors,
+        "close" pairs).  A node may also be returned with the weight of some
+        other ``≤ hop_limit``-hop path (an upper bound ``≥ d``), and nodes only
+        reachable within the hop budget via paths this search pruned are
+        omitted; in both situations the value ``d_h`` would itself be a strict
+        over-estimate of the distance and the algorithms only ever use it as
+        one candidate inside a minimum, so the difference never changes their
+        output (see DESIGN.md, fidelity policy).  This is the simulation-side
+        fast path; :meth:`hop_limited_distances` computes the literal ``d_h``.
+        """
+        self._check_node(source)
+        if hop_limit < 0:
+            raise ValueError("hop_limit must be non-negative")
+        dist: Dict[int, Tuple[float, int]] = {source: (0.0, 0)}
+        settled: Dict[int, float] = {}
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+        while heap:
+            d, hops, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            if hops <= hop_limit:
+                settled[u] = d
+            # Even when u exceeds the hop budget we keep relaxing: a later node
+            # might still be reachable within budget through a different path
+            # already in the heap, but never through u, so skip its edges.
+            if hops >= hop_limit:
+                continue
+            for v, w in self._adjacency[u].items():
+                nd = d + w
+                nh = hops + 1
+                best = dist.get(v)
+                if best is None or (nd, nh) < best:
+                    dist[v] = (nd, nh)
+                    heapq.heappush(heap, (nd, nh, v))
+        return settled
+
+    def shortest_path_hops(self, source: int, target: int) -> Optional[List[int]]:
+        """One shortest u-v path in *hops* (None if disconnected)."""
+        if source == target:
+            return [source]
+        parents: Dict[int, int] = {source: source}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if v not in parents:
+                        parents[v] = u
+                        if v == target:
+                            path = [v]
+                            while path[-1] != source:
+                                path.append(parents[path[-1]])
+                            return list(reversed(path))
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return None
+
+    # ----------------------------------------------------------- conversion
+    def subgraph(self, nodes: Sequence[int]) -> Tuple["WeightedGraph", Dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (relabelled ``0 .. len(nodes)-1``) and the mapping
+        from original node ID to new ID.
+        """
+        mapping = {node: index for index, node in enumerate(nodes)}
+        sub = WeightedGraph(len(nodes))
+        for u in nodes:
+            for v, w in self._adjacency[u].items():
+                if v in mapping and u < v:
+                    sub.add_edge(mapping[u], mapping[v], w)
+        return sub, mapping
+
+    def copy(self) -> "WeightedGraph":
+        """Deep copy of the graph."""
+        clone = WeightedGraph(self._n)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (for cross-checking in tests)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for u, v, w in self.edges():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph) -> "WeightedGraph":
+        """Build from a :class:`networkx.Graph` with integer node labels 0..n-1."""
+        n = graph.number_of_nodes()
+        result = cls(n)
+        for u, v, data in graph.edges(data=True):
+            result.add_edge(int(u), int(v), int(data.get("weight", 1)))
+        return result
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int, int]]) -> "WeightedGraph":
+        """Build from an iterable of ``(u, v, weight)`` triples."""
+        result = cls(n)
+        for u, v, w in edges:
+            result.add_edge(u, v, w)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedGraph(n={self._n}, m={self._edge_count})"

@@ -1,0 +1,173 @@
+"""Sequential reference algorithms (ground truth for every distributed result).
+
+The distributed algorithms in :mod:`repro.core` are validated against these
+centralised computations: exact single-source / all-pairs distances, weighted
+and hop diameters, eccentricities and shortest-path diameters.  They are the
+"oracle" in tests and in the approximation-ratio measurements of
+EXPERIMENTS.md, so they are written for clarity rather than speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graphs.graph import INFINITY, WeightedGraph
+
+
+def single_source_distances(graph: WeightedGraph, source: int) -> Dict[int, float]:
+    """Exact weighted distances from ``source`` to every reachable node."""
+    return graph.dijkstra(source)
+
+
+def multi_source_distances(
+    graph: WeightedGraph, sources: Sequence[int]
+) -> Dict[int, Dict[int, float]]:
+    """Exact distances from every source: ``result[s][v] = d(s, v)``."""
+    return {source: graph.dijkstra(source) for source in sources}
+
+
+def all_pairs_distances(graph: WeightedGraph) -> Dict[int, Dict[int, float]]:
+    """Exact APSP by running Dijkstra from every node."""
+    return multi_source_distances(graph, list(graph.nodes()))
+
+
+def eccentricity(graph: WeightedGraph, node: int, weighted: bool = False) -> float:
+    """Eccentricity ``e(v) = max_u d(v, u)`` (weighted or in hops)."""
+    if weighted:
+        distances = graph.dijkstra(node)
+    else:
+        distances = {v: float(d) for v, d in graph.bfs_hops(node).items()}
+    if len(distances) != graph.node_count:
+        return INFINITY
+    return max(distances.values())
+
+
+def hop_diameter(graph: WeightedGraph) -> float:
+    """The paper's diameter ``D(G) = max_{u,v} hop(u, v)`` (Section 1.3)."""
+    return graph.hop_diameter()
+
+
+def weighted_diameter(graph: WeightedGraph) -> float:
+    """The weighted diameter ``max_{u,v} d(u, v)`` used in Section 7."""
+    best = 0.0
+    for u in graph.nodes():
+        distances = graph.dijkstra(u)
+        if len(distances) != graph.node_count:
+            return INFINITY
+        best = max(best, max(distances.values()))
+    return best
+
+
+def shortest_path_diameter(graph: WeightedGraph) -> int:
+    """The shortest-path diameter ``SPD``: max hop count of any shortest path.
+
+    This is the parameter in the ``Õ(√SPD)`` SSSP algorithm of Augustine et
+    al. that Theorem 1.3 improves on for graphs where ``SPD`` is large.  For
+    each source we run a Dijkstra variant that tracks, per node, the minimum
+    number of hops over all minimum-weight paths.
+    """
+    spd = 0
+    for source in graph.nodes():
+        hops = _min_hops_on_shortest_paths(graph, source)
+        if hops:
+            spd = max(spd, max(hops.values()))
+    return spd
+
+
+def _min_hops_on_shortest_paths(graph: WeightedGraph, source: int) -> Dict[int, int]:
+    """For each node, the fewest hops among all shortest weighted paths from source."""
+    import heapq
+
+    dist: Dict[int, float] = {source: 0.0}
+    hops: Dict[int, int] = {source: 0}
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    settled: Dict[int, int] = {}
+    while heap:
+        d, h, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = h
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            nh = h + 1
+            if nd < dist.get(v, INFINITY) or (nd == dist.get(v, INFINITY) and nh < hops.get(v, 1 << 60)):
+                dist[v] = nd
+                hops[v] = nh
+                heapq.heappush(heap, (nd, nh, v))
+    return settled
+
+
+def distances_as_matrix(
+    graph: WeightedGraph, distances: Mapping[int, Mapping[int, float]]
+) -> List[List[float]]:
+    """Convert a nested distance dict into a dense ``n x n`` matrix (∞ if absent)."""
+    n = graph.node_count
+    matrix = [[INFINITY] * n for _ in range(n)]
+    for u in range(n):
+        matrix[u][u] = 0.0
+        row = distances.get(u, {})
+        for v, d in row.items():
+            matrix[u][v] = d
+    return matrix
+
+
+def max_absolute_error(
+    expected: Mapping[int, float], actual: Mapping[int, float], keys: Optional[Iterable[int]] = None
+) -> float:
+    """Largest absolute difference between two distance maps over ``keys``."""
+    if keys is None:
+        keys = expected.keys()
+    worst = 0.0
+    for key in keys:
+        e = expected.get(key, INFINITY)
+        a = actual.get(key, INFINITY)
+        if e == INFINITY and a == INFINITY:
+            continue
+        if e == INFINITY or a == INFINITY:
+            return INFINITY
+        worst = max(worst, abs(e - a))
+    return worst
+
+
+def max_stretch(
+    expected: Mapping[int, float], actual: Mapping[int, float], keys: Optional[Iterable[int]] = None
+) -> float:
+    """Largest ratio ``actual / expected`` over ``keys`` (ignoring zero distances).
+
+    The paper's approximation guarantees are one-sided (``d <= d̃ <= α d + β``);
+    benchmarks report this multiplicative stretch together with
+    :func:`has_one_sided_error`.
+    """
+    if keys is None:
+        keys = expected.keys()
+    worst = 1.0
+    for key in keys:
+        e = expected.get(key, INFINITY)
+        a = actual.get(key, INFINITY)
+        if e in (0.0, INFINITY):
+            continue
+        if a == INFINITY:
+            return INFINITY
+        worst = max(worst, a / e)
+    return worst
+
+
+def has_one_sided_error(
+    expected: Mapping[int, float],
+    actual: Mapping[int, float],
+    keys: Optional[Iterable[int]] = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check the paper's approximation contract: estimates never undershoot."""
+    if keys is None:
+        keys = expected.keys()
+    for key in keys:
+        e = expected.get(key, INFINITY)
+        a = actual.get(key, INFINITY)
+        if a == INFINITY:
+            continue
+        if e == INFINITY:
+            return False
+        if a < e - tolerance:
+            return False
+    return True

@@ -1,0 +1,23 @@
+"""The HYBRID network model substrate (Augustine et al. SODA'20, Section 1 of the paper).
+
+Exports the simulation engine (:class:`HybridNetwork`), its configuration
+(:class:`ModelConfig`), the accounting object (:class:`RoundMetrics`) and the
+engine's exception types.
+"""
+
+from repro.hybrid.config import ModelConfig
+from repro.hybrid.errors import CapacityExceededError, HybridModelError, ProtocolError
+from repro.hybrid.metrics import PhaseBreakdown, RoundMetrics
+from repro.hybrid.network import HybridNetwork, Inboxes, Outboxes
+
+__all__ = [
+    "ModelConfig",
+    "HybridNetwork",
+    "RoundMetrics",
+    "PhaseBreakdown",
+    "CapacityExceededError",
+    "HybridModelError",
+    "ProtocolError",
+    "Inboxes",
+    "Outboxes",
+]

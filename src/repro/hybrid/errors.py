@@ -1,0 +1,17 @@
+"""Exceptions raised by the HYBRID model engine."""
+
+from __future__ import annotations
+
+
+class HybridModelError(Exception):
+    """Base class for all errors raised by the simulation engine."""
+
+
+class CapacityExceededError(HybridModelError):
+    """A node attempted to send (or was forced to receive) more global messages
+    in one round than the model allows under the configured policy."""
+
+
+class ProtocolError(HybridModelError):
+    """A protocol implementation violated one of its own preconditions
+    (e.g. a receiver was asked for a token it never announced)."""

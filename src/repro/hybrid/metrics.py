@@ -1,0 +1,134 @@
+"""Round and message accounting for the HYBRID model engine.
+
+Every theorem in the paper is a statement about *rounds*, and the global-mode
+capacity constraint is what makes those statements non-trivial, so the engine
+keeps detailed counters:
+
+* local rounds and global rounds, separately and per named protocol phase,
+* global messages sent/received in total and the per-node per-round maxima
+  (Lemma D.2 asserts these stay at ``O(log n)`` w.h.p.), and
+* total global bits, which the lower-bound experiments (Sections 6-7) compare
+  against the information-theoretic requirements.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PhaseBreakdown:
+    """Rounds attributed to one named protocol phase."""
+
+    local_rounds: int = 0
+    global_rounds: int = 0
+
+    @property
+    def total_rounds(self) -> int:
+        """Local plus global rounds of this phase."""
+        return self.local_rounds + self.global_rounds
+
+
+@dataclass
+class RoundMetrics:
+    """Counters collected while simulating one protocol execution."""
+
+    local_rounds: int = 0
+    global_rounds: int = 0
+    global_messages: int = 0
+    global_bits: int = 0
+    max_sent_per_round: int = 0
+    max_received_per_round: int = 0
+    receive_cap_violations: int = 0
+    phases: Dict[str, PhaseBreakdown] = field(default_factory=lambda: defaultdict(PhaseBreakdown))
+    cut_bits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_rounds(self) -> int:
+        """The quantity every theorem bounds: local + global rounds."""
+        return self.local_rounds + self.global_rounds
+
+    def charge_local(self, rounds: int, phase: str = "local") -> None:
+        """Add ``rounds`` local rounds attributed to ``phase``."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.local_rounds += rounds
+        self.phases[phase].local_rounds += rounds
+
+    def charge_global(self, rounds: int, phase: str = "global") -> None:
+        """Add ``rounds`` global rounds attributed to ``phase``."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.global_rounds += rounds
+        self.phases[phase].global_rounds += rounds
+
+    def record_global_traffic(
+        self,
+        messages: int,
+        bits: int,
+        max_sent: int,
+        max_received: int,
+        receive_cap: Optional[int] = None,
+    ) -> None:
+        """Record one global round's traffic statistics."""
+        self.global_messages += messages
+        self.global_bits += bits
+        self.max_sent_per_round = max(self.max_sent_per_round, max_sent)
+        self.max_received_per_round = max(self.max_received_per_round, max_received)
+        if receive_cap is not None and max_received > receive_cap:
+            self.receive_cap_violations += 1
+
+    def record_cut_bits(self, cut_name: str, bits: int) -> None:
+        """Accumulate global bits that crossed a named cut (lower-bound experiments)."""
+        self.cut_bits[cut_name] = self.cut_bits.get(cut_name, 0) + bits
+
+    def merge(self, other: "RoundMetrics") -> None:
+        """Fold another metrics object into this one (used by nested protocols)."""
+        self.local_rounds += other.local_rounds
+        self.global_rounds += other.global_rounds
+        self.global_messages += other.global_messages
+        self.global_bits += other.global_bits
+        self.max_sent_per_round = max(self.max_sent_per_round, other.max_sent_per_round)
+        self.max_received_per_round = max(self.max_received_per_round, other.max_received_per_round)
+        self.receive_cap_violations += other.receive_cap_violations
+        for phase, breakdown in other.phases.items():
+            self.phases[phase].local_rounds += breakdown.local_rounds
+            self.phases[phase].global_rounds += breakdown.global_rounds
+        for cut, bits in other.cut_bits.items():
+            self.cut_bits[cut] = self.cut_bits.get(cut, 0) + bits
+
+    def rounds_for_phase_prefix(self, prefix: str) -> int:
+        """Total rounds of all phases whose name starts with ``prefix``.
+
+        Protocol phases are named hierarchically (e.g. ``apsp:routing:push``),
+        so the cost of a whole sub-protocol can be read off with its prefix.
+        """
+        return sum(
+            breakdown.total_rounds
+            for name, breakdown in self.phases.items()
+            if name.startswith(prefix)
+        )
+
+    def phase_summary(self) -> List[str]:
+        """Human-readable per-phase round counts (largest first)."""
+        rows = sorted(self.phases.items(), key=lambda item: -item[1].total_rounds)
+        return [
+            f"{name}: {breakdown.total_rounds} rounds "
+            f"({breakdown.local_rounds} local, {breakdown.global_rounds} global)"
+            for name, breakdown in rows
+        ]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by benchmarks' ``extra_info``."""
+        return {
+            "total_rounds": self.total_rounds,
+            "local_rounds": self.local_rounds,
+            "global_rounds": self.global_rounds,
+            "global_messages": self.global_messages,
+            "global_bits": self.global_bits,
+            "max_sent_per_round": self.max_sent_per_round,
+            "max_received_per_round": self.max_received_per_round,
+            "receive_cap_violations": self.receive_cap_violations,
+        }

@@ -1,0 +1,270 @@
+"""The HYBRID model engine.
+
+A :class:`HybridNetwork` wraps the local communication graph ``G`` and gives
+protocol implementations exactly the two communication modes of the model:
+
+* **Local mode (LOCAL).**  Per-edge bandwidth is unbounded, so the engine does
+  not move local messages one by one.  Protocols call
+  :meth:`HybridNetwork.charge_local_rounds` with the number of rounds their
+  local phase takes (e.g. flooding to depth ``d`` costs ``d`` rounds) and then
+  compute the phase's outcome directly from the graph restricted to the
+  corresponding neighbourhoods.  This is semantically what the LOCAL model
+  allows and keeps Python simulations tractable (see DESIGN.md §2).
+
+* **Global mode (NCC).**  Simulated message by message.  Each round every node
+  may send at most ``ModelConfig.send_cap(n)`` messages of ``O(log n)`` bits to
+  arbitrary node IDs; the engine enforces the send budget, counts every round
+  and message, and records the per-round receive maxima that Lemma D.2 bounds.
+
+All counters live in :class:`~repro.hybrid.metrics.RoundMetrics`; the sum of
+local and global rounds is the quantity the paper's theorems are about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import WeightedGraph
+from repro.hybrid.config import ModelConfig
+from repro.hybrid.errors import CapacityExceededError
+from repro.hybrid.metrics import RoundMetrics
+from repro.util.rand import RandomSource
+
+# A global outbox maps a sender to the list of (target, payload) messages it
+# wants to send; an inbox maps a receiver to the list of (sender, payload)
+# messages it got.
+Outboxes = Dict[int, List[Tuple[int, object]]]
+Inboxes = Dict[int, List[Tuple[int, object]]]
+
+
+class HybridNetwork:
+    """One simulated HYBRID network: graph + global channel + accounting."""
+
+    def __init__(self, graph: WeightedGraph, config: Optional[ModelConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or ModelConfig()
+        self.n = graph.node_count
+        self.metrics = RoundMetrics()
+        self.rng = RandomSource(self.config.rng_seed)
+        self.send_cap = self.config.send_cap(self.n)
+        self.receive_cap = self.config.receive_cap(self.n)
+        self._states: List[Dict[str, object]] = [dict() for _ in range(self.n)]
+        self._cut_watchers: List[Tuple[str, Set[int]]] = []
+        self._hop_diameter: Optional[int] = None
+        # Cumulative global messages received per node over the whole run;
+        # the busiest node's total is the bandwidth bottleneck the paper's
+        # trade-offs are about.
+        self.received_totals: List[int] = [0] * self.n
+
+    # ------------------------------------------------------------------ state
+    def state(self, node: int) -> Dict[str, object]:
+        """The mutable per-node knowledge dictionary of ``node``.
+
+        Protocols must only read/write the state of the node they are
+        currently acting as; tests rely on this discipline to check locality.
+        """
+        return self._states[node]
+
+    def states(self) -> List[Dict[str, object]]:
+        """All node states (index = node ID)."""
+        return self._states
+
+    def clear_states(self) -> None:
+        """Drop all per-node knowledge (keeps the metrics)."""
+        self._states = [dict() for _ in range(self.n)]
+
+    def reset_metrics(self) -> None:
+        """Zero all counters (e.g. between benchmark repetitions)."""
+        self.metrics = RoundMetrics()
+
+    def fork_rng(self, label: str) -> RandomSource:
+        """A child random source for one protocol phase (reproducible per label)."""
+        return self.rng.fork(label)
+
+    # ------------------------------------------------------------- local mode
+    def hop_diameter(self) -> int:
+        """The hop diameter ``D(G)`` (computed once and cached)."""
+        if self._hop_diameter is None:
+            diameter = self.graph.hop_diameter()
+            self._hop_diameter = self.n if diameter == float("inf") else int(diameter)
+        return self._hop_diameter
+
+    def charge_local_rounds(self, rounds: int, phase: str = "local") -> None:
+        """Account for a local-mode phase of the given length.
+
+        The caller is responsible for only using information that ``rounds``
+        rounds of flooding could have delivered (i.e. the ``rounds``-hop
+        neighbourhood of each node); see the module docstring.
+
+        When ``cap_local_at_diameter`` is enabled (the default), the charge is
+        capped at ``D(G)``: after ``D`` rounds of the unbounded local mode
+        every node knows the entire graph state at the start of the phase, so
+        no local phase ever needs more (the paper's "min(D, ·)" remark).
+        """
+        if self.config.cap_local_at_diameter:
+            rounds = min(rounds, self.hop_diameter())
+        self.metrics.charge_local(rounds, phase)
+
+    # ------------------------------------------------------------ global mode
+    def add_cut_watcher(self, name: str, node_set: Iterable[int]) -> None:
+        """Track global bits crossing between ``node_set`` and its complement.
+
+        Used by the lower-bound experiments (Section 7): the Alice/Bob
+        simulation argument only charges for information crossing the cut via
+        the global network.
+        """
+        self._cut_watchers.append((name, set(node_set)))
+
+    def global_round(self, outboxes: Mapping[int, Sequence[Tuple[int, object]]], phase: str = "global") -> Inboxes:
+        """Execute exactly one round of the global (NCC) mode.
+
+        Parameters
+        ----------
+        outboxes:
+            For each sending node, the list of ``(target, payload)`` messages
+            it sends this round.  With ``strict_send`` (default) a node
+            exceeding the send budget raises
+            :class:`~repro.hybrid.errors.CapacityExceededError` -- a correct
+            protocol never does.
+        phase:
+            Name under which the round is accounted.
+
+        Returns
+        -------
+        dict
+            ``receiver -> [(sender, payload), ...]`` for this round.
+        """
+        inboxes: Inboxes = {}
+        total_messages = 0
+        max_sent = 0
+        received_counts: Dict[int, int] = {}
+        cut_crossings = {name: 0 for name, _ in self._cut_watchers}
+
+        for sender, messages in outboxes.items():
+            if not 0 <= sender < self.n:
+                raise ValueError(f"sender {sender} outside the network")
+            count = len(messages)
+            if count == 0:
+                continue
+            if count > self.send_cap and self.config.strict_send:
+                raise CapacityExceededError(
+                    f"node {sender} tried to send {count} global messages in one "
+                    f"round (cap {self.send_cap})"
+                )
+            max_sent = max(max_sent, count)
+            for target, payload in messages:
+                if not 0 <= target < self.n:
+                    raise ValueError(f"target {target} outside the network")
+                inboxes.setdefault(target, []).append((sender, payload))
+                received_counts[target] = received_counts.get(target, 0) + 1
+                self.received_totals[target] += 1
+                total_messages += 1
+                for name, node_set in self._cut_watchers:
+                    if (sender in node_set) != (target in node_set):
+                        cut_crossings[name] += 1
+
+        max_received = max(received_counts.values()) if received_counts else 0
+        if max_received > self.receive_cap and self.config.strict_receive:
+            raise CapacityExceededError(
+                f"a node received {max_received} global messages in one round "
+                f"(cap {self.receive_cap})"
+            )
+        self.metrics.charge_global(1, phase)
+        self.metrics.record_global_traffic(
+            messages=total_messages,
+            bits=total_messages * self.config.message_bits,
+            max_sent=max_sent,
+            max_received=max_received,
+            receive_cap=self.receive_cap,
+        )
+        for name, crossings in cut_crossings.items():
+            if crossings:
+                self.metrics.record_cut_bits(name, crossings * self.config.message_bits)
+        return inboxes
+
+    def run_global_exchange(
+        self,
+        outboxes: Mapping[int, Sequence[Tuple[int, object]]],
+        phase: str = "global",
+        receiver_limited: bool = True,
+    ) -> Tuple[Inboxes, int]:
+        """Deliver an arbitrary-size batch of global messages over several rounds.
+
+        Each node sends its queued messages at most ``send_cap`` per round and,
+        when ``receiver_limited`` (the default), each node also receives at
+        most ``receive_cap`` messages per round -- excess messages simply wait
+        in their sender's queue for a later round.  This models the NCC-mode
+        bandwidth constraint on both endpoints and is the workhorse behind
+        "send each of your tokens, Θ(log n) tokens at a time" style loops in
+        the paper's pseudo-code.
+
+        Returns the accumulated inboxes and the number of global rounds used.
+        """
+        queues: Dict[int, List[Tuple[int, object]]] = {
+            sender: list(messages) for sender, messages in outboxes.items() if messages
+        }
+        inboxes: Inboxes = {}
+        rounds = 0
+        while queues:
+            round_out: Outboxes = {}
+            receive_budget: Dict[int, int] = {}
+            empty_senders = []
+            for sender in sorted(queues):
+                queue = queues[sender]
+                if not receiver_limited:
+                    batch = queue[: self.send_cap]
+                    del queue[: self.send_cap]
+                else:
+                    batch = []
+                    kept: List[Tuple[int, object]] = []
+                    send_budget = self.send_cap
+                    for target, payload in queue:
+                        target_budget = receive_budget.get(target, self.receive_cap)
+                        if send_budget > 0 and target_budget > 0:
+                            batch.append((target, payload))
+                            send_budget -= 1
+                            receive_budget[target] = target_budget - 1
+                        else:
+                            kept.append((target, payload))
+                    queue[:] = kept
+                if batch:
+                    round_out[sender] = batch
+                if not queue:
+                    empty_senders.append(sender)
+            for sender in empty_senders:
+                del queues[sender]
+            if not round_out:
+                # Every remaining message targets a saturated receiver; the
+                # round still elapses (receivers are busy draining).
+                self.metrics.charge_global(1, phase)
+                rounds += 1
+                continue
+            delivered = self.global_round(round_out, phase)
+            rounds += 1
+            for receiver, messages in delivered.items():
+                inboxes.setdefault(receiver, []).extend(messages)
+        return inboxes, rounds
+
+    # ------------------------------------------------------------- shortcuts
+    def max_total_received(self) -> int:
+        """Largest cumulative global receive count of any node over the run."""
+        return max(self.received_totals) if self.received_totals else 0
+
+    def local_ball(self, node: int, radius: int) -> List[int]:
+        """The ``radius``-hop neighbourhood of ``node`` (no rounds charged)."""
+        return self.graph.ball(node, radius)
+
+    def local_hop_limited_distances(self, node: int, hop_limit: int) -> Dict[int, float]:
+        """``d_h(node, ·)`` for the node's local exploration (no rounds charged).
+
+        Callers must separately charge the exploration depth via
+        :meth:`charge_local_rounds`; splitting the two keeps phase accounting
+        explicit in the protocol code.
+        """
+        return self.graph.hop_limited_distances(node, hop_limit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HybridNetwork(n={self.n}, m={self.graph.edge_count}, "
+            f"send_cap={self.send_cap}, rounds={self.metrics.total_rounds})"
+        )

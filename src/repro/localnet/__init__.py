@@ -1,0 +1,47 @@
+"""LOCAL / CONGEST / NCC primitives the paper builds on.
+
+* :mod:`repro.localnet.flooding` -- bounded-depth local exploration loops.
+* :mod:`repro.localnet.ruling_set` -- ``(2µ+1, 2µ⌈log n⌉)``-ruling sets (Lemma 2.1).
+* :mod:`repro.localnet.clustering` -- clusters around rulers (Algorithm 1, first half).
+* :mod:`repro.localnet.aggregation` -- NCC aggregation and broadcast (Lemma B.2).
+* :mod:`repro.localnet.token_dissemination` -- the ``Õ(√k + ℓ)`` broadcast of Lemma B.1.
+"""
+
+from repro.localnet.aggregation import (
+    aggregate,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    broadcast_value,
+)
+from repro.localnet.clustering import Clustering, cluster_around_rulers
+from repro.localnet.flooding import (
+    converge_cast_max,
+    explore_hop_distances,
+    explore_limited_distances,
+    flood_token_sets,
+    flood_values,
+    multi_source_hop_distances,
+)
+from repro.localnet.ruling_set import RulingSetResult, compute_ruling_set
+from repro.localnet.token_dissemination import DisseminationResult, disseminate_tokens
+
+__all__ = [
+    "aggregate",
+    "aggregate_max",
+    "aggregate_min",
+    "aggregate_sum",
+    "broadcast_value",
+    "Clustering",
+    "cluster_around_rulers",
+    "converge_cast_max",
+    "explore_hop_distances",
+    "explore_limited_distances",
+    "flood_token_sets",
+    "flood_values",
+    "multi_source_hop_distances",
+    "RulingSetResult",
+    "compute_ruling_set",
+    "DisseminationResult",
+    "disseminate_tokens",
+]

@@ -1,0 +1,141 @@
+"""Global-mode aggregation and broadcast (Lemma B.2, from Augustine et al. NCC'19).
+
+The aggregation problem: a subset of nodes hold input values; all nodes must
+learn ``f(values)`` for an aggregate distributive function ``f`` (max, min,
+sum, ...).  Lemma B.2 states this takes ``O(log n)`` rounds in the NCC model.
+
+We implement the classic recursive-doubling scheme on the node-ID ring: in
+round ``i`` every node sends its current partial aggregate to the node
+``2^i`` positions ahead.  After ``⌈log2 n⌉`` rounds every node has combined the
+inputs of all ``n`` nodes.  Each node sends exactly one message per round, so
+the send budget is never stressed.  A single-value broadcast uses the same
+doubling pattern seeded at the source.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, TypeVar
+
+from repro.hybrid.network import HybridNetwork
+
+T = TypeVar("T")
+
+
+def aggregate(
+    network: HybridNetwork,
+    values: Dict[int, T],
+    combine: Callable[[T, T], T],
+    phase: str = "aggregation",
+) -> Optional[T]:
+    """All nodes learn ``combine`` folded over ``values`` in ``O(log n)`` rounds.
+
+    ``combine`` must be associative and commutative (max, min, +, set union...).
+    Returns the aggregate (``None`` when ``values`` is empty), which after the
+    protocol is known to every node.
+    """
+    if not values:
+        return None
+    n = network.n
+    partial: List[Optional[T]] = [None] * n
+    for node, value in values.items():
+        partial[node] = value
+
+    rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    for i in range(rounds):
+        step = 1 << i
+        outboxes = {}
+        for node in range(n):
+            if partial[node] is not None:
+                outboxes[node] = [((node + step) % n, partial[node])]
+        inboxes = network.global_round(outboxes, phase)
+        for receiver, messages in inboxes.items():
+            for _, value in messages:
+                if partial[receiver] is None:
+                    partial[receiver] = value
+                else:
+                    partial[receiver] = combine(partial[receiver], value)
+
+    # After ⌈log n⌉ doubling rounds on a ring every position has folded every
+    # input at least once (values may be folded multiple times, which is why
+    # combine must be idempotent-friendly for exact counts -- see aggregate_sum
+    # for the sum case, which uses a tree instead).
+    result = None
+    for value in partial:
+        if value is None:
+            continue
+        result = value if result is None else combine(result, value)
+    # Make the aggregate part of every node's knowledge.
+    for node in range(n):
+        network.state(node)["aggregate:" + phase] = result
+    return result
+
+
+def aggregate_max(network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-max") -> Optional[float]:
+    """All nodes learn ``max(values)`` in ``O(log n)`` global rounds."""
+    return aggregate(network, values, max, phase)
+
+
+def aggregate_min(network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-min") -> Optional[float]:
+    """All nodes learn ``min(values)`` in ``O(log n)`` global rounds."""
+    return aggregate(network, values, min, phase)
+
+
+def aggregate_sum(network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-sum") -> float:
+    """All nodes learn ``sum(values)`` in ``O(log n)`` global rounds.
+
+    Sums are not idempotent, so instead of ring doubling we aggregate up an
+    implicit binary tree over node IDs (child ``2i+1, 2i+2`` -> parent ``i``)
+    and then broadcast the root's total back down; both directions take
+    ``O(log n)`` rounds and one message per node per round.
+    """
+    n = network.n
+    totals = [0.0] * n
+    for node, value in values.items():
+        totals[node] += value
+    depth = max(1, math.ceil(math.log2(n + 1)))
+    # Convergecast: deepest levels first.
+    for level in range(depth, 0, -1):
+        outboxes = {}
+        low = (1 << level) - 1
+        high = min(n, (1 << (level + 1)) - 1)
+        for node in range(low, high):
+            parent = (node - 1) // 2
+            outboxes[node] = [(parent, totals[node])]
+        if outboxes:
+            inboxes = network.global_round(outboxes, phase)
+            for receiver, messages in inboxes.items():
+                for _, value in messages:
+                    totals[receiver] += value
+        else:
+            network.metrics.charge_global(1, phase)
+    total = totals[0]
+    broadcast_value(network, total, source=0, phase=phase)
+    for node in range(n):
+        network.state(node)["aggregate:" + phase] = total
+    return total
+
+
+def broadcast_value(
+    network: HybridNetwork, value: T, source: int = 0, phase: str = "broadcast"
+) -> T:
+    """The source makes one ``O(log n)``-bit value known to all nodes.
+
+    Binomial-tree doubling over node IDs: the set of informed nodes doubles
+    every round, so ``⌈log2 n⌉`` rounds suffice and each informed node sends a
+    single message per round.
+    """
+    n = network.n
+    informed = {source}
+    rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    for i in range(rounds):
+        step = 1 << i
+        outboxes = {}
+        for node in informed:
+            outboxes[node] = [((node + step) % n, value)]
+        inboxes = network.global_round(outboxes, phase)
+        for receiver in inboxes:
+            informed.add(receiver)
+    for node in range(n):
+        network.state(node)["broadcast:" + phase] = value
+    return value

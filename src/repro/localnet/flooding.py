@@ -1,0 +1,148 @@
+"""Local-mode exploration primitives ("flood for d rounds").
+
+Every algorithm in the paper contains loops of the form *"for d rounds: v
+forwards all information it knows via its incident local edges"*.  After such a
+loop each node knows everything initially known by nodes within ``d`` hops.
+The helpers here compute those outcomes directly from the graph and charge the
+``d`` rounds, per the fidelity policy in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.hybrid.network import HybridNetwork
+
+T = TypeVar("T")
+
+
+def explore_hop_distances(
+    network: HybridNetwork, depth: int, phase: str = "local-exploration"
+) -> List[Dict[int, int]]:
+    """Every node learns the hop distance to every node within ``depth`` hops.
+
+    Charges ``depth`` local rounds and returns, per node, the mapping
+    ``other -> hop(node, other)`` restricted to the ``depth``-hop ball.
+    """
+    network.charge_local_rounds(depth, phase)
+    return [network.graph.bfs_hops(node, depth) for node in range(network.n)]
+
+
+def explore_limited_distances(
+    network: HybridNetwork, depth: int, phase: str = "local-exploration", exact: bool = False
+) -> List[Dict[int, float]]:
+    """Every node learns its ``depth``-hop-limited distances (Section 1.3).
+
+    Charges ``depth`` local rounds.  This is the outcome of flooding all graph
+    information for ``depth`` rounds and locally computing hop-limited
+    distances, which is what Compute-Skeleton (Algorithm 6) and the local
+    exploration steps of Algorithms 5 and 9 do.
+
+    By default the fast simulation path
+    (:meth:`~repro.graphs.graph.WeightedGraph.shortest_distances_within_hops`)
+    is used; pass ``exact=True`` to compute the literal ``d_h`` of the paper
+    (noticeably slower on large or high-diameter graphs, identical wherever the
+    algorithms' correctness arguments rely on the value).
+    """
+    network.charge_local_rounds(depth, phase)
+    if exact:
+        return [network.graph.hop_limited_distances(node, depth) for node in range(network.n)]
+    return [
+        network.graph.shortest_distances_within_hops(node, depth) for node in range(network.n)
+    ]
+
+
+def flood_values(
+    network: HybridNetwork,
+    depth: int,
+    initial: Dict[int, T],
+    phase: str = "local-flood",
+) -> List[Dict[int, T]]:
+    """Flood per-node values for ``depth`` rounds.
+
+    ``initial`` maps an origin node to the value it floods.  After the charged
+    ``depth`` rounds, each node knows the values of all origins within
+    ``depth`` hops; the result is one ``origin -> value`` dict per node.
+    """
+    network.charge_local_rounds(depth, phase)
+    result: List[Dict[int, T]] = [dict() for _ in range(network.n)]
+    for origin, value in initial.items():
+        for reached in network.graph.ball(origin, depth):
+            result[reached][origin] = value
+    return result
+
+
+def flood_token_sets(
+    network: HybridNetwork,
+    depth: int,
+    initial: Dict[int, Sequence[T]],
+    phase: str = "local-flood",
+) -> List[List[T]]:
+    """Flood *collections* of tokens for ``depth`` rounds.
+
+    Like :func:`flood_values` but each origin contributes a list of tokens and
+    each node receives the concatenation over all origins in its ball.  Used
+    when helpers flood the tokens they hold back to their sender/receiver.
+    """
+    network.charge_local_rounds(depth, phase)
+    result: List[List[T]] = [list() for _ in range(network.n)]
+    for origin, tokens in initial.items():
+        if not tokens:
+            continue
+        for reached in network.graph.ball(origin, depth):
+            result[reached].extend(tokens)
+    return result
+
+
+def multi_source_hop_distances(
+    network: HybridNetwork,
+    sources: Sequence[int],
+    depth: Optional[int] = None,
+) -> Dict[int, tuple]:
+    """Closest source (by hops, ties by smaller source ID) for every node.
+
+    Returns ``node -> (hop_distance, source)`` for every node reached within
+    ``depth`` hops (or anywhere, when ``depth`` is None).  No rounds are
+    charged -- callers charge the surrounding protocol loop themselves.
+    This is the "join the cluster of the closest ruler" step of Algorithm 1.
+    """
+    assignment: Dict[int, tuple] = {}
+    frontier: List[int] = []
+    for source in sorted(sources):
+        if source not in assignment:
+            assignment[source] = (0, source)
+            frontier.append(source)
+    hops = 0
+    while frontier and (depth is None or hops < depth):
+        hops += 1
+        next_frontier: List[int] = []
+        for node in frontier:
+            _, source = assignment[node]
+            for neighbour in network.graph.neighbors(node):
+                candidate = (hops, source)
+                if neighbour not in assignment or candidate < assignment[neighbour]:
+                    if neighbour not in assignment:
+                        next_frontier.append(neighbour)
+                    assignment[neighbour] = candidate
+        frontier = next_frontier
+    return assignment
+
+
+def converge_cast_max(
+    network: HybridNetwork,
+    values: Dict[int, float],
+    depth: int,
+    phase: str = "local-max",
+) -> List[float]:
+    """Each node learns the maximum of ``values`` over its ``depth``-hop ball.
+
+    Charges ``depth`` local rounds.  Used by the diameter algorithm where each
+    node computes the largest hop distance it "sees" locally (Algorithm 9).
+    """
+    network.charge_local_rounds(depth, phase)
+    result: List[float] = [float("-inf")] * network.n
+    for origin, value in values.items():
+        for reached in network.graph.ball(origin, depth):
+            if value > result[reached]:
+                result[reached] = value
+    return result

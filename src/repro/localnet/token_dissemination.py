@@ -1,0 +1,170 @@
+"""Token dissemination: make k tokens known to every node (Lemma B.1).
+
+The paper reuses the ``Õ(√k + ℓ)``-round token dissemination protocol of
+Augustine et al. SODA'20 as a black box (Lemma B.1): ``k`` tokens of
+``O(log n)`` bits, each node initially holding at most ``ℓ`` of them, must
+become known to all nodes.
+
+We implement an equivalent-complexity protocol built from the primitives of
+this library (see the substitution table in DESIGN.md):
+
+1. **Count** the tokens with an NCC aggregation -- ``O(log n)`` rounds.
+2. **Relay.**  Every token is sent to a pseudo-random relay node (hash of its
+   identity), ``O(log n)`` tokens per sender per round -- ``Õ(ℓ + k/n)``
+   rounds, after which every relay holds ``Õ(k/n)`` tokens.
+3. **Cluster.**  Build a ``(2µ+1, ·)``-ruling set with ``µ = ⌊√k⌋`` (clamped)
+   and cluster every node around its closest ruler -- clusters have ``≥ µ``
+   members and hop radius ``Õ(µ)``; costs ``Õ(µ)`` = ``Õ(√k)`` rounds.
+4. **Fetch.**  Cluster member number ``i`` requests the contents of every
+   relay ``r`` with ``r ≡ i (mod cluster size)``.  Each relay answers each
+   requesting cluster once, so it sends ``Õ((k/n) · n/µ) = Õ(k/µ) = Õ(√k)``
+   tokens and each member receives ``Õ(k/µ) = Õ(√k)`` tokens -- ``Õ(√k)``
+   global rounds.
+5. **Spread.**  Every member floods what it fetched through its cluster
+   (radius ``Õ(µ)`` = ``Õ(√k)`` local rounds); collectively a cluster fetched
+   every relay, so afterwards every node knows every token.
+
+Total: ``Õ(√k + k/n + ℓ)`` rounds, matching Lemma B.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.hybrid.network import HybridNetwork
+from repro.localnet.aggregation import aggregate_sum
+from repro.localnet.clustering import Clustering, cluster_around_rulers
+from repro.localnet.ruling_set import compute_ruling_set
+from repro.util.hashing import hash_family_for_network
+
+Token = Hashable
+
+
+@dataclass
+class DisseminationResult:
+    """Outcome of one token-dissemination run.
+
+    Attributes
+    ----------
+    tokens:
+        The full token set, now known to every node.
+    token_count:
+        ``k``, the number of distinct tokens disseminated.
+    rounds:
+        Total rounds (local + global) consumed by this dissemination,
+        measured as the difference of the network's round counter.
+    """
+
+    tokens: List[Token]
+    token_count: int
+    rounds: int
+
+
+def disseminate_tokens(
+    network: HybridNetwork,
+    tokens_per_node: Dict[int, Sequence[Token]],
+    phase: str = "token-dissemination",
+    store_key: str | None = None,
+) -> DisseminationResult:
+    """Make every token known to every node (Lemma B.1).
+
+    Parameters
+    ----------
+    network:
+        The HYBRID network to run on.
+    tokens_per_node:
+        Initial token placement; a token held by several nodes is disseminated
+        once (tokens are identified by equality).
+    phase:
+        Accounting label for the rounds this protocol consumes.
+    store_key:
+        When given, the resulting token list is additionally stored in every
+        node's state under this key.
+    """
+    rounds_before = network.metrics.total_rounds
+    n = network.n
+
+    all_tokens: List[Token] = []
+    seen = set()
+    holder_of: Dict[Token, int] = {}
+    max_per_node = 0
+    for node, tokens in tokens_per_node.items():
+        max_per_node = max(max_per_node, len(tokens))
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                all_tokens.append(token)
+                holder_of[token] = node
+    k = len(all_tokens)
+
+    # Step 1: every node learns k (needed to agree on the cluster radius µ).
+    aggregate_sum(
+        network,
+        {node: float(len(tokens)) for node, tokens in tokens_per_node.items()},
+        phase=phase + ":count",
+    )
+
+    if k == 0:
+        rounds = network.metrics.total_rounds - rounds_before
+        return DisseminationResult(tokens=[], token_count=0, rounds=rounds)
+
+    # Step 2: relay every token to a pseudo-random node.
+    hash_function = hash_family_for_network(n, network.fork_rng(phase + ":hash"))
+    relay_outboxes: Dict[int, List[Tuple[int, Token]]] = {}
+    for index, token in enumerate(all_tokens):
+        relay = hash_function((index, 1))
+        holder = holder_of[token]
+        relay_outboxes.setdefault(holder, []).append((relay, token))
+    relay_inboxes, _ = network.run_global_exchange(relay_outboxes, phase + ":relay")
+    relay_tokens: Dict[int, List[Token]] = {
+        relay: [token for _, token in messages] for relay, messages in relay_inboxes.items()
+    }
+
+    # Step 3: clusters of >= µ members with hop radius Õ(µ).
+    mu = max(1, min(int(math.isqrt(k)), n))
+    ruling = compute_ruling_set(network, mu, phase=phase + ":ruling-set")
+    clustering = cluster_around_rulers(network, ruling.rulers, mu, phase=phase + ":clustering")
+
+    # Step 4: members fetch disjoint relay shares.  A request is one message
+    # (relay, requester); a response ships one token per message.
+    request_outboxes: Dict[int, List[Tuple[int, Tuple[str, int]]]] = {}
+    for members in clustering.members.values():
+        size = len(members)
+        for index, member in enumerate(members):
+            for relay in range(index, n, size):
+                if relay in relay_tokens:
+                    request_outboxes.setdefault(member, []).append((relay, ("fetch", member)))
+    request_inboxes, _ = network.run_global_exchange(request_outboxes, phase + ":requests")
+
+    response_outboxes: Dict[int, List[Tuple[int, Token]]] = {}
+    for relay, requests in request_inboxes.items():
+        tokens_here = relay_tokens.get(relay, [])
+        if not tokens_here:
+            continue
+        for _, (_, requester) in requests:
+            response_outboxes.setdefault(relay, []).extend(
+                (requester, token) for token in tokens_here
+            )
+    response_inboxes, _ = network.run_global_exchange(response_outboxes, phase + ":responses")
+
+    fetched: Dict[int, List[Token]] = {
+        member: [token for _, token in messages] for member, messages in response_inboxes.items()
+    }
+    # Original holders keep their own tokens as well.
+    for node, tokens in tokens_per_node.items():
+        if tokens:
+            fetched.setdefault(node, []).extend(tokens)
+
+    # Step 5: flood the fetched tokens within each cluster.  The flood depth is
+    # the cluster radius (every member reaches every other member).
+    spread_depth = max(1, 2 * clustering.radius)
+    network.charge_local_rounds(spread_depth, phase + ":spread")
+
+    if store_key is not None:
+        for node in range(n):
+            network.state(node)[store_key] = all_tokens
+
+    rounds = network.metrics.total_rounds - rounds_before
+    return DisseminationResult(tokens=list(all_tokens), token_count=k, rounds=rounds)

@@ -1,0 +1,57 @@
+"""Lower-bound constructions and accounting (Sections 6 and 7).
+
+* :mod:`repro.lower_bounds.kssp_gadget` -- the Figure 1 worst-case graph behind
+  the ``Ω̃(√k)`` bound for k-SSP (Theorem 1.5).
+* :mod:`repro.lower_bounds.diameter_gadget` -- the ``Γ^{a,b}_{k,ℓ,W}`` graph of
+  Figure 2 and the Lemma 7.1 / 7.2 diameter dichotomy.
+* :mod:`repro.lower_bounds.set_disjointness` -- the Alice/Bob simulation
+  argument (Lemma 7.3) and the implied ``Ω̃(n^{1/3})`` bound (Theorem 1.6).
+"""
+
+from repro.lower_bounds.diameter_gadget import (
+    GammaGadget,
+    build_gamma_gadget,
+    classify_disjointness_from_diameter,
+    predicted_diameter,
+    random_disjointness_instance,
+)
+from repro.lower_bounds.kssp_gadget import (
+    KSSPGadget,
+    assignment_entropy_bits,
+    bottleneck_capacity_bits_per_round,
+    build_kssp_gadget,
+    distance_gap_factor,
+    implied_round_lower_bound,
+    suggested_bottleneck_distance,
+)
+from repro.lower_bounds.set_disjointness import (
+    CutMeasurement,
+    LowerBoundParameters,
+    choose_parameters,
+    disjointness_bits_required,
+    measure_cut_traffic,
+    per_round_cut_capacity_bits,
+    verify_simulation_partition,
+)
+
+__all__ = [
+    "GammaGadget",
+    "build_gamma_gadget",
+    "classify_disjointness_from_diameter",
+    "predicted_diameter",
+    "random_disjointness_instance",
+    "KSSPGadget",
+    "assignment_entropy_bits",
+    "bottleneck_capacity_bits_per_round",
+    "build_kssp_gadget",
+    "distance_gap_factor",
+    "implied_round_lower_bound",
+    "suggested_bottleneck_distance",
+    "CutMeasurement",
+    "LowerBoundParameters",
+    "choose_parameters",
+    "disjointness_bits_required",
+    "measure_cut_traffic",
+    "per_round_cut_capacity_bits",
+    "verify_simulation_partition",
+]

@@ -1,0 +1,252 @@
+"""The set-disjointness gadget ``Γ^{a,b}_{k,ℓ,W}`` (Section 7, Figure 2).
+
+The graph encodes a 2-party set-disjointness instance ``a, b ∈ {0,1}^{k²}``:
+
+* four node groups ``V1, V2, U1, U2`` of size ``k`` each, internally connected
+  as cliques with edges of weight ``W``;
+* a perfect matching between ``V_i`` and ``U_i`` realised by paths of ``ℓ``
+  unweighted hops;
+* two hub nodes ``v̂`` (adjacent to all of ``V1 ∪ V2``) and ``û`` (adjacent to
+  all of ``U1 ∪ U2``) with weight-``W`` edges, joined by an ``ℓ``-hop path;
+* bit ``a_i`` (with ``i`` identified with a pair ``(p, q) ∈ [k]²``) contributes
+  the edge ``{V1[p], V2[q]}`` iff ``a_i = 0`` -- and symmetrically ``b_i``
+  contributes ``{U1[p], U2[q]}``.
+
+Lemma 7.1 (weighted, ``W > ℓ``): the weighted diameter is at most ``W + 2ℓ``
+iff ``a`` and ``b`` are disjoint, and at least ``2W + ℓ`` otherwise.
+Lemma 7.2 (unweighted, ``W = 1``): the diameter is ``ℓ + 1`` iff disjoint and
+``ℓ + 2`` otherwise.
+
+The column structure (nodes grouped by hop distance from the ``V`` side) is
+what the Alice/Bob simulation argument of Lemma 7.3 partitions; it is exposed
+via :meth:`GammaGadget.columns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graphs.graph import WeightedGraph
+from repro.util.rand import RandomSource
+
+
+@dataclass
+class GammaGadget:
+    """A constructed ``Γ^{a,b}_{k,ℓ,W}`` instance with its role metadata.
+
+    Attributes
+    ----------
+    graph:
+        The constructed graph.
+    k / path_hops / weight:
+        The construction parameters ``k``, ``ℓ`` and ``W``.
+    a_bits / b_bits:
+        The encoded set-disjointness inputs (length ``k²`` each).
+    v1, v2, u1, u2:
+        The four node groups (index ``p`` of ``v1`` is matched to index ``p``
+        of ``u1``, and likewise for ``v2``/``u2``).
+    v_hub / u_hub:
+        The hub nodes ``v̂`` and ``û``.
+    matching_paths:
+        For every matched pair, the list of interior path nodes from the ``V``
+        side to the ``U`` side (possibly empty when ``ℓ = 1``).
+    hub_path:
+        Interior nodes of the ``v̂``-``û`` path.
+    """
+
+    graph: WeightedGraph
+    k: int
+    path_hops: int
+    weight: int
+    a_bits: List[int]
+    b_bits: List[int]
+    v1: List[int]
+    v2: List[int]
+    u1: List[int]
+    u2: List[int]
+    v_hub: int
+    u_hub: int
+    matching_paths: Dict[Tuple[str, int], List[int]]
+    hub_path: List[int]
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes of the gadget."""
+        return self.graph.node_count
+
+    def disjoint(self) -> bool:
+        """Whether the encoded inputs ``a`` and ``b`` are disjoint."""
+        return all(not (x and y) for x, y in zip(self.a_bits, self.b_bits))
+
+    def columns(self) -> List[List[int]]:
+        """The ``ℓ + 1`` columns of the Lemma 7.3 simulation argument.
+
+        Column 0 contains ``V1 ∪ V2 ∪ {v̂}``; column ``ℓ`` contains
+        ``U1 ∪ U2 ∪ {û}``; column ``i`` in between contains the ``i``-th
+        interior node of every matching path and of the hub path.
+        """
+        columns: List[List[int]] = [[] for _ in range(self.path_hops + 1)]
+        columns[0] = sorted(self.v1 + self.v2 + [self.v_hub])
+        columns[self.path_hops] = sorted(self.u1 + self.u2 + [self.u_hub])
+        for path in list(self.matching_paths.values()) + [self.hub_path]:
+            for position, node in enumerate(path, start=1):
+                columns[position].append(node)
+        for column in columns:
+            column.sort()
+        return columns
+
+    def alice_nodes(self, round_index: int = 0) -> List[int]:
+        """Nodes simulated by Alice in round ``round_index + 1`` (Lemma 7.3)."""
+        columns = self.columns()
+        last = max(0, self.path_hops - 1 - round_index)
+        result: List[int] = []
+        for column in columns[: last + 1]:
+            result.extend(column)
+        return sorted(result)
+
+    def bob_nodes(self, round_index: int = 0) -> List[int]:
+        """Nodes simulated by Bob in round ``round_index + 1`` (Lemma 7.3)."""
+        columns = self.columns()
+        first = min(self.path_hops, 1 + round_index)
+        result: List[int] = []
+        for column in columns[first:]:
+            result.extend(column)
+        return sorted(result)
+
+
+def build_gamma_gadget(
+    k: int,
+    path_hops: int,
+    weight: int,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+) -> GammaGadget:
+    """Construct ``Γ^{a,b}_{k,ℓ,W}`` for the given disjointness inputs.
+
+    ``a_bits`` and ``b_bits`` must have length ``k²``; bit index ``i`` is
+    identified with the pair ``(i // k, i % k)``.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if path_hops < 1:
+        raise ValueError("path_hops (ℓ) must be at least 1")
+    if weight < 1:
+        raise ValueError("weight (W) must be at least 1")
+    if len(a_bits) != k * k or len(b_bits) != k * k:
+        raise ValueError("a and b must have length k^2")
+
+    interior = path_hops - 1
+    # Node layout: V1, V2, U1, U2, v̂, û, matching-path interiors, hub-path interiors.
+    n = 4 * k + 2 + (2 * k + 1) * interior
+    graph = WeightedGraph(n)
+
+    v1 = list(range(0, k))
+    v2 = list(range(k, 2 * k))
+    u1 = list(range(2 * k, 3 * k))
+    u2 = list(range(3 * k, 4 * k))
+    v_hub = 4 * k
+    u_hub = 4 * k + 1
+    next_free = 4 * k + 2
+
+    # Cliques of weight W inside each group.
+    for group in (v1, v2, u1, u2):
+        for i in range(k):
+            for j in range(i + 1, k):
+                graph.add_edge(group[i], group[j], weight)
+
+    # Hubs: v̂ to all of V1 ∪ V2, û to all of U1 ∪ U2, with weight W.
+    for node in v1 + v2:
+        graph.add_edge(v_hub, node, weight)
+    for node in u1 + u2:
+        graph.add_edge(u_hub, node, weight)
+
+    def add_path(start: int, end: int) -> List[int]:
+        """Connect ``start`` and ``end`` with a path of ``path_hops`` unit edges."""
+        nonlocal next_free
+        interior_nodes = list(range(next_free, next_free + interior))
+        next_free += interior
+        chain = [start] + interior_nodes + [end]
+        for a, b in zip(chain, chain[1:]):
+            graph.add_edge(a, b, 1)
+        return interior_nodes
+
+    matching_paths: Dict[Tuple[str, int], List[int]] = {}
+    for index in range(k):
+        matching_paths[("top", index)] = add_path(v1[index], u1[index])
+        matching_paths[("bottom", index)] = add_path(v2[index], u2[index])
+    hub_path = add_path(v_hub, u_hub)
+
+    # Encode the disjointness inputs: bit = 0 adds the corresponding edge.
+    for i, bit in enumerate(a_bits):
+        if not bit:
+            graph.add_edge(v1[i // k], v2[i % k], weight)
+    for i, bit in enumerate(b_bits):
+        if not bit:
+            graph.add_edge(u1[i // k], u2[i % k], weight)
+
+    return GammaGadget(
+        graph=graph,
+        k=k,
+        path_hops=path_hops,
+        weight=weight,
+        a_bits=list(a_bits),
+        b_bits=list(b_bits),
+        v1=v1,
+        v2=v2,
+        u1=u1,
+        u2=u2,
+        v_hub=v_hub,
+        u_hub=u_hub,
+        matching_paths=matching_paths,
+        hub_path=hub_path,
+    )
+
+
+def predicted_diameter(gadget: GammaGadget) -> float:
+    """The diameter value (or bound) Lemmas 7.1 / 7.2 predict for this instance.
+
+    In the unweighted case (``W = 1``, Lemma 7.2) the value is exact:
+    ``ℓ + 1`` when disjoint, ``ℓ + 2`` otherwise.  In the weighted case
+    (``W > ℓ``, Lemma 7.1) it is an *upper* bound ``W + 2ℓ`` for disjoint
+    instances and a *lower* bound ``2W + ℓ`` otherwise; use
+    :func:`classify_disjointness_from_diameter` to turn a measured diameter
+    into a disjointness verdict.
+    """
+    if gadget.weight == 1:
+        return gadget.path_hops + 1 if gadget.disjoint() else gadget.path_hops + 2
+    if gadget.disjoint():
+        return gadget.weight + 2 * gadget.path_hops
+    return 2 * gadget.weight + gadget.path_hops
+
+
+def classify_disjointness_from_diameter(gadget: GammaGadget, measured_diameter: float) -> bool:
+    """Decide disjointness from a diameter value (the Section 7 reduction).
+
+    Returns True (= "disjoint") when the measured diameter is at most the
+    disjoint-side bound.  With exact diameters this classification is always
+    correct (Lemmas 7.1 / 7.2); with a ``(2-ε)``-approximation of the weighted
+    diameter it is still correct as long as ``W ∈ ω(ℓ)``, which is exactly the
+    statement of Theorem 1.6.
+    """
+    if gadget.weight == 1:
+        return measured_diameter <= gadget.path_hops + 1
+    return measured_diameter < 2 * gadget.weight + gadget.path_hops
+
+
+def random_disjointness_instance(
+    k: int, rng: RandomSource, disjoint: bool, density: float = 0.3
+) -> Tuple[List[int], List[int]]:
+    """Random inputs ``a, b ∈ {0,1}^{k²}`` that are (non-)disjoint by construction."""
+    size = k * k
+    a = [1 if rng.bernoulli(density) else 0 for _ in range(size)]
+    b = [1 if rng.bernoulli(density) else 0 for _ in range(size)]
+    if disjoint:
+        for i in range(size):
+            if a[i] and b[i]:
+                b[i] = 0
+    else:
+        index = rng.randrange(size)
+        a[index] = 1
+        b[index] = 1
+    return a, b

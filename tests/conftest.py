@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite.
+
+Tests run on deliberately small graphs (tens of nodes) so the whole suite
+stays fast; the scaling behaviour is exercised by the benchmark harness
+instead.  Seeds are fixed so the "w.h.p." algorithms are deterministic per
+test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import WeightedGraph
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.util.rand import RandomSource
+
+
+def small_config(seed: int = 1, **overrides) -> ModelConfig:
+    """A ModelConfig with a slightly larger ξ so small skeletons stay connected."""
+    defaults = dict(rng_seed=seed, skeleton_xi=1.0)
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def small_weighted_graph() -> WeightedGraph:
+    """A connected weighted random graph on 40 nodes."""
+    return generators.connected_workload(40, RandomSource(7), weighted=True, max_weight=9)
+
+
+@pytest.fixture
+def small_unweighted_graph() -> WeightedGraph:
+    """A connected unweighted random graph on 40 nodes."""
+    return generators.connected_workload(40, RandomSource(11), weighted=False)
+
+
+@pytest.fixture
+def ring_graph() -> WeightedGraph:
+    """A locality-heavy graph with a large hop diameter (48 nodes)."""
+    return generators.random_geometric_like_graph(
+        48, neighbourhood=2, rng=RandomSource(3), extra_edge_probability=0.0
+    )
+
+
+@pytest.fixture
+def small_network(small_weighted_graph) -> HybridNetwork:
+    """A HYBRID network over the small weighted graph."""
+    return HybridNetwork(small_weighted_graph, small_config(seed=5))
+
+
+@pytest.fixture
+def unweighted_network(small_unweighted_graph) -> HybridNetwork:
+    """A HYBRID network over the small unweighted graph."""
+    return HybridNetwork(small_unweighted_graph, small_config(seed=9))

@@ -1,0 +1,117 @@
+"""Tests for the prior-work baselines (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import (
+    apsp_broadcast_baseline,
+    local_only_diameter,
+    local_only_shortest_paths,
+    ncc_only_shortest_paths,
+    predicted_broadcast_rounds,
+    route_tokens_by_broadcast,
+)
+from repro.core.token_routing import make_tokens
+from repro.graphs import generators, reference
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.util.rand import RandomSource
+
+
+def make_network(seed, n=40, weighted=True):
+    graph = generators.connected_workload(n, RandomSource(seed), weighted=weighted, max_weight=6)
+    return graph, HybridNetwork(graph, ModelConfig(rng_seed=seed, skeleton_xi=1.0))
+
+
+class TestBroadcastAPSPBaseline:
+    def test_exact(self):
+        graph, network = make_network(51)
+        result = apsp_broadcast_baseline(network)
+        truth = reference.all_pairs_distances(graph)
+        for u in range(0, graph.node_count, 3):
+            for v, d in truth[u].items():
+                assert result.distance(u, v) == pytest.approx(d)
+
+    def test_broadcast_token_count_scales_with_skeleton(self):
+        graph, network = make_network(52)
+        result = apsp_broadcast_baseline(network)
+        # Every node broadcasts a label per nearby skeleton node; with h large
+        # relative to D that is ~ n * |V_S| tokens.
+        assert result.broadcast_tokens >= result.skeleton_size
+        assert result.rounds > 0
+
+    def test_metadata(self):
+        _, network = make_network(53)
+        result = apsp_broadcast_baseline(network)
+        assert result.rounds == network.metrics.total_rounds
+
+
+class TestLocalOnlyBaseline:
+    def test_shortest_paths_exact_and_costs_diameter(self):
+        graph, network = make_network(54)
+        sources = [0, 7]
+        result = local_only_shortest_paths(network, sources)
+        assert result.rounds == graph.hop_diameter()
+        truth = reference.multi_source_distances(graph, sources)
+        for s in sources:
+            for v in range(graph.node_count):
+                assert result.distances[v][s] == pytest.approx(truth[s][v])
+
+    def test_diameter(self):
+        graph, network = make_network(55, weighted=False)
+        result = local_only_diameter(network)
+        assert result.diameter == graph.hop_diameter()
+        assert result.rounds == graph.hop_diameter()
+
+    def test_disconnected_rejected(self):
+        graph = generators.path_graph(6)
+        graph.remove_edge(2, 3)
+        network = HybridNetwork(graph, ModelConfig())
+        with pytest.raises(ValueError):
+            local_only_shortest_paths(network, [0])
+
+
+class TestNCCOnlyBaseline:
+    def test_exact(self):
+        graph, network = make_network(56, n=30)
+        sources = [0, 3]
+        result = ncc_only_shortest_paths(network, sources)
+        truth = reference.multi_source_distances(graph, sources)
+        for s in sources:
+            for v in range(graph.node_count):
+                assert result.distances[v][s] == pytest.approx(truth[s][v])
+
+    def test_rounds_dominated_by_coordinator_bottleneck(self):
+        graph, network = make_network(57, n=30)
+        result = ncc_only_shortest_paths(network, [0])
+        # Node 0 has to receive ~m messages at receive_cap per round.
+        assert result.rounds >= graph.edge_count // network.receive_cap
+
+    def test_global_only_uses_no_local_rounds(self):
+        _, network = make_network(58, n=25)
+        ncc_only_shortest_paths(network, [0])
+        assert network.metrics.local_rounds == 0
+
+
+class TestNaiveRoutingBaseline:
+    def test_delivers_all_tokens(self):
+        graph, network = make_network(59)
+        tokens = make_tokens({s: [((s * 3 + 1) % 40, ("p", s, i)) for i in range(3)] for s in range(0, 40, 4)})
+        result = route_tokens_by_broadcast(network, tokens)
+        delivered = [t for items in result.delivered.values() for t in items]
+        assert sorted(t.label for t in delivered) == sorted(t.label for t in tokens)
+
+    def test_broadcast_moves_more_data_than_routing(self):
+        graph, network = make_network(60)
+        tokens = make_tokens({s: [((s * 7 + 2) % 40, ("p", s, i)) for i in range(4)] for s in range(0, 40, 2)})
+        broadcast_messages_net = HybridNetwork(graph, ModelConfig(rng_seed=61, skeleton_xi=1.0))
+        route_tokens_by_broadcast(broadcast_messages_net, tokens)
+
+        from repro.core.token_routing import route_tokens
+
+        routing_net = HybridNetwork(graph, ModelConfig(rng_seed=61, skeleton_xi=1.0))
+        route_tokens(routing_net, tokens)
+        # The broadcast strategy must push every token towards every node, so
+        # its busiest receiver handles at least as much global traffic.
+        assert broadcast_messages_net.max_total_received() >= routing_net.max_total_received()
+
+    def test_predicted_rounds_formula(self):
+        assert predicted_broadcast_rounds(100, 5) == pytest.approx(15.0)

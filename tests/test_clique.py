@@ -1,0 +1,152 @@
+"""Tests for the CLIQUE model simulator and the plug-in CLIQUE algorithms."""
+
+import pytest
+
+from repro.clique import (
+    BroadcastBellmanFordSSSP,
+    BroadcastKSourceBellmanFord,
+    CliqueAlgorithmSpec,
+    CliqueNetwork,
+    EccentricityDiameter,
+    GatherDiameter,
+    GatherShortestPaths,
+)
+from repro.graphs import generators, reference
+from repro.hybrid.errors import CapacityExceededError
+from repro.util.rand import RandomSource
+
+
+def incident_edges_of(graph):
+    edges = [dict() for _ in range(graph.node_count)]
+    for u, v, w in graph.edges():
+        edges[u][v] = w
+        edges[v][u] = w
+    return edges
+
+
+@pytest.fixture
+def clique_graph():
+    return generators.connected_workload(18, RandomSource(23), weighted=True, max_weight=7)
+
+
+class TestCliqueNetwork:
+    def test_exchange_delivers(self):
+        clique = CliqueNetwork(4)
+        inboxes = clique.exchange({0: [(1, "a"), (2, "b")], 3: [(1, "c")]})
+        assert sorted(p for _, p in inboxes[1]) == ["a", "c"]
+        assert clique.rounds_used == 1
+        assert clique.messages_sent == 3
+
+    def test_send_cap(self):
+        clique = CliqueNetwork(3)
+        with pytest.raises(CapacityExceededError):
+            clique.exchange({0: [(1, i) for i in range(4)]})
+
+    def test_receive_cap(self):
+        clique = CliqueNetwork(3, strict=True)
+        outboxes = {s: [(0, "x")] * 3 for s in range(3)}
+        with pytest.raises(CapacityExceededError):
+            clique.exchange(outboxes)
+
+    def test_non_strict_allows_overload(self):
+        clique = CliqueNetwork(2, strict=False)
+        inboxes = clique.exchange({0: [(1, i) for i in range(5)]})
+        assert len(inboxes[1]) == 5
+
+    def test_invalid_target(self):
+        clique = CliqueNetwork(3)
+        with pytest.raises(ValueError):
+            clique.exchange({0: [(7, "x")]})
+
+    def test_needs_positive_size(self):
+        with pytest.raises(ValueError):
+            CliqueNetwork(0)
+
+
+class TestSpec:
+    def test_exact_flag(self):
+        exact = CliqueAlgorithmSpec(1, 0, 1, 1.0, 0.0)
+        approx = CliqueAlgorithmSpec(1, 0, 1, 2.0, 0.0)
+        assert exact.exact and not approx.exact
+
+    def test_hybrid_exponent(self):
+        assert CliqueAlgorithmSpec(1, 0, 1, 1, 0).hybrid_exponent() == pytest.approx(1 / 3)
+        assert CliqueAlgorithmSpec(1, 1, 1, 1, 0).hybrid_exponent() == pytest.approx(0.6)
+
+    def test_transformed_factors(self):
+        spec = CliqueAlgorithmSpec(1, 0, 2, 1.5, 0.0)
+        assert spec.hybrid_weighted_alpha() == pytest.approx(4.0)
+        assert spec.hybrid_unweighted_alpha() == pytest.approx(2.5)
+
+
+class TestGatherShortestPaths:
+    def test_exact_on_all_sources(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        algorithm = GatherShortestPaths()
+        sources = list(range(clique_graph.node_count))
+        estimates = algorithm.run(clique, incident_edges_of(clique_graph), sources)
+        truth = reference.all_pairs_distances(clique_graph)
+        for v in range(clique_graph.node_count):
+            for s in sources:
+                assert estimates[v][s] == pytest.approx(truth[s][v])
+
+    def test_round_count_is_max_degree(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        GatherShortestPaths().run(clique, incident_edges_of(clique_graph), [0])
+        assert clique.rounds_used == clique_graph.max_degree()
+
+    def test_spec_is_exact(self):
+        assert GatherShortestPaths().spec.exact
+
+
+class TestBellmanFordAlgorithms:
+    def test_sssp_exact(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        estimates = BroadcastBellmanFordSSSP().run(clique, incident_edges_of(clique_graph), [3])
+        truth = reference.single_source_distances(clique_graph, 3)
+        for v in range(clique_graph.node_count):
+            assert estimates[v][3] == pytest.approx(truth[v])
+
+    def test_sssp_requires_single_source(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        with pytest.raises(ValueError):
+            BroadcastBellmanFordSSSP().run(clique, incident_edges_of(clique_graph), [0, 1])
+
+    def test_kssp_exact(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        sources = [0, 4, 9]
+        estimates = BroadcastKSourceBellmanFord().run(
+            clique, incident_edges_of(clique_graph), sources
+        )
+        truth = reference.multi_source_distances(clique_graph, sources)
+        for v in range(clique_graph.node_count):
+            for s in sources:
+                assert estimates[v][s] == pytest.approx(truth[s][v])
+
+    def test_bellman_ford_rounds_bounded_by_size(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        BroadcastBellmanFordSSSP().run(clique, incident_edges_of(clique_graph), [0])
+        assert clique.rounds_used <= clique_graph.node_count + 1
+
+
+class TestDiameterAlgorithms:
+    def test_gather_diameter_exact(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        estimate = GatherDiameter().run(clique, incident_edges_of(clique_graph))
+        assert estimate == pytest.approx(reference.weighted_diameter(clique_graph))
+
+    def test_eccentricity_diameter_within_factor_two(self, clique_graph):
+        clique = CliqueNetwork(clique_graph.node_count)
+        estimate = EccentricityDiameter().run(clique, incident_edges_of(clique_graph))
+        true_diameter = reference.weighted_diameter(clique_graph)
+        assert true_diameter <= estimate <= 2 * true_diameter + 1e-9
+
+    def test_eccentricity_spec(self):
+        spec = EccentricityDiameter().spec
+        assert spec.alpha == 2.0 and spec.beta == 0.0
+
+    def test_disconnected_instance_gives_infinity(self):
+        graph = generators.path_graph(4)
+        graph.remove_edge(1, 2)
+        clique = CliqueNetwork(4)
+        assert GatherDiameter().run(clique, incident_edges_of(graph)) == float("inf")

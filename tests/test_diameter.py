@@ -1,0 +1,81 @@
+"""Tests for diameter approximation in the HYBRID model (Section 5, Theorem 5.1)."""
+
+import pytest
+
+from repro.clique import EccentricityDiameter, GatherDiameter
+from repro.core.diameter import approximate_diameter
+from repro.graphs import generators
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.util.rand import RandomSource
+
+
+def make_network(graph, seed):
+    return HybridNetwork(graph, ModelConfig(rng_seed=seed, skeleton_xi=1.0))
+
+
+class TestDiameterApproximation:
+    @pytest.mark.parametrize("seed", [41, 42])
+    def test_exact_clique_algorithm_on_random_graph(self, seed):
+        graph = generators.connected_workload(44, RandomSource(seed), weighted=False)
+        network = make_network(graph, seed)
+        result = approximate_diameter(network, GatherDiameter())
+        true_diameter = graph.hop_diameter()
+        assert true_diameter <= result.estimate
+        assert result.estimate <= result.guaranteed_alpha() * true_diameter + 2 * result.hop_length
+
+    def test_small_diameter_graphs_answered_exactly(self):
+        graph = generators.connected_workload(40, RandomSource(43), weighted=False, average_degree=6.0)
+        network = make_network(graph, 43)
+        result = approximate_diameter(network, GatherDiameter())
+        # D is tiny, so the local phase sees everything and Equation (3) takes
+        # the exact branch.
+        assert result.used_local_estimate
+        assert result.estimate == graph.hop_diameter()
+
+    def test_large_diameter_ring(self):
+        graph = generators.random_geometric_like_graph(
+            60, neighbourhood=2, rng=RandomSource(44), extra_edge_probability=0.0
+        )
+        network = make_network(graph, 44)
+        result = approximate_diameter(network, GatherDiameter())
+        true_diameter = graph.hop_diameter()
+        assert true_diameter <= result.estimate <= 1.5 * true_diameter + 2 * result.hop_length
+
+    def test_eccentricity_based_approximation(self):
+        graph = generators.random_geometric_like_graph(
+            50, neighbourhood=2, rng=RandomSource(45), extra_edge_probability=0.0
+        )
+        network = make_network(graph, 45)
+        result = approximate_diameter(network, EccentricityDiameter())
+        true_diameter = graph.hop_diameter()
+        assert result.estimate >= true_diameter
+        assert result.estimate <= (result.guaranteed_alpha()) * true_diameter + 2 * result.hop_length
+
+    def test_path_graph_exact_branch_vs_skeleton_branch(self):
+        path = generators.path_graph(30)
+        network = make_network(path, 46)
+        result = approximate_diameter(network, GatherDiameter())
+        assert result.estimate >= path.hop_diameter()
+
+    def test_weighted_graph_rejected(self):
+        graph = generators.connected_workload(20, RandomSource(47), weighted=True, max_weight=5)
+        network = make_network(graph, 47)
+        with pytest.raises(ValueError):
+            approximate_diameter(network, GatherDiameter())
+
+    def test_metadata_recorded(self):
+        graph = generators.connected_workload(30, RandomSource(48), weighted=False)
+        network = make_network(graph, 48)
+        result = approximate_diameter(network, GatherDiameter())
+        assert result.rounds == network.metrics.total_rounds
+        assert result.skeleton_size >= 1
+        assert result.clique_rounds >= 1
+        assert result.local_max_hop >= 1
+
+    def test_guaranteed_alpha_formula(self):
+        graph = generators.connected_workload(30, RandomSource(49), weighted=False)
+        network = make_network(graph, 49)
+        result = approximate_diameter(network, EccentricityDiameter())
+        spec = result.spec
+        expected = spec.alpha + 2.0 / spec.eta + spec.beta / max(1, result.exploration_depth)
+        assert result.guaranteed_alpha() == pytest.approx(expected)

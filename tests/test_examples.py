@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end and reports sane results."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, monkeypatch, argv=None):
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    return runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example("quickstart.py", monkeypatch, argv=["60"])
+        output = capsys.readouterr().out
+        assert "mismatches vs Dijkstra:  0" in output
+        assert "[Theorem 1.1] exact APSP" in output
+
+    def test_isp_topology_routing(self, monkeypatch, capsys):
+        run_example("isp_topology_routing.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "underestimates:            0" in output
+        assert "gateways" in output
+
+    def test_datacenter_diameter(self, monkeypatch, capsys):
+        run_example("datacenter_diameter.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "[Theorem 5.1]" in output
+        assert "ratio" in output
+
+    def test_token_routing_demo(self, monkeypatch, capsys):
+        run_example("token_routing_demo.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "[Theorem 2.2] token routing" in output
+        assert "global messages moved" in output
+
+    def test_lower_bound_gadgets(self, monkeypatch, capsys):
+        run_example("lower_bound_gadgets.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "WRONG" not in output
+        assert "Figure 1" in output and "Figure 2" in output

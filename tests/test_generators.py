@@ -1,0 +1,122 @@
+"""Unit tests for the workload graph generators (repro.graphs.generators)."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.util.rand import RandomSource
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(42)
+
+
+class TestSimpleFamilies:
+    def test_path_graph(self):
+        graph = generators.path_graph(6)
+        assert graph.edge_count == 5
+        assert graph.hop_diameter() == 5
+
+    def test_cycle_graph(self):
+        graph = generators.cycle_graph(8)
+        assert graph.edge_count == 8
+        assert graph.hop_diameter() == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star_graph(self):
+        graph = generators.star_graph(7)
+        assert graph.degree(0) == 6
+        assert graph.hop_diameter() == 2
+
+    def test_complete_graph(self):
+        graph = generators.complete_graph(6)
+        assert graph.edge_count == 15
+        assert graph.hop_diameter() == 1
+
+    def test_grid_graph(self):
+        graph = generators.grid_graph(3, 4)
+        assert graph.node_count == 12
+        assert graph.hop_diameter() == 5
+
+    def test_torus_graph_is_regular(self):
+        graph = generators.torus_graph(4, 4)
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            generators.torus_graph(2, 5)
+
+    def test_barbell_graph(self):
+        graph = generators.barbell_graph(4, 3)
+        assert graph.is_connected()
+        assert graph.hop_diameter() == 3 + 2
+
+    def test_caterpillar_graph(self):
+        graph = generators.caterpillar_graph(5, 2)
+        assert graph.node_count == 15
+        assert graph.is_connected()
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self, rng):
+        graph = generators.random_tree(20, rng)
+        assert graph.edge_count == 19
+        assert graph.is_connected()
+
+    def test_random_connected_graph_connected(self, rng):
+        graph = generators.random_connected_graph(40, 4.0, rng)
+        assert graph.is_connected()
+
+    def test_random_connected_graph_degree(self, rng):
+        graph = generators.random_connected_graph(60, 5.0, rng)
+        average_degree = 2 * graph.edge_count / graph.node_count
+        assert 3.0 <= average_degree <= 6.0
+
+    def test_random_connected_graph_weighted(self, rng):
+        graph = generators.random_connected_graph(30, 3.0, rng, max_weight=10)
+        weights = {w for _, _, w in graph.edges()}
+        assert max(weights) <= 10
+        assert min(weights) >= 1
+
+    def test_random_connected_graph_rejects_low_degree(self, rng):
+        with pytest.raises(ValueError):
+            generators.random_connected_graph(10, 0.5, rng)
+
+    def test_geometric_like_graph_connected_and_local(self, rng):
+        graph = generators.random_geometric_like_graph(50, 2, rng, extra_edge_probability=0.0)
+        assert graph.is_connected()
+        assert graph.hop_diameter() >= 50 // (2 * 2) - 1
+
+    def test_clustered_isp_graph(self, rng):
+        graph = generators.clustered_isp_graph(5, 8, rng)
+        assert graph.node_count == 40
+        assert graph.is_connected()
+
+    def test_datacenter_pod_graph(self):
+        graph = generators.datacenter_pod_graph(3, 2, 4)
+        assert graph.is_connected()
+        # core + agg + racks + servers
+        assert graph.node_count == 3 + 3 + 6 + 24
+
+    def test_connected_workload_unweighted(self, rng):
+        graph = generators.connected_workload(30, rng, weighted=False)
+        assert graph.is_unweighted()
+        assert graph.is_connected()
+
+    def test_connected_workload_weighted(self, rng):
+        graph = generators.connected_workload(30, rng, weighted=True, max_weight=12)
+        assert not graph.is_unweighted() or graph.max_weight() == 1
+        assert graph.is_connected()
+
+    def test_assign_random_weights_bounds(self, rng):
+        graph = generators.path_graph(10)
+        weighted = generators.assign_random_weights(graph, 6, rng)
+        assert all(1 <= w <= 6 for _, _, w in weighted.edges())
+        assert weighted.edge_count == graph.edge_count
+
+    def test_suggested_hop_diameter_upper_bounds_real_one(self, rng):
+        graph = generators.random_connected_graph(40, 4.0, rng)
+        assert generators.suggested_hop_diameter(graph) >= graph.hop_diameter()

@@ -1,0 +1,220 @@
+"""Unit tests for the weighted graph kernel (repro.graphs.graph)."""
+
+import math
+
+import pytest
+
+from repro.graphs.graph import INFINITY, WeightedGraph
+from repro.graphs import generators
+from repro.util.rand import RandomSource
+
+
+def build_triangle() -> WeightedGraph:
+    graph = WeightedGraph(3)
+    graph.add_edge(0, 1, 2)
+    graph.add_edge(1, 2, 3)
+    graph.add_edge(0, 2, 10)
+    return graph
+
+
+class TestBasicStructure:
+    def test_node_count(self):
+        assert WeightedGraph(5).node_count == 5
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(0)
+
+    def test_add_edge_and_weight(self):
+        graph = build_triangle()
+        assert graph.has_edge(0, 1)
+        assert graph.weight(0, 1) == 2
+        assert graph.weight(1, 0) == 2
+
+    def test_edge_count(self):
+        assert build_triangle().edge_count == 3
+
+    def test_self_loop_rejected(self):
+        graph = WeightedGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        graph = WeightedGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 0)
+
+    def test_out_of_range_node_rejected(self):
+        graph = WeightedGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3, 1)
+
+    def test_remove_edge(self):
+        graph = build_triangle()
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.edge_count == 2
+
+    def test_remove_missing_edge_raises(self):
+        graph = WeightedGraph(3)
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_neighbors_and_degree(self):
+        graph = build_triangle()
+        assert sorted(graph.neighbors(0)) == [1, 2]
+        assert graph.degree(0) == 2
+        assert graph.max_degree() == 2
+
+    def test_edges_iteration_is_undirected_once(self):
+        edges = list(build_triangle().edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+    def test_max_weight_and_unweighted_flag(self):
+        graph = build_triangle()
+        assert graph.max_weight() == 10
+        assert not graph.is_unweighted()
+        unweighted = generators.path_graph(4)
+        assert unweighted.is_unweighted()
+
+    def test_total_weight(self):
+        assert build_triangle().total_weight() == 15
+
+    def test_copy_is_independent(self):
+        graph = build_triangle()
+        clone = graph.copy()
+        clone.remove_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+
+class TestTraversal:
+    def test_bfs_hops_on_path(self):
+        path = generators.path_graph(6)
+        hops = path.bfs_hops(0)
+        assert hops[5] == 5
+        assert hops[0] == 0
+
+    def test_bfs_hops_with_limit(self):
+        path = generators.path_graph(6)
+        hops = path.bfs_hops(0, max_hops=2)
+        assert set(hops) == {0, 1, 2}
+
+    def test_ball(self):
+        path = generators.path_graph(7)
+        assert sorted(path.ball(3, 1)) == [2, 3, 4]
+
+    def test_hop_distance(self):
+        path = generators.path_graph(5)
+        assert path.hop_distance(0, 4) == 4
+        assert path.hop_distance(2, 2) == 0
+
+    def test_hop_distance_disconnected(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(2, 3, 1)
+        assert graph.hop_distance(0, 3) == INFINITY
+
+    def test_hop_diameter_of_path(self):
+        assert generators.path_graph(9).hop_diameter() == 8
+
+    def test_hop_diameter_of_complete_graph(self):
+        assert generators.complete_graph(5).hop_diameter() == 1
+
+    def test_hop_diameter_disconnected(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1)
+        assert graph.hop_diameter() == INFINITY
+
+    def test_is_connected(self):
+        assert generators.path_graph(4).is_connected()
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1)
+        assert not graph.is_connected()
+
+    def test_connected_components(self):
+        graph = WeightedGraph(5)
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(2, 3, 1)
+        components = graph.connected_components()
+        assert [0, 1] in components and [2, 3] in components and [4] in components
+
+
+class TestDistances:
+    def test_dijkstra_prefers_light_path(self):
+        graph = build_triangle()
+        distances = graph.dijkstra(0)
+        assert distances[2] == 5  # via node 1, not the weight-10 edge
+
+    def test_dijkstra_with_targets_contains_target(self):
+        graph = build_triangle()
+        distances = graph.dijkstra(0, targets=[2])
+        assert distances[2] == 5
+
+    def test_dijkstra_with_parents_reconstructs_path(self):
+        graph = build_triangle()
+        distances, parents = graph.dijkstra_with_parents(0)
+        assert distances[2] == 5
+        assert parents[2] == 1
+
+    def test_hop_limited_distances_respects_limit(self):
+        graph = build_triangle()
+        limited = graph.hop_limited_distances(0, 1)
+        # With one hop the only way to node 2 is the direct weight-10 edge.
+        assert limited[2] == 10
+        assert limited[1] == 2
+
+    def test_hop_limited_distances_equals_dijkstra_with_enough_hops(self):
+        rng = RandomSource(5)
+        graph = generators.connected_workload(25, rng, weighted=True, max_weight=7)
+        exact = graph.dijkstra(0)
+        limited = graph.hop_limited_distances(0, 25)
+        assert limited == exact
+
+    def test_hop_limited_zero_hops(self):
+        graph = build_triangle()
+        assert graph.hop_limited_distances(0, 0) == {0: 0.0}
+
+    def test_shortest_distances_within_hops_exact_for_short_paths(self):
+        rng = RandomSource(8)
+        graph = generators.connected_workload(30, rng, weighted=True, max_weight=5)
+        exact = graph.dijkstra(0)
+        fast = graph.shortest_distances_within_hops(0, 30)
+        assert fast == exact
+
+    def test_shortest_distances_within_hops_is_upper_bound(self):
+        graph = build_triangle()
+        fast = graph.shortest_distances_within_hops(0, 1)
+        exact = graph.dijkstra(0)
+        for node, value in fast.items():
+            assert value >= exact[node] - 1e-12
+
+    def test_shortest_path_hops(self):
+        path = generators.path_graph(5)
+        assert path.shortest_path_hops(0, 4) == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_hops_disconnected(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1)
+        assert graph.shortest_path_hops(0, 2) is None
+
+
+class TestConversion:
+    def test_subgraph(self):
+        graph = build_triangle()
+        sub, mapping = graph.subgraph([0, 1])
+        assert sub.node_count == 2
+        assert sub.has_edge(mapping[0], mapping[1])
+        assert sub.edge_count == 1
+
+    def test_networkx_roundtrip(self):
+        graph = build_triangle()
+        back = WeightedGraph.from_networkx(graph.to_networkx())
+        assert back.edge_count == graph.edge_count
+        assert back.weight(0, 2) == 10
+
+    def test_from_edges(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 4), (1, 2, 5)])
+        assert graph.weight(0, 1) == 4
+        assert graph.weight(1, 2) == 5

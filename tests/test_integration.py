@@ -1,0 +1,116 @@
+"""Cross-module integration tests: whole pipelines on one shared network.
+
+These tests exercise realistic end-to-end flows (several algorithms run on the
+same graph, results cross-checked against each other and against the oracle),
+which is how a downstream user would actually drive the library.
+"""
+
+import pytest
+
+from repro import (
+    EccentricityDiameter,
+    GatherDiameter,
+    GatherShortestPaths,
+    HybridNetwork,
+    ModelConfig,
+    approximate_diameter,
+    apsp_exact,
+    make_tokens,
+    route_tokens,
+    shortest_paths_via_clique,
+    sssp_exact,
+)
+from repro.baselines import apsp_broadcast_baseline, local_only_shortest_paths
+from repro.graphs import generators, reference
+from repro.util.rand import RandomSource
+
+
+@pytest.fixture(scope="module")
+def isp_graph():
+    return generators.clustered_isp_graph(6, 10, RandomSource(61))
+
+
+@pytest.fixture(scope="module")
+def ring_graph():
+    return generators.random_geometric_like_graph(
+        56, neighbourhood=2, rng=RandomSource(62), extra_edge_probability=0.0
+    )
+
+
+class TestEndToEndPipelines:
+    def test_apsp_and_baseline_agree(self, isp_graph):
+        new = apsp_exact(HybridNetwork(isp_graph, ModelConfig(rng_seed=1, skeleton_xi=1.0)))
+        baseline = apsp_broadcast_baseline(
+            HybridNetwork(isp_graph, ModelConfig(rng_seed=2, skeleton_xi=1.0))
+        )
+        for u in range(0, isp_graph.node_count, 7):
+            for v in range(0, isp_graph.node_count, 5):
+                assert new.distance(u, v) == pytest.approx(baseline.distance(u, v))
+
+    def test_sssp_row_matches_apsp_row(self, isp_graph):
+        apsp = apsp_exact(HybridNetwork(isp_graph, ModelConfig(rng_seed=3, skeleton_xi=1.0)))
+        sssp = sssp_exact(HybridNetwork(isp_graph, ModelConfig(rng_seed=4, skeleton_xi=1.0)), 0)
+        for v in range(isp_graph.node_count):
+            assert sssp.distance(v) == pytest.approx(apsp.distance(0, v))
+
+    def test_kssp_upper_bounds_apsp(self, isp_graph):
+        sources = [0, 10, 20, 30]
+        apsp = apsp_exact(HybridNetwork(isp_graph, ModelConfig(rng_seed=5, skeleton_xi=1.0)))
+        kssp = shortest_paths_via_clique(
+            HybridNetwork(isp_graph, ModelConfig(rng_seed=6, skeleton_xi=1.0)),
+            sources,
+            GatherShortestPaths(),
+        )
+        for s in sources:
+            for v in range(isp_graph.node_count):
+                assert kssp.estimate(v, s) >= apsp.distance(v, s) - 1e-9
+
+    def test_diameter_estimates_upper_bound_true_diameter(self, ring_graph):
+        true_diameter = ring_graph.hop_diameter()
+        for plugin in (GatherDiameter(), EccentricityDiameter()):
+            result = approximate_diameter(
+                HybridNetwork(ring_graph, ModelConfig(rng_seed=7, skeleton_xi=1.0)), plugin
+            )
+            assert result.estimate >= true_diameter
+
+    def test_local_only_and_hybrid_agree_on_distances(self, ring_graph):
+        sources = [0, 5]
+        hybrid = shortest_paths_via_clique(
+            HybridNetwork(ring_graph, ModelConfig(rng_seed=8, skeleton_xi=1.0)),
+            sources,
+            GatherShortestPaths(),
+        )
+        local = local_only_shortest_paths(
+            HybridNetwork(ring_graph, ModelConfig(rng_seed=9)), sources
+        )
+        truth = reference.multi_source_distances(ring_graph, sources)
+        for s in sources:
+            for v in range(ring_graph.node_count):
+                assert local.distances[v][s] == pytest.approx(truth[s][v])
+                assert hybrid.estimate(v, s) >= truth[s][v] - 1e-9
+
+    def test_multiple_algorithms_on_one_network_accumulate_rounds(self, isp_graph):
+        network = HybridNetwork(isp_graph, ModelConfig(rng_seed=10, skeleton_xi=1.0))
+        tokens = make_tokens({0: [(5, "a"), (9, "b")], 3: [(7, "c")]})
+        routing = route_tokens(network, tokens)
+        rounds_after_routing = network.metrics.total_rounds
+        sssp = sssp_exact(network, source=2)
+        assert rounds_after_routing == routing.rounds
+        assert network.metrics.total_rounds == routing.rounds + sssp.rounds
+
+    def test_metrics_phase_breakdown_covers_total(self, isp_graph):
+        network = HybridNetwork(isp_graph, ModelConfig(rng_seed=11, skeleton_xi=1.0))
+        apsp_exact(network)
+        phase_total = sum(b.total_rounds for b in network.metrics.phases.values())
+        assert phase_total == network.metrics.total_rounds
+
+    def test_weighted_and_unweighted_variants(self):
+        rng = RandomSource(63)
+        base = generators.connected_workload(36, rng, weighted=False)
+        weighted = generators.assign_random_weights(base, 7, rng)
+        for graph in (base, weighted):
+            result = apsp_exact(HybridNetwork(graph, ModelConfig(rng_seed=12, skeleton_xi=1.0)))
+            truth = reference.all_pairs_distances(graph)
+            for u in range(0, 36, 6):
+                for v, d in truth[u].items():
+                    assert result.distance(u, v) == pytest.approx(d)

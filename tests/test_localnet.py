@@ -1,0 +1,205 @@
+"""Unit tests for the LOCAL/NCC primitives (flooding, ruling sets, clustering,
+aggregation, token dissemination)."""
+
+import pytest
+
+from repro.graphs import generators
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.localnet import (
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    broadcast_value,
+    cluster_around_rulers,
+    compute_ruling_set,
+    converge_cast_max,
+    disseminate_tokens,
+    explore_hop_distances,
+    explore_limited_distances,
+    flood_token_sets,
+    flood_values,
+    multi_source_hop_distances,
+)
+from repro.util.rand import RandomSource
+
+
+@pytest.fixture
+def network():
+    graph = generators.connected_workload(36, RandomSource(21), weighted=True, max_weight=5)
+    return HybridNetwork(graph, ModelConfig(rng_seed=2))
+
+
+@pytest.fixture
+def ring_network():
+    graph = generators.cycle_graph(30)
+    return HybridNetwork(graph, ModelConfig(rng_seed=2))
+
+
+class TestFlooding:
+    def test_explore_hop_distances_matches_bfs(self, network):
+        result = explore_hop_distances(network, 2)
+        for node in range(0, network.n, 7):
+            assert result[node] == network.graph.bfs_hops(node, 2)
+
+    def test_explore_hop_distances_charges_rounds(self, network):
+        before = network.metrics.local_rounds
+        explore_hop_distances(network, 3)
+        assert network.metrics.local_rounds - before == min(3, network.hop_diameter())
+
+    def test_explore_limited_distances_exact_mode(self, network):
+        fast = explore_limited_distances(network, 3)
+        exact = explore_limited_distances(network, 3, exact=True)
+        for node in range(0, network.n, 9):
+            for other, value in fast[node].items():
+                assert value >= exact[node].get(other, float("inf")) - 1e9  # sanity: finite
+                assert value >= network.graph.dijkstra(node)[other] - 1e-9
+
+    def test_flood_values_reaches_ball(self, ring_network):
+        result = flood_values(ring_network, 2, {0: "token"})
+        assert "token" in result[1].values()
+        assert "token" in result[2].values()
+        assert 0 not in result[5]
+
+    def test_flood_token_sets_concatenates(self, ring_network):
+        result = flood_token_sets(ring_network, 1, {0: ["a", "b"], 1: ["c"]})
+        assert sorted(result[1]) == ["a", "b", "c"]
+
+    def test_multi_source_hop_distances_ties_by_id(self, ring_network):
+        assignment = multi_source_hop_distances(ring_network, [0, 10])
+        hops, source = assignment[5]
+        assert hops == 5
+        assert source == 0  # equidistant, smaller ID wins
+
+    def test_converge_cast_max(self, ring_network):
+        values = {node: float(node) for node in range(ring_network.n)}
+        result = converge_cast_max(ring_network, values, 1)
+        assert result[0] == max(1.0, float(ring_network.n - 1))
+
+
+class TestRulingSetsAndClusters:
+    def test_ruling_set_separation(self, network):
+        result = compute_ruling_set(network, mu=2)
+        rulers = result.rulers
+        for i, r1 in enumerate(rulers):
+            hops = network.graph.bfs_hops(r1)
+            for r2 in rulers[i + 1 :]:
+                assert hops.get(r2, float("inf")) >= result.min_separation
+
+    def test_ruling_set_covering(self, network):
+        result = compute_ruling_set(network, mu=2)
+        covered = set()
+        for ruler in result.rulers:
+            covered.update(network.graph.ball(ruler, result.min_separation - 1))
+        assert covered == set(range(network.n))
+
+    def test_ruling_set_nonempty_and_charged(self, network):
+        before = network.metrics.total_rounds
+        result = compute_ruling_set(network, mu=3)
+        assert result.rulers
+        assert network.metrics.total_rounds > before
+
+    def test_ruling_set_mu_one_is_mis(self, ring_network):
+        result = compute_ruling_set(ring_network, mu=1)
+        rulers = set(result.rulers)
+        # Independence in the power-2 graph: no two rulers within 2 hops.
+        for r in rulers:
+            assert not (set(ring_network.graph.ball(r, 2)) - {r}) & rulers
+
+    def test_ruling_set_invalid_mu(self, network):
+        with pytest.raises(ValueError):
+            compute_ruling_set(network, mu=0)
+
+    def test_clustering_partitions_all_nodes(self, network):
+        ruling = compute_ruling_set(network, mu=2)
+        clustering = cluster_around_rulers(network, ruling.rulers, mu=2)
+        assert sorted(node for members in clustering.members.values() for node in members) == list(
+            range(network.n)
+        )
+
+    def test_clustering_minimum_size(self, ring_network):
+        mu = 3
+        ruling = compute_ruling_set(ring_network, mu=mu)
+        clustering = cluster_around_rulers(ring_network, ruling.rulers, mu=mu)
+        # Rulers are >= 2µ+1 apart on a cycle, so each cluster has >= µ nodes.
+        assert min(clustering.cluster_sizes()) >= mu
+
+    def test_clustering_members_close_to_ruler(self, network):
+        ruling = compute_ruling_set(network, mu=2)
+        clustering = cluster_around_rulers(network, ruling.rulers, mu=2)
+        for ruler, members in clustering.members.items():
+            hops = network.graph.bfs_hops(ruler)
+            assert all(hops[m] <= clustering.radius for m in members)
+
+    def test_clustering_requires_rulers(self, network):
+        with pytest.raises(ValueError):
+            cluster_around_rulers(network, [], mu=1)
+
+
+class TestAggregation:
+    def test_aggregate_max(self, network):
+        values = {node: float(node % 7) for node in range(network.n)}
+        assert aggregate_max(network, values) == 6.0
+
+    def test_aggregate_min(self, network):
+        values = {3: 5.0, 9: 2.0, 20: 8.0}
+        assert aggregate_min(network, values) == 2.0
+
+    def test_aggregate_empty(self, network):
+        assert aggregate_max(network, {}) is None
+
+    def test_aggregate_sum(self, network):
+        values = {node: 1.0 for node in range(network.n)}
+        assert aggregate_sum(network, values) == pytest.approx(network.n)
+
+    def test_aggregate_sum_partial_holders(self, network):
+        assert aggregate_sum(network, {0: 2.5, 7: 1.5}) == pytest.approx(4.0)
+
+    def test_aggregation_is_logarithmic_rounds(self, network):
+        before = network.metrics.global_rounds
+        aggregate_max(network, {0: 1.0, 5: 2.0})
+        used = network.metrics.global_rounds - before
+        assert used <= 2 * network.config.log_rounds(network.n) + 2
+
+    def test_broadcast_value(self, network):
+        broadcast_value(network, "payload", source=4, phase="test-broadcast")
+        assert network.state(10)["broadcast:test-broadcast"] == "payload"
+
+    def test_aggregation_respects_send_cap(self, network):
+        aggregate_sum(network, {node: 1.0 for node in range(network.n)})
+        assert network.metrics.max_sent_per_round <= network.send_cap
+
+
+class TestTokenDissemination:
+    def test_all_tokens_returned(self, network):
+        tokens = {node: [("t", node, i) for i in range(3)] for node in range(0, network.n, 4)}
+        result = disseminate_tokens(network, tokens)
+        expected = {token for items in tokens.values() for token in items}
+        assert set(result.tokens) == expected
+        assert result.token_count == len(expected)
+
+    def test_empty_dissemination(self, network):
+        result = disseminate_tokens(network, {})
+        assert result.tokens == []
+        assert result.rounds >= 0
+
+    def test_duplicate_tokens_counted_once(self, network):
+        result = disseminate_tokens(network, {0: ["dup"], 1: ["dup"], 2: ["other"]})
+        assert result.token_count == 2
+
+    def test_store_key_populates_states(self, network):
+        disseminate_tokens(network, {0: ["x"]}, store_key="all-tokens")
+        assert network.state(network.n - 1)["all-tokens"] == ["x"]
+
+    def test_rounds_grow_sublinearly_in_token_count(self, ring_network):
+        # Õ(√k): quadrupling k should far less than quadruple the rounds.
+        few = HybridNetwork(ring_network.graph, ModelConfig(rng_seed=3))
+        many = HybridNetwork(ring_network.graph, ModelConfig(rng_seed=3))
+        small = disseminate_tokens(few, {n: [("s", n, i) for i in range(2)] for n in range(30)})
+        large = disseminate_tokens(many, {n: [("s", n, i) for i in range(8)] for n in range(30)})
+        assert large.token_count == 4 * small.token_count
+        assert large.rounds < 4 * small.rounds
+
+    def test_send_cap_respected(self, network):
+        tokens = {0: [("bulk", i) for i in range(40)]}
+        disseminate_tokens(network, tokens)
+        assert network.metrics.max_sent_per_round <= network.send_cap

@@ -1,0 +1,85 @@
+"""Unit tests for the sequential reference algorithms (repro.graphs.reference)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators, reference
+from repro.graphs.graph import INFINITY, WeightedGraph
+from repro.util.rand import RandomSource
+
+
+@pytest.fixture
+def graph():
+    return generators.connected_workload(30, RandomSource(17), weighted=True, max_weight=9)
+
+
+class TestDistances:
+    def test_single_source_matches_networkx(self, graph):
+        ours = reference.single_source_distances(graph, 0)
+        theirs = nx.single_source_dijkstra_path_length(graph.to_networkx(), 0)
+        assert ours == pytest.approx(theirs)
+
+    def test_all_pairs_symmetry(self, graph):
+        all_pairs = reference.all_pairs_distances(graph)
+        for u in range(0, 30, 5):
+            for v in range(0, 30, 7):
+                assert all_pairs[u][v] == pytest.approx(all_pairs[v][u])
+
+    def test_multi_source_subset_of_all_pairs(self, graph):
+        sources = [0, 3, 9]
+        multi = reference.multi_source_distances(graph, sources)
+        full = reference.all_pairs_distances(graph)
+        for s in sources:
+            assert multi[s] == full[s]
+
+    def test_weighted_diameter_matches_networkx(self, graph):
+        ours = reference.weighted_diameter(graph)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(graph.to_networkx()))
+        theirs = max(max(row.values()) for row in lengths.values())
+        assert ours == pytest.approx(theirs)
+
+    def test_hop_diameter_matches_networkx(self, graph):
+        assert reference.hop_diameter(graph) == nx.diameter(graph.to_networkx())
+
+    def test_eccentricity_hops(self):
+        path = generators.path_graph(7)
+        assert reference.eccentricity(path, 0) == 6
+        assert reference.eccentricity(path, 3) == 3
+
+    def test_eccentricity_disconnected(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1)
+        assert reference.eccentricity(graph, 0) == INFINITY
+
+    def test_shortest_path_diameter_path_graph(self):
+        path = generators.path_graph(6)
+        assert reference.shortest_path_diameter(path) == 5
+
+    def test_shortest_path_diameter_heavy_shortcut(self):
+        # Shortcut edge is heavy, so shortest paths use many hops.
+        graph = generators.path_graph(5)
+        graph.add_edge(0, 4, 100)
+        assert reference.shortest_path_diameter(graph) == 4
+
+
+class TestComparisonHelpers:
+    def test_distances_as_matrix(self, graph):
+        all_pairs = reference.all_pairs_distances(graph)
+        matrix = reference.distances_as_matrix(graph, all_pairs)
+        assert matrix[0][0] == 0.0
+        assert matrix[0][5] == pytest.approx(all_pairs[0][5])
+
+    def test_max_absolute_error(self):
+        assert reference.max_absolute_error({1: 5.0, 2: 3.0}, {1: 5.5, 2: 3.0}) == pytest.approx(0.5)
+
+    def test_max_absolute_error_infinite_mismatch(self):
+        assert reference.max_absolute_error({1: 5.0}, {}) == INFINITY
+
+    def test_max_stretch(self):
+        assert reference.max_stretch({1: 2.0, 2: 4.0}, {1: 3.0, 2: 4.0}) == pytest.approx(1.5)
+
+    def test_has_one_sided_error_accepts_overestimates(self):
+        assert reference.has_one_sided_error({1: 2.0}, {1: 2.5})
+
+    def test_has_one_sided_error_rejects_underestimates(self):
+        assert not reference.has_one_sided_error({1: 2.0}, {1: 1.0})

@@ -1,0 +1,172 @@
+"""Tests for skeleton construction (Algorithm 6, Lemmas C.1/C.2) and
+representatives (Algorithm 7)."""
+
+import pytest
+
+from repro.core.representatives import compute_representatives
+from repro.core.skeleton import (
+    compute_skeleton,
+    framework_exponent,
+    framework_sampling_probability,
+)
+from repro.graphs import generators
+from repro.graphs.skeleton_analysis import (
+    audit_skeleton,
+    build_skeleton_offline,
+    sample_gap_on_shortest_path,
+    skeleton_hop_length,
+)
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.util.rand import RandomSource
+
+
+@pytest.fixture
+def network():
+    graph = generators.connected_workload(50, RandomSource(31), weighted=True, max_weight=6)
+    return HybridNetwork(graph, ModelConfig(rng_seed=7, skeleton_xi=1.0))
+
+
+class TestFrameworkParameters:
+    def test_exponent_formula(self):
+        assert framework_exponent(0.0) == pytest.approx(2.0 / 3.0)
+        assert framework_exponent(1.0) == pytest.approx(0.4)
+        assert framework_exponent(1.0 / 6.0) == pytest.approx(0.6)
+
+    def test_exponent_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            framework_exponent(-0.1)
+
+    def test_sampling_probability_in_range(self):
+        p = framework_sampling_probability(1000, 1.0)
+        assert 0 < p <= 1
+        assert p == pytest.approx(1000 ** (0.4 - 1.0))
+
+    def test_sampling_probability_tiny_network(self):
+        assert framework_sampling_probability(1, 0.5) == 1.0
+
+    def test_hop_length_clamped(self):
+        assert 1 <= skeleton_hop_length(10, 1000, xi=1.0) <= 10
+        assert skeleton_hop_length(1, 5) == 1
+
+
+class TestComputeSkeleton:
+    def test_forced_members_included(self, network):
+        skeleton = compute_skeleton(network, 0.1, forced_members=[13])
+        assert skeleton.contains(13)
+
+    def test_never_empty(self, network):
+        skeleton = compute_skeleton(network, 1e-9)
+        assert skeleton.size >= 1
+
+    def test_invalid_probability(self, network):
+        with pytest.raises(ValueError):
+            compute_skeleton(network, 0.0)
+
+    def test_edges_connect_nearby_sampled_nodes(self, network):
+        skeleton = compute_skeleton(network, 0.25)
+        for u, v, w in skeleton.graph.edges():
+            original_u = skeleton.original_id(u)
+            original_v = skeleton.original_id(v)
+            hops = network.graph.hop_distance(original_u, original_v)
+            assert hops <= skeleton.hop_length
+            assert w >= network.graph.dijkstra(original_u)[original_v] - 1e-9
+
+    def test_local_distances_only_contain_skeleton_nodes(self, network):
+        skeleton = compute_skeleton(network, 0.2)
+        for node in range(network.n):
+            assert set(skeleton.local_distances[node]) <= set(skeleton.nodes)
+
+    def test_ensure_connected(self, network):
+        skeleton = compute_skeleton(network, 0.3, ensure_connected=True)
+        if skeleton.size > 1:
+            assert skeleton.graph.is_connected()
+
+    def test_local_knowledge_optional(self, network):
+        without = compute_skeleton(network, 0.2)
+        assert without.local_knowledge is None
+        with_knowledge = compute_skeleton(network, 0.2, keep_local_knowledge=True)
+        assert with_knowledge.local_knowledge is not None
+        assert len(with_knowledge.local_knowledge) == network.n
+
+    def test_rounds_charged(self, network):
+        before = network.metrics.total_rounds
+        skeleton = compute_skeleton(network, 0.2)
+        assert skeleton.rounds_charged == network.metrics.total_rounds - before
+        assert skeleton.rounds_charged >= 1
+
+    def test_closest_skeleton_node(self, network):
+        skeleton = compute_skeleton(network, 0.3)
+        for node in range(0, network.n, 11):
+            closest = skeleton.closest_skeleton_node(node)
+            if closest is not None:
+                assert closest in skeleton.index_of
+
+    def test_incident_edges_symmetric(self, network):
+        skeleton = compute_skeleton(network, 0.3)
+        incident = skeleton.incident_edges()
+        for u in range(skeleton.graph.node_count):
+            for v, w in incident[u].items():
+                assert incident[v][u] == w
+
+
+class TestSkeletonAnalysis:
+    def test_offline_skeleton_distance_preservation(self):
+        graph = generators.connected_workload(40, RandomSource(3), weighted=True, max_weight=4)
+        rng = RandomSource(5)
+        sampled = [node for node in graph.nodes() if rng.bernoulli(0.3)] or [0]
+        report = audit_skeleton(graph, sampled, hop_length=40, rng=RandomSource(7))
+        assert report.connected
+        assert report.distance_preserving
+        assert report.max_distance_error == pytest.approx(0.0)
+
+    def test_gap_on_shortest_path(self):
+        path = generators.path_graph(12)
+        gap = sample_gap_on_shortest_path(path, sampled=[0, 4, 8, 11], source=0, target=11)
+        assert gap == 3
+
+    def test_gap_none_when_disconnected(self):
+        graph = generators.path_graph(4)
+        graph.remove_edge(1, 2)
+        assert sample_gap_on_shortest_path(graph, [0], 0, 3) is None
+
+    def test_offline_build_matches_distances(self):
+        graph = generators.connected_workload(30, RandomSource(9), weighted=True, max_weight=5)
+        sampled = list(range(0, 30, 4))
+        skeleton, mapping = build_skeleton_offline(graph, sampled, hop_length=30)
+        for u in sampled[:3]:
+            exact = graph.dijkstra(u)
+            skel = skeleton.dijkstra(mapping[u])
+            for v in sampled:
+                if v != u:
+                    assert skel[mapping[v]] == pytest.approx(exact[v])
+
+
+class TestRepresentatives:
+    def test_skeleton_sources_are_their_own_representatives(self, network):
+        skeleton = compute_skeleton(network, 0.3, keep_local_knowledge=True)
+        source = skeleton.nodes[0]
+        reps = compute_representatives(network, skeleton, [source])
+        assert reps.representative[source] == source
+        assert reps.distance_to_representative[source] == 0.0
+
+    def test_every_source_gets_representative(self, network):
+        skeleton = compute_skeleton(network, 0.2)
+        sources = [1, 7, 19, 33]
+        reps = compute_representatives(network, skeleton, sources)
+        assert set(reps.representative) == set(sources)
+        assert all(rep in skeleton.index_of for rep in reps.representative.values())
+
+    def test_representative_distance_is_valid_upper_bound(self, network):
+        skeleton = compute_skeleton(network, 0.2)
+        sources = [2, 11, 29]
+        reps = compute_representatives(network, skeleton, sources)
+        for source in sources:
+            rep = reps.representative[source]
+            exact = network.graph.dijkstra(source)[rep]
+            assert reps.distance_to_representative[source] >= exact - 1e-9
+
+    def test_rounds_accounted(self, network):
+        skeleton = compute_skeleton(network, 0.2)
+        before = network.metrics.total_rounds
+        reps = compute_representatives(network, skeleton, [4, 5])
+        assert reps.rounds == network.metrics.total_rounds - before

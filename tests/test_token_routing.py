@@ -1,0 +1,139 @@
+"""Tests for the token routing protocol (Section 2, Theorem 2.2)."""
+
+import pytest
+
+from repro.core.token_routing import (
+    RoutingToken,
+    TokenRouter,
+    make_tokens,
+    predicted_routing_rounds,
+    route_tokens,
+)
+from repro.graphs import generators
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.hybrid.errors import ProtocolError
+from repro.util.rand import RandomSource
+
+
+@pytest.fixture
+def network():
+    graph = generators.random_geometric_like_graph(
+        50, neighbourhood=2, rng=RandomSource(13), extra_edge_probability=0.02
+    )
+    return HybridNetwork(graph, ModelConfig(rng_seed=6))
+
+
+def build_instance(network, sender_count, tokens_per_sender, seed=1):
+    rng = RandomSource(seed)
+    senders = rng.sample(list(range(network.n)), sender_count)
+    assignments = {}
+    for sender in senders:
+        assignments[sender] = [
+            (rng.randrange(network.n), ("payload", sender, i)) for i in range(tokens_per_sender)
+        ]
+    return make_tokens(assignments)
+
+
+class TestMakeTokens:
+    def test_labels_enumerate_pairs(self):
+        tokens = make_tokens({1: [(2, "a"), (2, "b"), (3, "c")]})
+        labels = {t.label for t in tokens}
+        assert labels == {(1, 2, 0), (1, 2, 1), (1, 3, 0)}
+
+    def test_payload_preserved(self):
+        tokens = make_tokens({1: [(2, "data")]})
+        assert tokens[0].payload == "data"
+
+
+class TestRouteTokens:
+    def test_all_tokens_delivered(self, network):
+        tokens = build_instance(network, sender_count=8, tokens_per_sender=5)
+        result = route_tokens(network, tokens)
+        delivered = [t for items in result.delivered.values() for t in items]
+        assert sorted(t.label for t in delivered) == sorted(t.label for t in tokens)
+
+    def test_tokens_reach_correct_receiver(self, network):
+        tokens = build_instance(network, sender_count=6, tokens_per_sender=4)
+        result = route_tokens(network, tokens)
+        for receiver, items in result.delivered.items():
+            assert all(t.receiver == receiver for t in items)
+
+    def test_empty_instance(self, network):
+        result = route_tokens(network, [])
+        assert result.delivered == {}
+        assert result.rounds == 0
+
+    def test_self_addressed_tokens_free(self, network):
+        tokens = [RoutingToken(3, 3, 0, "self")]
+        result = route_tokens(network, tokens)
+        assert result.delivered[3][0].payload == "self"
+
+    def test_send_cap_respected(self, network):
+        tokens = build_instance(network, sender_count=10, tokens_per_sender=8)
+        route_tokens(network, tokens)
+        assert network.metrics.max_sent_per_round <= network.send_cap
+
+    def test_receive_load_bounded(self, network):
+        tokens = build_instance(network, sender_count=10, tokens_per_sender=8)
+        route_tokens(network, tokens)
+        # Lemma D.2 / receiver-limited scheduling: per-round receive load stays
+        # within the configured cap.
+        assert network.metrics.max_received_per_round <= network.receive_cap
+
+    def test_rounds_positive_and_recorded(self, network):
+        tokens = build_instance(network, sender_count=5, tokens_per_sender=3)
+        before = network.metrics.total_rounds
+        result = route_tokens(network, tokens)
+        assert result.rounds == network.metrics.total_rounds - before
+        assert result.rounds > 0
+
+    def test_mu_parameters_reported(self, network):
+        tokens = build_instance(network, sender_count=5, tokens_per_sender=9)
+        result = route_tokens(network, tokens)
+        assert result.mu_senders >= 1
+        assert result.mu_receivers >= 1
+
+
+class TestTokenRouter:
+    def test_router_reuse_across_batches(self, network):
+        senders = list(range(0, network.n, 5))
+        receivers = list(range(0, network.n, 3))
+        router = TokenRouter(network, senders, receivers, 4, 8)
+        rng = RandomSource(3)
+        for batch in range(3):
+            tokens = make_tokens(
+                {s: [(rng.choice(receivers), (batch, s, i)) for i in range(2)] for s in senders}
+            )
+            result = router.route(tokens)
+            delivered = sorted(t.label for items in result.delivered.values() for t in items)
+            assert delivered == sorted(t.label for t in tokens)
+
+    def test_router_rejects_unknown_sender(self, network):
+        router = TokenRouter(network, [0, 1], [2, 3], 1, 1)
+        with pytest.raises(ProtocolError):
+            router.route([RoutingToken(9, 2, 0, "x")])
+
+    def test_router_rejects_unknown_receiver(self, network):
+        router = TokenRouter(network, [0, 1], [2, 3], 1, 1)
+        with pytest.raises(ProtocolError):
+            router.route([RoutingToken(0, 9, 0, "x")])
+
+    def test_router_requires_nonempty_populations(self, network):
+        with pytest.raises(ValueError):
+            TokenRouter(network, [], [1], 1, 1)
+
+    def test_setup_rounds_recorded(self, network):
+        router = TokenRouter(network, [0, 5, 10], [1, 6, 11], 2, 2)
+        assert router.setup_rounds > 0
+
+
+class TestPredictedRounds:
+    def test_formula_matches_theorem(self):
+        # K/n + sqrt(kS) + sqrt(kR)
+        value = predicted_routing_rounds(100, 10, 20, 4, 9)
+        assert value == pytest.approx((10 * 4 + 20 * 9) / 100 + 2 + 3)
+
+    def test_monotone_in_workload(self):
+        low = predicted_routing_rounds(100, 10, 10, 4, 4)
+        high = predicted_routing_rounds(100, 10, 10, 16, 16)
+        assert high > low
