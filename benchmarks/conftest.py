@@ -5,15 +5,25 @@ native metric) but the quantity the paper is about -- simulated HYBRID rounds --
 is attached to ``benchmark.extra_info`` together with the relevant theoretical
 bound, so ``pytest benchmarks/ --benchmark-only`` regenerates the comparison
 tables of EXPERIMENTS.md.
+
+At session end the harness additionally writes ``benchmarks/BENCH_core.json``:
+one machine-readable record per benchmark (name, wall time, and whatever the
+benchmark attached -- ``n``, ``backend``, measured rounds, ...), so future PRs
+can diff the perf trajectory without parsing pytest output.  The dict-vs-CSR
+backend benchmarks in bench_sssp.py / bench_apsp.py are the speedup record for
+the array-backed graph core.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from typing import Callable, Dict
 
 import pytest
 
 from repro.graphs import generators
+from repro.graphs.graph import WeightedGraph
 from repro.hybrid import HybridNetwork, ModelConfig
 from repro.util.rand import RandomSource
 
@@ -21,6 +31,9 @@ from repro.util.rand import RandomSource
 # a few minutes; EXPERIMENTS.md records a larger offline sweep produced with
 # the same code.
 BENCH_CONFIG = dict(skeleton_xi=0.75)
+
+#: Output of the machine-readable benchmark record.
+BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_core.json"
 
 
 def bench_network(graph, seed: int = 1) -> HybridNetwork:
@@ -33,11 +46,20 @@ def random_workload(n: int, seed: int = 1, weighted: bool = True):
     return generators.connected_workload(n, RandomSource(seed), weighted=weighted, max_weight=8)
 
 
-def locality_workload(n: int, seed: int = 1):
+def locality_workload(n: int, seed: int = 1, max_weight: int = 1):
     """A high-diameter, locality-heavy workload (ring of local neighbourhoods)."""
     return generators.random_geometric_like_graph(
-        n, neighbourhood=2, rng=RandomSource(seed), extra_edge_probability=0.01
+        n,
+        neighbourhood=2,
+        rng=RandomSource(seed),
+        extra_edge_probability=0.01,
+        max_weight=max_weight,
     )
+
+
+def with_backend(graph: WeightedGraph, backend: str) -> WeightedGraph:
+    """Rebuild a generated graph pinned to the given traversal backend."""
+    return WeightedGraph.from_edges(graph.node_count, graph.edges(), backend=backend)
 
 
 def run_once(benchmark, function: Callable[[], object]):
@@ -49,3 +71,31 @@ def attach(benchmark, info: Dict[str, object]) -> None:
     """Attach experiment metadata to the benchmark report."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit benchmarks/BENCH_core.json with one record per benchmark run.
+
+    Records are merged by benchmark name into whatever the file already
+    holds, so running a subset (``pytest benchmarks/bench_sssp.py``) refreshes
+    those entries without truncating the rest of the committed record.
+    """
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    existing = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            existing = {record["name"]: record for record in json.loads(BENCH_JSON_PATH.read_text())}
+        except (ValueError, KeyError, TypeError):
+            existing = {}
+    for bench in benchmark_session.benchmarks:
+        record = {
+            "name": bench.name,
+            "group": bench.group,
+            "wall_time_seconds": float(bench.stats.mean) if bench.stats.rounds else None,
+        }
+        record.update(bench.extra_info)
+        existing[bench.name] = record
+    records = sorted(existing.values(), key=lambda record: record["name"])
+    BENCH_JSON_PATH.write_text(json.dumps(records, indent=2, default=str) + "\n")

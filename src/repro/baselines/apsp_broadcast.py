@@ -93,7 +93,7 @@ def apsp_broadcast_baseline(
     # With global knowledge of the labels and of E_S every node computes all
     # distances locally; the computation is the same combination as in the new
     # algorithm, so we reuse its numpy helpers.
-    near_matrix, _ = _near_skeleton_matrix(network, skeleton)
+    near_matrix = _near_skeleton_matrix(network, skeleton)
     dist_to_skeleton, _ = _distances_to_skeleton(near_matrix, skeleton_distances)
     skeleton_to_all = dist_to_skeleton.T.copy()
     matrix = _combine_distances(network, skeleton, near_matrix, skeleton_to_all)

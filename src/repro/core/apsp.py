@@ -99,7 +99,7 @@ def apsp_exact(network: HybridNetwork, phase: str = "apsp") -> APSPResult:
     skeleton_distances = _skeleton_distance_matrix(skeleton)
 
     # Step 3: every node computes d(v, s) and the connector for every skeleton s.
-    near_matrix, near_indices = _near_skeleton_matrix(network, skeleton)
+    near_matrix = _near_skeleton_matrix(network, skeleton)
     dist_to_skeleton, connector = _distances_to_skeleton(near_matrix, skeleton_distances)
 
     # Step 4: token routing of the connector labels (the Theorem 1.1 step).
@@ -158,32 +158,20 @@ def apsp_exact(network: HybridNetwork, phase: str = "apsp") -> APSPResult:
 
 def _skeleton_distance_matrix(skeleton: Skeleton) -> np.ndarray:
     """All-pairs distances of the skeleton graph as a dense matrix."""
-    n_s = skeleton.size
-    matrix = np.full((n_s, n_s), np.inf)
-    for index in range(n_s):
-        distances = skeleton.graph.dijkstra(index)
-        for other, value in distances.items():
-            matrix[index, other] = value
-    return matrix
+    return skeleton.graph.distance_matrix()
 
 
-def _near_skeleton_matrix(
-    network: HybridNetwork, skeleton: Skeleton
-) -> Tuple[np.ndarray, List[List[int]]]:
+def _near_skeleton_matrix(network: HybridNetwork, skeleton: Skeleton) -> np.ndarray:
     """Matrix ``A[v, i] = d_h(v, skeleton node i)`` (inf when outside the ball)."""
     n = network.n
     n_s = skeleton.size
+    if skeleton.knowledge_matrix is not None and n_s:
+        return skeleton.knowledge_matrix[:, np.asarray(skeleton.nodes, dtype=np.int64)].copy()
     matrix = np.full((n, n_s), np.inf)
-    indices: List[List[int]] = []
     for v in range(n):
-        nearby = skeleton.local_distances[v]
-        row_indices = []
-        for original, distance in nearby.items():
-            index = skeleton.index_of[original]
-            matrix[v, index] = distance
-            row_indices.append(index)
-        indices.append(row_indices)
-    return matrix, indices
+        for original, distance in skeleton.local_distances[v].items():
+            matrix[v, skeleton.index_of[original]] = distance
+    return matrix
 
 
 def _distances_to_skeleton(
@@ -211,13 +199,21 @@ def _combine_distances(
     n = network.n
     matrix = np.full((n, n), np.inf)
     np.fill_diagonal(matrix, 0.0)
-    local_knowledge = skeleton.local_knowledge or []
-    for u in range(n):
-        for v, distance in local_knowledge[u].items():
-            if distance < matrix[u, v]:
-                matrix[u, v] = distance
+    if skeleton.knowledge_matrix is not None:
+        np.minimum(matrix, skeleton.knowledge_matrix, out=matrix)
+    else:
+        local_knowledge = skeleton.local_knowledge or []
+        for u in range(n):
+            for v, distance in local_knowledge[u].items():
+                if distance < matrix[u, v]:
+                    matrix[u, v] = distance
     n_s = skeleton.size
+    candidate = np.empty((n, n))
     for s_index in range(n_s):
-        candidate = near_matrix[:, s_index : s_index + 1] + skeleton_to_all[s_index : s_index + 1, :]
-        matrix = np.minimum(matrix, candidate)
+        np.add(
+            near_matrix[:, s_index : s_index + 1],
+            skeleton_to_all[s_index : s_index + 1, :],
+            out=candidate,
+        )
+        np.minimum(matrix, candidate, out=matrix)
     return matrix

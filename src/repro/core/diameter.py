@@ -100,13 +100,12 @@ def approximate_diameter(
     transport = HybridCliqueTransport(network, skeleton, phase=phase + ":simulation")
     skeleton_estimate = algorithm.run(transport, skeleton.incident_edges())
 
-    # Step 3: local phase of η·h + 1 rounds.
+    # Step 3: local phase of η·h + 1 rounds.  Every node's largest locally
+    # observed hop distance h_v is one batched bounded-eccentricity kernel call.
     exploration_depth = int(math.ceil(spec.eta * skeleton.hop_length)) + 1
     network.charge_local_rounds(exploration_depth, phase + ":local-horizon")
-    local_max = {
-        node: float(max(network.graph.bfs_hops(node, exploration_depth).values()))
-        for node in range(n)
-    }
+    eccentricities = network.graph.hop_eccentricities(max_hops=exploration_depth)
+    local_max = {node: float(eccentricities[node]) for node in range(n)}
 
     # Step 4: aggregate ĥ = max_v h_v over the global network (Lemma B.2).
     local_max_hop = aggregate_max(network, local_max, phase=phase + ":aggregate")

@@ -68,11 +68,10 @@ class HelperSets:
     def max_helper_radius(self, network: HybridNetwork) -> int:
         """Largest hop distance between a member and one of its helpers (property (2))."""
         worst = 0
-        for member, helper_nodes in self.helpers.items():
-            if not helper_nodes:
-                continue
-            hops = network.graph.bfs_hops(member)
-            for helper in helper_nodes:
+        members = [member for member, helper_nodes in self.helpers.items() if helper_nodes]
+        all_hops = network.graph.bfs_hops_many(members)
+        for member, hops in zip(members, all_hops):
+            for helper in self.helpers[member]:
                 worst = max(worst, int(hops.get(helper, network.n)))
         return worst
 

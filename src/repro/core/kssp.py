@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueShortestPathAlgorithm
 from repro.core.clique_simulation import HybridCliqueTransport
 from repro.core.representatives import Representatives, compute_representatives
@@ -166,30 +168,42 @@ def _combine_estimates(
 
     ``d̃(v, s) = min( d_{ηh}(v, s),
                      min_{u ∈ V_S near v} d_h(v, u) + d̃(u, r_s) + d_h(r_s, s) )``
+
+    The first term is the literal ``d_{ηh}`` (one batched kernel call over all
+    sources); the skeleton detour term is a vectorised min-plus product over
+    the near-skeleton matrix.
     """
     n = network.n
+    n_s = skeleton.size
     estimates: List[Dict[int, float]] = [dict() for _ in range(n)]
 
-    # The ηh-limited exact distances are computed once per source (symmetric).
-    local_exact: Dict[int, Dict[int, float]] = {
-        source: network.graph.shortest_distances_within_hops(source, exploration_depth)
-        for source in sources
-    }
+    # The ηh-limited distances d_{ηh}(v, s), one row per source (symmetric).
+    local_limited = network.graph.hop_limited_distance_matrix(sources, exploration_depth)
 
-    for source in sources:
+    # near[v, i] = d_h(v, skeleton node i), shared by every source.
+    if skeleton.knowledge_matrix is not None and n_s:
+        near = skeleton.knowledge_matrix[:, np.asarray(skeleton.nodes, dtype=np.int64)]
+    else:
+        near = np.full((n, n_s), np.inf)
+        for v in range(n):
+            for skeleton_node, d_to_skeleton in skeleton.local_distances[v].items():
+                near[v, skeleton.index_of[skeleton_node]] = d_to_skeleton
+
+    for row, source in enumerate(sources):
         rep = representatives.representative[source]
         rep_index = skeleton.index_of[rep]
         rep_distance = representatives.distance_to_representative[source]
-        exact_from_source = local_exact[source]
-        for v in range(n):
-            best = exact_from_source.get(v, INFINITY)
-            for skeleton_node, d_to_skeleton in skeleton.local_distances[v].items():
-                u_index = skeleton.index_of[skeleton_node]
-                estimate_u_rep = skeleton_estimates[u_index].get(rep_index, INFINITY)
-                candidate = d_to_skeleton + estimate_u_rep + rep_distance
-                if candidate < best:
-                    best = candidate
-            estimates[v][source] = best
+        to_rep = np.fromiter(
+            (skeleton_estimates[u_index].get(rep_index, INFINITY) for u_index in range(n_s)),
+            dtype=np.float64,
+            count=n_s,
+        )
+        best = local_limited[row].copy()
+        if n_s:
+            detour = (near + to_rep[np.newaxis, :]).min(axis=1) + rep_distance
+            np.minimum(best, detour, out=best)
+        for v, value in enumerate(best.tolist()):
+            estimates[v][source] = value
     return estimates
 
 

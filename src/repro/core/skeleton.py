@@ -19,10 +19,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.skeleton_analysis import skeleton_hop_length
 from repro.hybrid.network import HybridNetwork
-from repro.localnet.flooding import explore_limited_distances
+from repro.localnet.flooding import explore_limited_distance_matrix
 from repro.util.rand import RandomSource, sample_nodes
 
 
@@ -46,13 +48,17 @@ class Skeleton:
         For every original node ``v``: ``{skeleton node s (original ID): d_h(v, s)}``
         restricted to skeleton nodes within ``h`` hops -- exactly what ``v``
         learns from the local exploration of Algorithm 6.
-    local_knowledge:
-        When requested (``keep_local_knowledge=True``), the full ``h``-limited
-        distance map of every node (``{other: d_h(v, other)}``), i.e. the whole
-        outcome of the depth-``h`` exploration.  The exact APSP algorithm of
-        Section 3 needs this for its final combination step.
+    knowledge_matrix:
+        When requested (``keep_local_knowledge=True``), the full outcome of
+        the depth-``h`` exploration in dense form, ``M[v, u] = d_h(v, u)``
+        (``inf`` outside the ball).  The exact APSP algorithm of Section 3
+        needs this for its final combination step.
     rounds_charged:
         Rounds consumed by the construction.
+
+    The dict view of the exploration outcome (one ``{other: d_h(v, other)}``
+    per node) remains available as :attr:`local_knowledge`, densified lazily
+    from ``knowledge_matrix`` on first access.
     """
 
     nodes: List[int]
@@ -62,7 +68,23 @@ class Skeleton:
     sampling_probability: float
     local_distances: List[Dict[int, float]]
     rounds_charged: int
-    local_knowledge: Optional[List[Dict[int, float]]] = None
+    knowledge_matrix: Optional[np.ndarray] = None
+    _knowledge_dicts: Optional[List[Dict[int, float]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def local_knowledge(self) -> Optional[List[Dict[int, float]]]:
+        """Dict view of the depth-``h`` exploration (None unless kept)."""
+        if self.knowledge_matrix is None:
+            return None
+        if self._knowledge_dicts is None:
+            dicts: List[Dict[int, float]] = []
+            for row in self.knowledge_matrix:
+                reached = np.flatnonzero(np.isfinite(row))
+                dicts.append(dict(zip(reached.tolist(), row[reached].tolist())))
+            self._knowledge_dicts = dicts
+        return self._knowledge_dicts
 
     @property
     def size(self) -> int:
@@ -147,37 +169,36 @@ def compute_skeleton(
     denominator = 1.0 / sampling_probability
     hop_length = skeleton_hop_length(network.n, denominator, xi=network.config.skeleton_xi)
 
+    node_array = np.asarray(nodes, dtype=np.int64)
     while True:
         # Local exploration to depth h: every node learns its h-limited
         # distances; skeleton nodes in particular learn their incident
-        # skeleton edges.  A connectivity retry re-runs (and conservatively
-        # re-charges) the exploration at the doubled depth.
-        limited = explore_limited_distances(network, hop_length, phase=phase + ":exploration")
+        # skeleton edges.  The exploration is one batched kernel call over all
+        # n sources; a connectivity retry re-runs (and conservatively
+        # re-charges) it at the doubled depth.
+        limited = explore_limited_distance_matrix(network, hop_length, phase=phase + ":exploration")
         skeleton_graph = WeightedGraph(max(1, len(nodes)))
-        for node in nodes:
-            for other, distance in limited[node].items():
-                if other in index_of and other != node:
-                    u, v = index_of[node], index_of[other]
-                    weight = max(1, int(round(distance)))
-                    if not skeleton_graph.has_edge(u, v) or skeleton_graph.weight(u, v) > weight:
-                        if skeleton_graph.has_edge(u, v):
-                            skeleton_graph.remove_edge(u, v)
-                        skeleton_graph.add_edge(u, v, weight)
+        if len(nodes) > 1:
+            pairwise = limited[np.ix_(node_array, node_array)]
+            edge_u, edge_v = np.nonzero(np.isfinite(pairwise))
+            edge_w = pairwise[edge_u, edge_v]
+            for u, v, distance in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
+                if u < v:
+                    skeleton_graph.add_edge(u, v, max(1, int(round(distance))))
         connected = len(nodes) <= 1 or skeleton_graph.is_connected()
         if connected or not ensure_connected or hop_length >= network.n:
             break
         hop_length = min(network.n, 2 * hop_length)
 
+    # Per node, the d_h map restricted to nearby skeleton nodes (what the
+    # exploration of Algorithm 6 leaves behind at every node).
+    near = limited[:, node_array] if len(nodes) else limited[:, :0]
     local_distances: List[Dict[int, float]] = []
-    for node in range(network.n):
-        nearby = {
-            other: distance
-            for other, distance in limited[node].items()
-            if other in index_of and other != node
-        }
-        if node in index_of:
-            nearby[node] = 0.0
-        local_distances.append(nearby)
+    for row in near:
+        reached = np.flatnonzero(np.isfinite(row))
+        local_distances.append(
+            {nodes[i]: float(value) for i, value in zip(reached.tolist(), row[reached].tolist())}
+        )
 
     rounds_charged = network.metrics.total_rounds - rounds_before
     return Skeleton(
@@ -188,7 +209,7 @@ def compute_skeleton(
         sampling_probability=sampling_probability,
         local_distances=local_distances,
         rounds_charged=rounds_charged,
-        local_knowledge=limited if keep_local_knowledge else None,
+        knowledge_matrix=limited if keep_local_knowledge else None,
     )
 
 

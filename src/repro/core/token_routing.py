@@ -164,15 +164,32 @@ class TokenRouter:
             else:
                 routable.append(token)
 
-        sender_tokens: Dict[int, List[RoutingToken]] = {}
-        receiver_labels: Dict[int, List[Tuple[int, int, int]]] = {}
-        for token in routable:
+        # Each token's label is materialised and hashed exactly once -- the
+        # whole batch in one vectorised field evaluation -- and the
+        # (token, label, intermediate) triple travels through the phases, so
+        # the simulation never re-runs the Horner evaluation for the same
+        # label (the sender helper in phase A and the receiver helper in
+        # phase B evaluate the same shared function on the same label).
+        # The lanes must spell out RoutingToken.label's (sender, receiver,
+        # index) convention so the batch evaluates the same keys as the
+        # scalar hash on token.label.
+        intermediates = self.hash_function.many(
+            (
+                [token.sender for token in routable],
+                [token.receiver for token in routable],
+                [token.index for token in routable],
+            )
+        )
+        sender_tokens: Dict[int, List[Tuple[RoutingToken, Tuple[int, int, int], int]]] = {}
+        receiver_labels: Dict[int, List[Tuple[Tuple[int, int, int], int]]] = {}
+        for token, intermediate in zip(routable, intermediates):
             if token.sender not in self.sender_helpers.helpers:
                 raise ProtocolError(f"token sender {token.sender} is not in the sender set")
             if token.receiver not in self.receiver_helpers.helpers:
                 raise ProtocolError(f"token receiver {token.receiver} is not in the receiver set")
-            sender_tokens.setdefault(token.sender, []).append(token)
-            receiver_labels.setdefault(token.receiver, []).append(token.label)
+            label = token.label
+            sender_tokens.setdefault(token.sender, []).append((token, label, intermediate))
+            receiver_labels.setdefault(token.receiver, []).append((label, intermediate))
 
         # ---------------------------------------------- Routing-Preparation
         # Two local flooding loops bounded by 2(µ_S + µ_R)⌈log n⌉ rounds each:
@@ -187,37 +204,46 @@ class TokenRouter:
         network.charge_local_rounds(preparation_rounds, self.phase + ":preparation-detect")
         network.charge_local_rounds(preparation_rounds, self.phase + ":preparation-distribute")
 
-        helper_outgoing: Dict[int, List[RoutingToken]] = {}
+        helper_outgoing: Dict[int, List[Tuple[RoutingToken, Tuple[int, int, int], int]]] = {}
         for sender, its_tokens in sender_tokens.items():
             helper_nodes = self.sender_helpers.helpers[sender]
             for helper, bucket in zip(helper_nodes, split_evenly(its_tokens, len(helper_nodes))):
                 if bucket:
                     helper_outgoing.setdefault(helper, []).extend(bucket)
 
-        helper_requests: Dict[int, List[Tuple[Tuple[int, int, int], int]]] = {}
+        helper_requests: Dict[int, List[Tuple[Tuple[int, int, int], int, int]]] = {}
         for receiver, labels in receiver_labels.items():
             helper_nodes = self.receiver_helpers.helpers[receiver]
             for helper, bucket in zip(helper_nodes, split_evenly(labels, len(helper_nodes))):
-                for label in bucket:
-                    helper_requests.setdefault(helper, []).append((label, receiver))
+                for label, intermediate in bucket:
+                    helper_requests.setdefault(helper, []).append((label, intermediate, receiver))
 
         # -------------------------------------------------- Routing-Scheme
         # Phase A: sender-helpers push tokens to their intermediate nodes.
         push_outboxes = {
-            helper: [(self.hash_function(token.label), token) for token in its_tokens]
-            for helper, its_tokens in helper_outgoing.items()
+            helper: [(intermediate, token) for token, _, intermediate in entries]
+            for helper, entries in helper_outgoing.items()
         }
-        push_inboxes, _ = network.run_global_exchange(push_outboxes, self.phase + ":push")
+        network.run_global_exchange(push_outboxes, self.phase + ":push")
+        # The exchange always delivers every queued message, so the store each
+        # intermediate ends up with is exactly the pushed (label -> token) map;
+        # building it from the outgoing side skips re-deriving labels from the
+        # inbox payloads.
         intermediate_store: Dict[int, Dict[Tuple[int, int, int], RoutingToken]] = {}
-        for intermediate, messages in push_inboxes.items():
-            store = intermediate_store.setdefault(intermediate, {})
-            for _, token in messages:
-                store[token.label] = token
+        for entries in helper_outgoing.values():
+            for token, label, intermediate in entries:
+                store = intermediate_store.get(intermediate)
+                if store is None:
+                    store = intermediate_store[intermediate] = {}
+                store[label] = token
 
         # Phase B: receiver-helpers request their labels from the intermediates.
         request_outboxes = {
-            helper: [(self.hash_function(label), ("request", label, helper)) for label, _ in labels]
-            for helper, labels in helper_requests.items()
+            helper: [
+                (intermediate, ("request", label, helper))
+                for label, intermediate, _ in requests
+            ]
+            for helper, requests in helper_requests.items()
         }
         request_inboxes, _ = network.run_global_exchange(request_outboxes, self.phase + ":request")
 

@@ -3,7 +3,9 @@
 Public surface:
 
 * :class:`~repro.graphs.graph.WeightedGraph` -- the adjacency structure used by
-  the whole library.
+  the whole library, with selectable dict/CSR traversal backends and batched
+  multi-source kernels (DESIGN.md §4).
+* :mod:`repro.graphs.csr` -- the frozen numpy CSR view and its kernels.
 * :mod:`repro.graphs.generators` -- workload graph families.
 * :mod:`repro.graphs.reference` -- sequential ground-truth algorithms.
 * :mod:`repro.graphs.skeleton_analysis` -- offline audits of skeleton graphs

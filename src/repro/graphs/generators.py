@@ -312,6 +312,129 @@ def caterpillar_graph(spine_length: int, legs_per_node: int) -> WeightedGraph:
     return graph
 
 
+def power_law_graph(
+    n: int,
+    rng: RandomSource,
+    attachment: int = 2,
+    max_weight: int = 1,
+) -> WeightedGraph:
+    """A preferential-attachment ("scale-free") graph à la Barabási–Albert.
+
+    Models internet-like topologies: every new node attaches to ``attachment``
+    existing nodes chosen proportionally to their current degree, giving a
+    power-law degree distribution, a few high-degree hubs, and a small hop
+    diameter.  For the HYBRID algorithms this is the regime where the *global*
+    mode's per-node capacity (not distance) is the bottleneck: hubs see a
+    disproportionate share of token-routing traffic.  Connected by
+    construction.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if attachment < 1:
+        raise ValueError("attachment must be at least 1")
+    graph = WeightedGraph(n)
+    # Endpoint multiset: every edge contributes both endpoints, so sampling a
+    # uniform element is degree-proportional sampling.
+    endpoints: List[int] = [0]
+    for node in range(1, n):
+        chosen = set()
+        wanted = min(attachment, node)
+        while len(chosen) < wanted:
+            chosen.add(endpoints[rng.randrange(len(endpoints))])
+        for target in chosen:
+            graph.add_edge(node, target, 1)
+            endpoints.append(node)
+            endpoints.append(target)
+    if max_weight > 1:
+        graph = assign_random_weights(graph, max_weight, rng)
+    return graph
+
+
+def grid_with_highways_graph(
+    rows: int,
+    cols: int,
+    highway_count: int,
+    rng: RandomSource,
+    street_weight: int = 4,
+    highway_weight: int = 1,
+) -> WeightedGraph:
+    """A road-network-style graph: a weighted grid plus a few long "highways".
+
+    Models the introduction's street-level mesh: local links ("streets") form
+    a ``rows x cols`` grid with weight ``street_weight``; ``highway_count``
+    random long-range edges with the cheaper weight ``highway_weight`` connect
+    distant intersections.  The hop diameter stays ``Θ(rows + cols)`` while
+    shortest *weighted* paths want to detour through highways, so hop-limited
+    distances ``d_h`` genuinely differ from hop counts -- the regime where the
+    skeleton machinery earns its keep.
+    """
+    if highway_count < 0:
+        raise ValueError("highway_count must be non-negative")
+    graph = grid_graph(rows, cols, weight=street_weight)
+    n = rows * cols
+    added = 0
+    attempts = 0
+    while added < highway_count and attempts < 50 * (highway_count + 1):
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        manhattan = abs(u // cols - v // cols) + abs(u % cols - v % cols)
+        if u != v and manhattan >= (rows + cols) // 4 and not graph.has_edge(u, v):
+            graph.add_edge(u, v, highway_weight)
+            added += 1
+    return graph
+
+
+def hierarchical_isp_graph(
+    core_count: int,
+    regionals_per_core: int,
+    leaves_per_regional: int,
+    rng: RandomSource,
+    cross_links: int = 2,
+    max_weight: int = 1,
+) -> WeightedGraph:
+    """A three-tier ISP topology: core ring, regional rings, access leaves.
+
+    A deeper version of :func:`clustered_isp_graph` modelling a national
+    carrier: ``core_count`` backbone routers in a ring, each serving a ring of
+    ``regionals_per_core`` regional routers, each of which serves
+    ``leaves_per_regional`` access nodes, plus a few random regional-to-
+    regional cross links.  Node layout: cores first, then regionals grouped by
+    core, then leaves grouped by regional.  Connected by construction; the hop
+    diameter scales with the core ring while most nodes are leaves, matching
+    the "LAN + Internet" motivation of the paper's introduction.
+    """
+    if core_count < 2 or regionals_per_core < 1 or leaves_per_regional < 0:
+        raise ValueError("invalid hierarchy dimensions")
+    regional_base = core_count
+    regional_total = core_count * regionals_per_core
+    leaf_base = regional_base + regional_total
+    n = leaf_base + regional_total * leaves_per_regional
+    graph = WeightedGraph(n)
+    for core in range(core_count):
+        if core_count > 1 and not graph.has_edge(core, (core + 1) % core_count):
+            graph.add_edge(core, (core + 1) % core_count, 1)
+    for core in range(core_count):
+        regionals = [regional_base + core * regionals_per_core + i for i in range(regionals_per_core)]
+        for position, regional in enumerate(regionals):
+            graph.add_edge(core, regional, 1)
+            if len(regionals) > 2:
+                neighbour = regionals[(position + 1) % len(regionals)]
+                if not graph.has_edge(regional, neighbour):
+                    graph.add_edge(regional, neighbour, 1)
+            regional_index = regional - regional_base
+            for leaf in range(leaves_per_regional):
+                graph.add_edge(regional, leaf_base + regional_index * leaves_per_regional + leaf, 1)
+    for _ in range(cross_links):
+        u = regional_base + rng.randrange(regional_total)
+        v = regional_base + rng.randrange(regional_total)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, 1)
+    if max_weight > 1:
+        graph = assign_random_weights(graph, max_weight, rng)
+    return graph
+
+
 def connected_workload(
     n: int,
     rng: RandomSource,

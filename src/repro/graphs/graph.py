@@ -13,6 +13,22 @@ adjacency structure with exactly the operations the HYBRID algorithms need:
 Nodes are always the integers ``0 .. n-1``; the paper identifies nodes with IDs
 ``[n]`` and several protocols (hashing to intermediate nodes, implicit
 aggregation trees) rely on the ID space being exactly ``[0, n)``.
+
+Two storage/traversal backends are available (see DESIGN.md §4):
+
+* ``"dict"`` -- the original dependency-free dict-of-dicts adjacency with
+  pure-Python traversals; and
+* ``"csr"`` -- the same mutable adjacency plus a frozen numpy CSR view
+  (:mod:`repro.graphs.csr`) built lazily on the first *batched* traversal and
+  invalidated by ``add_edge`` / ``remove_edge``.  The batched multi-source
+  kernels (``bfs_hops_many``, ``hop_limited_distances_many``,
+  ``dijkstra_many``, the matrix variants, ``hop_eccentricities``) run as
+  vectorised synchronous rounds over all sources at once.
+
+The default ``"auto"`` picks CSR whenever numpy is importable.  Both backends
+return bit-identical results for every method (weights are positive integers,
+so all float distances are exact sums), which tests/test_backends.py asserts
+property-style.
 """
 
 from __future__ import annotations
@@ -20,7 +36,17 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+try:  # numpy is a hard dependency of the repo, but the dict backend works without it.
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
 INFINITY = float("inf")
+
+_BACKENDS = ("auto", "dict", "csr")
 
 
 class WeightedGraph:
@@ -30,16 +56,40 @@ class WeightedGraph:
     ----------
     n:
         Number of nodes; nodes are ``0 .. n-1``.
+    backend:
+        ``"dict"``, ``"csr"`` or ``"auto"`` (default); see the module
+        docstring.  ``"csr"`` requires numpy.
     """
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, backend: str = "auto") -> None:
         if n <= 0:
             raise ValueError("a graph needs at least one node")
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        if backend == "csr" and not _HAS_NUMPY:
+            raise ValueError("the 'csr' backend requires numpy")
         self._n = n
         self._adjacency: List[Dict[int, int]] = [dict() for _ in range(n)]
         self._edge_count = 0
+        self._backend_choice = backend
+        self._csr = None
 
     # ------------------------------------------------------------------ basic
+    @property
+    def backend(self) -> str:
+        """The resolved traversal backend (``"dict"`` or ``"csr"``)."""
+        if self._backend_choice == "auto":
+            return "csr" if _HAS_NUMPY else "dict"
+        return self._backend_choice
+
+    def csr(self):
+        """The frozen CSR view (built on first use, dropped on mutation)."""
+        from repro.graphs import csr as csr_backend
+
+        if self._csr is None:
+            self._csr = csr_backend.build_csr(self._adjacency)
+        return self._csr
+
     @property
     def node_count(self) -> int:
         """Number of nodes ``n``."""
@@ -74,6 +124,7 @@ class WeightedGraph:
             self._edge_count += 1
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
+        self._csr = None
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}`` (must exist)."""
@@ -82,6 +133,7 @@ class WeightedGraph:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._edge_count -= 1
+        self._csr = None
 
     def weight(self, u: int, v: int) -> int:
         """Weight of the edge ``{u, v}`` (must exist)."""
@@ -156,6 +208,150 @@ class WeightedGraph:
         """The nodes within ``radius`` hops of ``source`` (including itself)."""
         return list(self.bfs_hops(source, radius))
 
+    # ------------------------------------------------- batched traversal kernels
+    #
+    # The *_many methods advance every source together, one synchronous round
+    # per iteration; under the CSR backend each round is a handful of numpy
+    # gathers/reductions (see repro.graphs.csr), under the dict backend they
+    # fall back to one pure-Python traversal per source.  Results are
+    # bit-identical across backends.
+
+    def _use_csr(self) -> bool:
+        return self.backend == "csr"
+
+    def bfs_hops_many(
+        self, sources: Sequence[int], max_hops: Optional[int] = None
+    ) -> List[Dict[int, int]]:
+        """``bfs_hops`` from many sources at once (one dict per source)."""
+        sources = list(sources)
+        for source in sources:
+            self._check_node(source)
+        if not self._use_csr():
+            return [self.bfs_hops(source, max_hops) for source in sources]
+        from repro.graphs import csr as csr_backend
+
+        view = self.csr()
+        result: List[Dict[int, int]] = []
+        for chunk in csr_backend.chunked_sources(self._n, sources):
+            levels = csr_backend.bfs_level_matrix(view, chunk, max_hops)
+            result.extend(csr_backend.rows_to_dicts(levels, int))
+        return result
+
+    def balls_many(self, sources: Sequence[int], radius: int) -> List[List[int]]:
+        """The ``radius``-hop balls of many sources at once."""
+        return [list(hops) for hops in self.bfs_hops_many(sources, radius)]
+
+    def hop_limited_distances_many(
+        self, sources: Sequence[int], hop_limit: int
+    ) -> List[Dict[int, float]]:
+        """The literal ``d_{hop_limit}`` maps of many sources (Section 1.3)."""
+        sources = list(sources)
+        if not self._use_csr():
+            return [self.hop_limited_distances(source, hop_limit) for source in sources]
+        matrix = self.hop_limited_distance_matrix(sources, hop_limit)
+        from repro.graphs import csr as csr_backend
+
+        return csr_backend.rows_to_dicts(matrix, float)
+
+    def hop_limited_distance_matrix(self, sources: Sequence[int], hop_limit: int):
+        """``d_{hop_limit}`` as a dense ``(len(sources), n)`` float matrix.
+
+        Requires numpy (the dict backend densifies its per-source dicts).
+        ``inf`` marks nodes outside the ``hop_limit``-ball.
+        """
+        if not _HAS_NUMPY:
+            raise RuntimeError("hop_limited_distance_matrix requires numpy")
+        sources = list(sources)
+        for source in sources:
+            self._check_node(source)
+        if hop_limit < 0:
+            raise ValueError("hop_limit must be non-negative")
+        if self._use_csr():
+            from repro.graphs import csr as csr_backend
+
+            view = self.csr()
+            chunks = [
+                csr_backend.hop_limited_matrix(view, chunk, hop_limit)
+                for chunk in csr_backend.chunked_sources(self._n, sources)
+            ]
+            return chunks[0] if len(chunks) == 1 else _np.concatenate(chunks, axis=0)
+        matrix = _np.full((len(sources), self._n), _np.inf)
+        for row, source in enumerate(sources):
+            for node, value in self.hop_limited_distances(source, hop_limit).items():
+                matrix[row, node] = value
+        return matrix
+
+    def dijkstra_many(self, sources: Sequence[int]) -> List[Dict[int, float]]:
+        """Exact distances from many sources at once (one dict per source)."""
+        sources = list(sources)
+        if not self._use_csr():
+            return [self.dijkstra(source) for source in sources]
+        matrix = self.distance_matrix(sources)
+        from repro.graphs import csr as csr_backend
+
+        return csr_backend.rows_to_dicts(matrix, float)
+
+    def distance_matrix(self, sources: Optional[Sequence[int]] = None):
+        """Exact distances as a dense ``(len(sources), n)`` float matrix.
+
+        ``sources`` defaults to all nodes (the full APSP matrix).  Requires
+        numpy; ``inf`` marks disconnected pairs.
+        """
+        if not _HAS_NUMPY:
+            raise RuntimeError("distance_matrix requires numpy")
+        sources = list(self.nodes()) if sources is None else list(sources)
+        for source in sources:
+            self._check_node(source)
+        if self._use_csr():
+            from repro.graphs import csr as csr_backend
+
+            view = self.csr()
+            chunks = [
+                csr_backend.distance_matrix(view, chunk)
+                for chunk in csr_backend.chunked_sources(self._n, sources)
+            ]
+            return chunks[0] if len(chunks) == 1 else _np.concatenate(chunks, axis=0)
+        matrix = _np.full((len(sources), self._n), _np.inf)
+        for row, source in enumerate(sources):
+            for node, value in self.dijkstra(source).items():
+                matrix[row, node] = value
+        return matrix
+
+    def hop_eccentricities(
+        self, sources: Optional[Sequence[int]] = None, max_hops: Optional[int] = None
+    ) -> List[float]:
+        """Hop eccentricities of many sources at once.
+
+        Without ``max_hops`` this is :meth:`hop_eccentricity` per source
+        (``inf`` when the graph is disconnected).  With ``max_hops`` it is the
+        largest hop distance *observed inside the ball*, i.e. the per-node
+        quantity ``h_v`` of Algorithm 9's local phase -- always finite.
+        """
+        sources = list(self.nodes()) if sources is None else list(sources)
+        if not self._use_csr():
+            result = []
+            for source in sources:
+                if max_hops is None:
+                    result.append(self.hop_eccentricity(source))
+                else:
+                    result.append(float(max(self.bfs_hops(source, max_hops).values())))
+            return result
+        from repro.graphs import csr as csr_backend
+
+        view = self.csr()
+        result: List[float] = []
+        for chunk in csr_backend.chunked_sources(self._n, sources):
+            levels = csr_backend.bfs_level_matrix(view, chunk, max_hops)
+            if max_hops is None:
+                reached_all = (levels >= 0).all(axis=1)
+                maxima = levels.max(axis=1)
+                result.extend(
+                    float(m) if ok else INFINITY for m, ok in zip(maxima.tolist(), reached_all.tolist())
+                )
+            else:
+                result.extend(float(m) for m in levels.max(axis=1).tolist())
+        return result
+
     def hop_distance(self, u: int, v: int) -> float:
         """``hop(u, v)``: the minimum number of edges on a u-v path."""
         if u == v:
@@ -172,6 +368,13 @@ class WeightedGraph:
 
     def hop_diameter(self) -> float:
         """``D(G)``: the maximum hop distance over all pairs (Section 1.3)."""
+        if self._use_csr():
+            best = 0.0
+            for ecc in self.hop_eccentricities():
+                if ecc == INFINITY:
+                    return INFINITY
+                best = max(best, ecc)
+            return best
         best = 0.0
         for u in range(self._n):
             ecc = self.hop_eccentricity(u)
@@ -253,31 +456,35 @@ class WeightedGraph:
         return settled, parent
 
     def hop_limited_distances(self, source: int, hop_limit: int) -> Dict[int, float]:
-        """``d_h(source, ·)``: cheapest path weight using at most ``hop_limit`` edges.
+        """``d_h(source, ·)``: cheapest walk weight using at most ``hop_limit`` edges.
 
-        Implemented as ``hop_limit`` rounds of Bellman-Ford restricted to the
-        ball of radius ``hop_limit`` around the source.  Nodes not reachable
-        within the hop limit are absent from the result (``d_h = ∞``).
+        Implemented as ``hop_limit`` rounds of synchronous Bellman-Ford where
+        only nodes whose value improved in the previous round relax their
+        edges -- the relaxation never leaves the ``hop_limit``-ball, so no
+        post-hoc filtering (and no per-round copy of the whole reached set) is
+        needed.  Nodes not reachable within the hop limit are absent from the
+        result (``d_h = ∞``).
         """
         self._check_node(source)
         if hop_limit < 0:
             raise ValueError("hop_limit must be non-negative")
-        ball = self.ball(source, hop_limit)
-        current: Dict[int, float] = {source: 0.0}
+        distances: Dict[int, float] = {source: 0.0}
+        frontier: Dict[int, float] = {source: 0.0}
         for _ in range(hop_limit):
-            updated = dict(current)
-            changed = False
-            for u, du in current.items():
+            if not frontier:
+                break
+            improvements: Dict[int, float] = {}
+            for u, du in frontier.items():
                 for v, w in self._adjacency[u].items():
                     nd = du + w
-                    if nd < updated.get(v, INFINITY):
-                        updated[v] = nd
-                        changed = True
-            current = updated
-            if not changed:
-                break
-        ball_set = set(ball)
-        return {v: d for v, d in current.items() if v in ball_set}
+                    if nd < distances.get(v, INFINITY) and nd < improvements.get(v, INFINITY):
+                        improvements[v] = nd
+            frontier = {}
+            for v, nd in improvements.items():
+                if nd < distances.get(v, INFINITY):
+                    distances[v] = nd
+                    frontier[v] = nd
+        return distances
 
     def shortest_distances_within_hops(self, source: int, hop_limit: int) -> Dict[int, float]:
         """Exact distances to nodes whose shortest path uses at most ``hop_limit`` edges.
@@ -351,7 +558,7 @@ class WeightedGraph:
         from original node ID to new ID.
         """
         mapping = {node: index for index, node in enumerate(nodes)}
-        sub = WeightedGraph(len(nodes))
+        sub = WeightedGraph(len(nodes), backend=self._backend_choice)
         for u in nodes:
             for v, w in self._adjacency[u].items():
                 if v in mapping and u < v:
@@ -359,8 +566,8 @@ class WeightedGraph:
         return sub, mapping
 
     def copy(self) -> "WeightedGraph":
-        """Deep copy of the graph."""
-        clone = WeightedGraph(self._n)
+        """Deep copy of the graph (keeps the backend choice)."""
+        clone = WeightedGraph(self._n, backend=self._backend_choice)
         for u, v, w in self.edges():
             clone.add_edge(u, v, w)
         return clone
@@ -385,9 +592,11 @@ class WeightedGraph:
         return result
 
     @classmethod
-    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int, int]]) -> "WeightedGraph":
+    def from_edges(
+        cls, n: int, edges: Iterable[Tuple[int, int, int]], backend: str = "auto"
+    ) -> "WeightedGraph":
         """Build from an iterable of ``(u, v, weight)`` triples."""
-        result = cls(n)
+        result = cls(n, backend=backend)
         for u, v, w in edges:
             result.add_edge(u, v, w)
         return result

@@ -51,8 +51,8 @@ def build_skeleton_offline(
     mapping = {node: index for index, node in enumerate(skeleton_nodes)}
     skeleton = WeightedGraph(max(1, len(skeleton_nodes)))
     skeleton_set = set(skeleton_nodes)
-    for node in skeleton_nodes:
-        limited = graph.hop_limited_distances(node, hop_length)
+    all_limited = graph.hop_limited_distances_many(list(skeleton_nodes), hop_length)
+    for node, limited in zip(skeleton_nodes, all_limited):
         for other, dist in limited.items():
             if other in skeleton_set and other != node:
                 u, v = mapping[node], mapping[other]

@@ -5,10 +5,17 @@ forwards all information it knows via its incident local edges"*.  After such a
 loop each node knows everything initially known by nodes within ``d`` hops.
 The helpers here compute those outcomes directly from the graph and charge the
 ``d`` rounds, per the fidelity policy in DESIGN.md.
+
+All helpers are *batched*: one call computes the outcome for every node at
+once through the multi-source kernels of
+:class:`~repro.graphs.graph.WeightedGraph`, which under the CSR backend
+advance all sources together one synchronous round at a time (exactly the
+structure of the flooding loops being simulated).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.hybrid.network import HybridNetwork
@@ -25,11 +32,11 @@ def explore_hop_distances(
     ``other -> hop(node, other)`` restricted to the ``depth``-hop ball.
     """
     network.charge_local_rounds(depth, phase)
-    return [network.graph.bfs_hops(node, depth) for node in range(network.n)]
+    return network.graph.bfs_hops_many(range(network.n), depth)
 
 
 def explore_limited_distances(
-    network: HybridNetwork, depth: int, phase: str = "local-exploration", exact: bool = False
+    network: HybridNetwork, depth: int, phase: str = "local-exploration", exact: bool = True
 ) -> List[Dict[int, float]]:
     """Every node learns its ``depth``-hop-limited distances (Section 1.3).
 
@@ -38,18 +45,36 @@ def explore_limited_distances(
     distances, which is what Compute-Skeleton (Algorithm 6) and the local
     exploration steps of Algorithms 5 and 9 do.
 
-    By default the fast simulation path
-    (:meth:`~repro.graphs.graph.WeightedGraph.shortest_distances_within_hops`)
-    is used; pass ``exact=True`` to compute the literal ``d_h`` of the paper
-    (noticeably slower on large or high-diameter graphs, identical wherever the
-    algorithms' correctness arguments rely on the value).
+    The returned values are the paper's *literal* ``d_h``: ``depth``
+    synchronous Bellman-Ford rounds per source, batched over all sources.
+    Earlier revisions defaulted to a pruned-Dijkstra approximation
+    (``exact=False``) because the literal computation was too slow one Python
+    traversal at a time; the batched kernels made the faithful quantity the
+    fast path, so the approximation was removed.  ``exact`` remains accepted
+    for backwards compatibility; requesting the removed approximation warns.
+    """
+    if not exact:
+        warnings.warn(
+            "explore_limited_distances(exact=False) is deprecated: the pruned "
+            "approximation was removed and the literal d_h is returned instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    network.charge_local_rounds(depth, phase)
+    return network.graph.hop_limited_distances_many(range(network.n), depth)
+
+
+def explore_limited_distance_matrix(
+    network: HybridNetwork, depth: int, phase: str = "local-exploration"
+):
+    """Matrix form of :func:`explore_limited_distances` (``inf`` outside balls).
+
+    Charges ``depth`` local rounds and returns the dense ``(n, n)`` numpy
+    array ``M[v, u] = d_depth(v, u)``.  Used by consumers that immediately
+    combine the exploration with other matrices (skeleton construction, APSP).
     """
     network.charge_local_rounds(depth, phase)
-    if exact:
-        return [network.graph.hop_limited_distances(node, depth) for node in range(network.n)]
-    return [
-        network.graph.shortest_distances_within_hops(node, depth) for node in range(network.n)
-    ]
+    return network.graph.hop_limited_distance_matrix(range(network.n), depth)
 
 
 def flood_values(
@@ -66,8 +91,11 @@ def flood_values(
     """
     network.charge_local_rounds(depth, phase)
     result: List[Dict[int, T]] = [dict() for _ in range(network.n)]
-    for origin, value in initial.items():
-        for reached in network.graph.ball(origin, depth):
+    origins = list(initial)
+    balls = network.graph.balls_many(origins, depth)
+    for origin, ball in zip(origins, balls):
+        value = initial[origin]
+        for reached in ball:
             result[reached][origin] = value
     return result
 
@@ -86,10 +114,11 @@ def flood_token_sets(
     """
     network.charge_local_rounds(depth, phase)
     result: List[List[T]] = [list() for _ in range(network.n)]
-    for origin, tokens in initial.items():
-        if not tokens:
-            continue
-        for reached in network.graph.ball(origin, depth):
+    origins = [origin for origin, tokens in initial.items() if tokens]
+    balls = network.graph.balls_many(origins, depth)
+    for origin, ball in zip(origins, balls):
+        tokens = initial[origin]
+        for reached in ball:
             result[reached].extend(tokens)
     return result
 
@@ -141,8 +170,11 @@ def converge_cast_max(
     """
     network.charge_local_rounds(depth, phase)
     result: List[float] = [float("-inf")] * network.n
-    for origin, value in values.items():
-        for reached in network.graph.ball(origin, depth):
+    origins = list(values)
+    balls = network.graph.balls_many(origins, depth)
+    for origin, ball in zip(origins, balls):
+        value = values[origin]
+        for reached in ball:
             if value > result[reached]:
                 result[reached] = value
     return result

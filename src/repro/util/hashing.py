@@ -18,9 +18,43 @@ from typing import Sequence, Tuple
 
 from repro.util.rand import RandomSource
 
+try:  # The batched evaluator needs numpy; the scalar path never does.
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
 # A Mersenne prime comfortably larger than any node-id / token-label encoding
 # we use; arithmetic mod a Mersenne prime is exact in Python integers.
 _FIELD_PRIME = (1 << 61) - 1
+
+_LIMB_BITS = 31
+_LIMB_MASK = (1 << _LIMB_BITS) - 1
+
+
+def _vec_reduce(values):
+    """Reduce uint64 values ``< 2^63`` modulo the Mersenne prime ``2^61 - 1``."""
+    values = (values >> 61) + (values & _FIELD_PRIME)
+    return _np.where(values >= _FIELD_PRIME, values - _FIELD_PRIME, values)
+
+
+def _vec_mulmod(a, b):
+    """Vectorised ``(a * b) mod (2^61 - 1)`` for uint64 arrays ``< 2^61 - 1``.
+
+    Products of 61-bit operands overflow uint64, so the multiplication is done
+    in 31-bit limbs; the Mersenne modulus makes the carries cheap because
+    ``2^61 ≡ 1`` and ``2^62 ≡ 2``.
+    """
+    a_hi, a_lo = a >> _LIMB_BITS, a & _LIMB_MASK
+    b_hi, b_lo = b >> _LIMB_BITS, b & _LIMB_MASK
+    high = a_hi * b_hi  # contributes high * 2^62 ≡ high * 2
+    mid = a_hi * b_lo + a_lo * b_hi  # contributes mid * 2^31
+    low = a_lo * b_lo  # < 2^62, fold once
+    mid_hi, mid_lo = mid >> 30, mid & ((1 << 30) - 1)  # mid * 2^31 ≡ mid_hi + mid_lo * 2^31
+    total = (high << 1) + mid_hi + (mid_lo << _LIMB_BITS) + ((low >> 61) + (low & _FIELD_PRIME))
+    return _vec_reduce(total)
 
 
 def _encode_key(key: Tuple[int, ...] | int) -> int:
@@ -74,6 +108,34 @@ class KWiseHashFunction:
         for coefficient in self._coefficients:
             value = (value * x + coefficient) % _FIELD_PRIME
         return value % self._range
+
+    def many(self, lanes: Sequence) -> "list[int]":
+        """Batched evaluation on tuple keys given as per-lane integer arrays.
+
+        ``lanes`` holds one array-like per tuple position (e.g. the senders,
+        receivers and indices of a batch of token labels); element ``i`` of
+        the result equals ``self((lanes[0][i], lanes[1][i], ...))`` exactly.
+        The whole batch is one vectorised Horner evaluation over the Mersenne
+        field (31-bit limb arithmetic, see :func:`_vec_mulmod`); without numpy
+        it falls back to the scalar path.
+        """
+        if not lanes:
+            return []
+        if not _HAS_NUMPY:
+            return [
+                self(key) for key in zip(*(list(lane) for lane in lanes))
+            ]
+        lanes = [_np.asarray(lane, dtype=_np.uint64) for lane in lanes]
+        # Vectorised _encode_key: fixed multiplier fold over the lanes.
+        multiplier = _np.uint64(1048583)
+        encoded = _np.zeros(lanes[0].shape[0], dtype=_np.uint64)
+        for lane in lanes:
+            encoded = _vec_reduce(_vec_mulmod(encoded, multiplier) + lane + _np.uint64(1))
+        # Vectorised Horner evaluation of the polynomial.
+        value = _np.zeros_like(encoded)
+        for coefficient in self._coefficients:
+            value = _vec_reduce(_vec_mulmod(value, encoded) + _np.uint64(coefficient))
+        return (value % _np.uint64(self._range)).astype(_np.int64).tolist()
 
 
 class KWiseHashFamily:

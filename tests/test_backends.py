@@ -1,0 +1,194 @@
+"""Backend equivalence: the dict and CSR traversal backends are interchangeable.
+
+The CSR backend (DESIGN.md §4) must be a pure performance substitution: every
+`WeightedGraph` method returns bit-identical results under both backends, and
+every HYBRID simulation produces identical `RoundMetrics` — rounds, messages,
+bits, maxima — on identical seeds.  These tests pin that contract
+property-style over random weighted and unweighted graphs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.apsp import apsp_exact
+from repro.core.sssp import sssp_exact
+from repro.graphs import generators
+from repro.graphs.graph import WeightedGraph
+from repro.hybrid import HybridNetwork, ModelConfig
+from repro.util.hashing import hash_family_for_network
+from repro.util.rand import RandomSource
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def backend_pair(draw):
+    """The same random graph under both backends."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    max_weight = draw(st.sampled_from([1, 1, 7, 16]))
+    degree = draw(st.sampled_from([1.5, 3.0, 5.0]))
+    rng = RandomSource(seed)
+    graph = generators.random_connected_graph(n, degree, rng, max_weight=max_weight)
+    as_dict = WeightedGraph.from_edges(n, graph.edges(), backend="dict")
+    as_csr = WeightedGraph.from_edges(n, graph.edges(), backend="csr")
+    hop_limit = draw(st.integers(min_value=0, max_value=n))
+    return as_dict, as_csr, hop_limit
+
+
+class TestBackendSelection:
+    def test_auto_resolves_to_csr_with_numpy(self):
+        assert WeightedGraph(3).backend == "csr"
+
+    def test_explicit_backends(self):
+        assert WeightedGraph(3, backend="dict").backend == "dict"
+        assert WeightedGraph(3, backend="csr").backend == "csr"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(3, backend="sparse")
+
+    def test_copy_and_subgraph_keep_backend(self):
+        graph = WeightedGraph(4, backend="dict")
+        graph.add_edge(0, 1, 2)
+        assert graph.copy().backend == "dict"
+        sub, _ = graph.subgraph([0, 1])
+        assert sub.backend == "dict"
+
+    def test_mutation_invalidates_csr_cache(self):
+        graph = WeightedGraph(4, backend="csr")
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 1)
+        before = graph.csr()
+        assert before.directed_edge_count == 4
+        graph.add_edge(2, 3, 5)
+        assert graph._csr is None
+        assert graph.csr().directed_edge_count == 6
+        assert graph.bfs_hops_many([0])[0] == {0: 0, 1: 1, 2: 2, 3: 3}
+        graph.remove_edge(2, 3)
+        assert graph._csr is None
+        assert graph.bfs_hops_many([0])[0] == {0: 0, 1: 1, 2: 2}
+
+
+class TestTraversalEquivalence:
+    @common_settings
+    @given(backend_pair())
+    def test_bfs_hops_agree(self, pair):
+        as_dict, as_csr, hop_limit = pair
+        sources = list(range(as_dict.node_count))
+        assert as_dict.bfs_hops_many(sources) == as_csr.bfs_hops_many(sources)
+        assert as_dict.bfs_hops_many(sources, hop_limit) == as_csr.bfs_hops_many(
+            sources, hop_limit
+        )
+
+    @common_settings
+    @given(backend_pair())
+    def test_dijkstra_agree(self, pair):
+        as_dict, as_csr, _ = pair
+        sources = list(range(as_dict.node_count))
+        assert as_dict.dijkstra_many(sources) == as_csr.dijkstra_many(sources)
+
+    @common_settings
+    @given(backend_pair())
+    def test_hop_limited_distances_agree(self, pair):
+        as_dict, as_csr, hop_limit = pair
+        sources = list(range(as_dict.node_count))
+        assert as_dict.hop_limited_distances_many(
+            sources, hop_limit
+        ) == as_csr.hop_limited_distances_many(sources, hop_limit)
+
+    @common_settings
+    @given(backend_pair())
+    def test_shortest_distances_within_hops_agree(self, pair):
+        as_dict, as_csr, hop_limit = pair
+        for source in range(0, as_dict.node_count, 3):
+            assert as_dict.shortest_distances_within_hops(
+                source, hop_limit
+            ) == as_csr.shortest_distances_within_hops(source, hop_limit)
+
+    @common_settings
+    @given(backend_pair())
+    def test_eccentricities_and_diameter_agree(self, pair):
+        as_dict, as_csr, hop_limit = pair
+        assert as_dict.hop_eccentricities() == as_csr.hop_eccentricities()
+        assert as_dict.hop_eccentricities(max_hops=max(1, hop_limit)) == as_csr.hop_eccentricities(
+            max_hops=max(1, hop_limit)
+        )
+        assert as_dict.hop_diameter() == as_csr.hop_diameter()
+
+    @common_settings
+    @given(backend_pair())
+    def test_distance_matrix_agree(self, pair):
+        as_dict, as_csr, _ = pair
+        assert (as_dict.distance_matrix() == as_csr.distance_matrix()).all()
+
+    def test_disconnected_graphs_agree(self):
+        as_dict = WeightedGraph(6, backend="dict")
+        as_csr = WeightedGraph(6, backend="csr")
+        for graph in (as_dict, as_csr):
+            graph.add_edge(0, 1, 3)
+            graph.add_edge(2, 3, 1)
+        sources = list(range(6))
+        assert as_dict.bfs_hops_many(sources) == as_csr.bfs_hops_many(sources)
+        assert as_dict.dijkstra_many(sources) == as_csr.dijkstra_many(sources)
+        assert as_dict.hop_diameter() == as_csr.hop_diameter() == float("inf")
+
+
+class TestSimulationEquivalence:
+    """Fixed-seed end-to-end runs must be metric-identical across backends."""
+
+    @staticmethod
+    def _metrics(backend, algorithm, n=64, seed=9):
+        graph = generators.connected_workload(
+            n, RandomSource(seed), weighted=True, max_weight=6
+        )
+        pinned = WeightedGraph.from_edges(n, graph.edges(), backend=backend)
+        network = HybridNetwork(pinned, ModelConfig(rng_seed=seed))
+        result = algorithm(network)
+        return network.metrics, result
+
+    @pytest.mark.parametrize(
+        "algorithm", [lambda net: sssp_exact(net, source=0), apsp_exact], ids=["sssp", "apsp"]
+    )
+    def test_round_metrics_identical(self, algorithm):
+        dict_metrics, dict_result = self._metrics("dict", algorithm)
+        csr_metrics, csr_result = self._metrics("csr", algorithm)
+        assert dict_metrics.as_dict() == csr_metrics.as_dict()
+        assert dict_result.rounds == csr_result.rounds
+        assert {
+            name: (phase.local_rounds, phase.global_rounds)
+            for name, phase in dict_metrics.phases.items()
+        } == {
+            name: (phase.local_rounds, phase.global_rounds)
+            for name, phase in csr_metrics.phases.items()
+        }
+
+    def test_sssp_distances_identical(self):
+        _, dict_result = self._metrics("dict", lambda net: sssp_exact(net, source=0))
+        _, csr_result = self._metrics("csr", lambda net: sssp_exact(net, source=0))
+        assert dict_result.distances == csr_result.distances
+
+    def test_apsp_matrices_identical(self):
+        _, dict_result = self._metrics("dict", apsp_exact)
+        _, csr_result = self._metrics("csr", apsp_exact)
+        assert (dict_result.matrix == csr_result.matrix).all()
+
+
+class TestBatchedHashing:
+    def test_many_matches_scalar_evaluation(self):
+        function = hash_family_for_network(257, RandomSource(4))
+        rng = RandomSource(11)
+        lanes = (
+            [rng.randrange(1 << 20) for _ in range(500)],
+            [rng.randrange(1 << 20) for _ in range(500)],
+            [rng.randrange(64) for _ in range(500)],
+        )
+        batched = function.many(lanes)
+        assert batched == [function(key) for key in zip(*lanes)]
+
+    def test_many_empty(self):
+        function = hash_family_for_network(64, RandomSource(1))
+        assert function.many(()) == []

@@ -8,7 +8,7 @@ from repro.experiments.runner import ExperimentTable, register
 
 
 class TestRegistry:
-    def test_all_twelve_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert available_experiments() == [
             "E1",
             "E2",
@@ -22,6 +22,7 @@ class TestRegistry:
             "E10",
             "E11",
             "E12",
+            "E13",
         ]
 
     def test_unknown_experiment_raises(self):
@@ -50,7 +51,7 @@ class TestExperimentTables:
         assert "| 3 | 4 |" in markdown
         assert "- note" in markdown
 
-    @pytest.mark.parametrize("experiment_id", ["E1", "E9", "E10", "E12"])
+    @pytest.mark.parametrize("experiment_id", ["E1", "E9", "E10", "E12", "E13"])
     def test_small_scale_experiments_run(self, experiment_id):
         table = run_experiment(experiment_id, scale="small")
         assert table.experiment_id == experiment_id
@@ -69,6 +70,13 @@ class TestExperimentTables:
         table = run_experiment("E9", scale="small")
         preserving = table.headers.index("distance preserving")
         assert all(row[preserving] for row in table.rows)
+
+    def test_scenario_families_stay_exact(self):
+        table = run_experiment("E13", scale="small")
+        exact = table.headers.index("exact")
+        scenarios = {row[0] for row in table.rows}
+        assert {"power-law", "grid+highways", "hierarchical-isp"} <= scenarios
+        assert all(row[exact] for row in table.rows)
 
 
 class TestCLI:

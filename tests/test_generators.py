@@ -120,3 +120,50 @@ class TestRandomFamilies:
     def test_suggested_hop_diameter_upper_bounds_real_one(self, rng):
         graph = generators.random_connected_graph(40, 4.0, rng)
         assert generators.suggested_hop_diameter(graph) >= graph.hop_diameter()
+
+
+class TestScenarioFamilies:
+    def test_power_law_graph_connected_with_hubs(self, rng):
+        graph = generators.power_law_graph(150, rng, attachment=2)
+        assert graph.is_connected()
+        # Preferential attachment concentrates degree: the busiest node sees
+        # many times the average degree.
+        average = 2.0 * graph.edge_count / graph.node_count
+        assert graph.max_degree() >= 3 * average
+
+    def test_power_law_graph_weighted(self, rng):
+        graph = generators.power_law_graph(60, rng, attachment=3, max_weight=9)
+        assert graph.is_connected()
+        assert 1 <= graph.max_weight() <= 9
+
+    def test_power_law_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            generators.power_law_graph(1, rng)
+        with pytest.raises(ValueError):
+            generators.power_law_graph(10, rng, attachment=0)
+
+    def test_grid_with_highways(self, rng):
+        graph = generators.grid_with_highways_graph(8, 12, 10, rng)
+        base_edges = 8 * 11 + 7 * 12
+        assert graph.is_connected()
+        assert graph.edge_count > base_edges
+        # Highways are cheaper than streets, so weighted distances can
+        # undercut street-only paths.
+        assert graph.max_weight() == 4
+        assert not graph.is_unweighted()
+
+    def test_grid_with_highways_rejects_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            generators.grid_with_highways_graph(4, 4, -1, rng)
+
+    def test_hierarchical_isp_graph(self, rng):
+        graph = generators.hierarchical_isp_graph(5, 3, 4, rng)
+        assert graph.node_count == 5 + 15 + 60
+        assert graph.is_connected()
+        # Leaves are degree-1 access nodes hanging off regionals.
+        leaf_base = 5 + 15
+        assert all(graph.degree(node) == 1 for node in range(leaf_base, graph.node_count))
+
+    def test_hierarchical_isp_rejects_bad_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            generators.hierarchical_isp_graph(1, 3, 4, rng)

@@ -174,3 +174,39 @@ class TestHybridNetwork:
         a = network.fork_rng("phase").randint(0, 10**6)
         b = network.fork_rng("phase").randint(0, 10**6)
         assert a == b
+
+
+class TestSenderFairness:
+    """Round-robin regression: high-ID senders must not starve behind a
+    saturated receiver (run_global_exchange rotates the sender order)."""
+
+    def test_high_id_sender_not_starved(self):
+        graph = generators.path_graph(8)
+        network = HybridNetwork(graph, ModelConfig(rng_seed=0))
+        # Senders 0..5 saturate receiver 7 with 30 messages each; sender 6
+        # has a single message for the same receiver.  With a fixed
+        # sorted(queues) schedule the low-ID senders would consume the whole
+        # receive budget every round and sender 6 would deliver only after
+        # ~180 earlier messages; rotation must serve it within a few rounds.
+        outboxes = {s: [(7, ("bulk", s, i)) for i in range(30)] for s in range(6)}
+        outboxes[6] = [(7, ("urgent", 6, 0))]
+        inboxes, rounds = network.run_global_exchange(outboxes)
+        delivered = inboxes[7]
+        assert len(delivered) == 181
+        urgent_position = next(
+            index for index, (sender, _) in enumerate(delivered) if sender == 6
+        )
+        # Budget is receive_cap (12 for n=8) messages per round; the rotated
+        # schedule reaches sender 6 within the first len(senders) rounds.
+        assert urgent_position < 5 * network.receive_cap
+        assert rounds >= 181 // network.receive_cap
+
+    def test_rotation_preserves_total_traffic(self):
+        graph = generators.path_graph(6)
+        network = HybridNetwork(graph, ModelConfig(rng_seed=0))
+        outboxes = {s: [(5, (s, i)) for i in range(7)] for s in range(4)}
+        inboxes, _ = network.run_global_exchange(outboxes)
+        assert sorted(payload for _, payload in inboxes[5]) == sorted(
+            (s, i) for s in range(4) for i in range(7)
+        )
+        assert network.metrics.global_messages == 28
