@@ -55,6 +55,27 @@ class HybridCliqueTransport:
             max_tokens_per_receiver=skeleton.size,
             phase=phase + ":routing",
         )
+        # Every CLIQUE round routes one token per ordered node pair; pairs
+        # without an algorithm message carry a padding token.  The tokens are
+        # immutable, so the all-padding token list (one per pair, index 0) is
+        # built once and reused -- a round only constructs tokens for the
+        # pairs that actually carry payloads.
+        original_ids = [skeleton.original_id(index) for index in range(self.size)]
+        self._original_ids = original_ids
+        self._padding_tokens = [
+            RoutingToken(
+                sender=original_ids[sender_index],
+                receiver=original_ids[target_index],
+                index=0,
+                payload=(sender_index, None),
+            )
+            for sender_index in range(self.size)
+            for target_index in range(self.size)
+        ]
+        # The routing plan (hashes, helper assignment) depends only on the
+        # token labels, which a padding-only round repeats exactly; compute it
+        # once, like the paper's one-time hash agreement.
+        self._padding_plan = self.router.plan(self._padding_tokens)
 
     @property
     def rounds_used(self) -> int:
@@ -82,23 +103,29 @@ class HybridCliqueTransport:
                     raise ValueError(f"target index {target_index} outside the skeleton")
                 payloads.setdefault((sender_index, target_index), []).append(payload)
 
-        tokens: List[RoutingToken] = []
-        for sender_index in range(self.size):
-            sender = self.skeleton.original_id(sender_index)
-            for target_index in range(self.size):
-                target = self.skeleton.original_id(target_index)
-                contents = payloads.get((sender_index, target_index), [None])
-                for position, payload in enumerate(contents):
-                    tokens.append(
-                        RoutingToken(
-                            sender=sender,
-                            receiver=target,
-                            index=position,
-                            payload=(sender_index, payload),
-                        )
+        original_ids = self._original_ids
+        tokens: List[RoutingToken] = self._padding_tokens
+        plan = self._padding_plan
+        if payloads:
+            tokens = list(tokens)
+            plan = None
+            size = self.size
+            for (sender_index, target_index), contents in payloads.items():
+                sender = original_ids[sender_index]
+                receiver = original_ids[target_index]
+                pair_tokens = [
+                    RoutingToken(
+                        sender=sender,
+                        receiver=receiver,
+                        index=position,
+                        payload=(sender_index, payload),
                     )
+                    for position, payload in enumerate(contents)
+                ]
+                tokens[sender_index * size + target_index] = pair_tokens[0]
+                tokens.extend(pair_tokens[1:])
 
-        result = self.router.route(tokens)
+        result = self.router.route(tokens, plan=plan)
         self._rounds += 1
 
         inboxes: Dict[int, List[Tuple[int, object]]] = {}

@@ -25,15 +25,62 @@ The protocol (Algorithms 2-4):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.helper_sets import HelperSets, compute_helper_sets, helper_parameter
+from repro.hybrid.batch import MessageBatch
 from repro.hybrid.errors import ProtocolError
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.aggregation import broadcast_value
 from repro.util.hashing import hash_family_for_network
-from repro.util.rand import split_evenly
+
+try:  # Array-based helper assignment / grouping; plain loops without numpy.
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
+
+def _assign_round_robin(endpoints: Sequence[int], helper_lists: Dict[int, List[int]], role: str):
+    """Per token, the helper its endpoint deals it to (``c % helper_count``).
+
+    ``endpoints[i]`` is token ``i``'s sender (or receiver); token number ``c``
+    of an endpoint goes to that endpoint's helper ``c % len(helpers)``.  With
+    numpy the positions are grouped per endpoint and assigned with one take
+    per endpoint instead of dict lookups per token.
+    """
+    if not _HAS_NUMPY or len(endpoints) < 64:
+        result: List[int] = [0] * len(endpoints)
+        counters: Dict[int, int] = {}
+        for position, endpoint in enumerate(endpoints):
+            helpers = helper_lists.get(endpoint)
+            if helpers is None:
+                raise ProtocolError(f"token {role} {endpoint} is not in the {role} set")
+            count = counters.get(endpoint, 0)
+            counters[endpoint] = count + 1
+            result[position] = helpers[count % len(helpers)]
+        return result
+    arr = _np.asarray(endpoints, dtype=_np.int64)
+    order = _np.argsort(arr, kind="stable")
+    sorted_endpoints = arr[order]
+    starts = _np.flatnonzero(
+        _np.concatenate(([True], sorted_endpoints[1:] != sorted_endpoints[:-1]))
+    )
+    bounds = _np.concatenate((starts, [order.size]))
+    result_arr = _np.empty(arr.size, dtype=_np.int64)
+    for begin, end in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        endpoint = int(sorted_endpoints[begin])
+        helpers = helper_lists.get(endpoint)
+        if helpers is None:
+            raise ProtocolError(f"token {role} {endpoint} is not in the {role} set")
+        result_arr[order[begin:end]] = _np.take(
+            _np.asarray(helpers, dtype=_np.int64),
+            _np.arange(end - begin) % len(helpers),
+        )
+    return result_arr
 
 
 @dataclass(frozen=True)
@@ -66,6 +113,30 @@ def make_tokens(assignments: Dict[int, Sequence[Tuple[int, Hashable]]]) -> List[
             counters[key] = index + 1
             tokens.append(RoutingToken(sender, receiver, index, payload))
     return tokens
+
+
+@dataclass
+class RoutingPlan:
+    """The deterministic part of one routing instance (see TokenRouter.plan).
+
+    Everything here is a pure function of the token labels and the router's
+    shared hash function: the routable/self-delivered split, each token's
+    intermediate node, the round-robin helper on both sides, and the final
+    per-receiver grouping.  Reusable across :meth:`TokenRouter.route` calls
+    with the same token list.
+    """
+
+    tokens: Sequence[RoutingToken]
+    routable: List[RoutingToken]
+    intermediates: Sequence[int]
+    sender_helper_of: Sequence[int]
+    receiver_helper_of: Sequence[int]
+    delivered_by_receiver: Dict[int, List[RoutingToken]]
+
+    @property
+    def token_count(self) -> int:
+        """Number of tokens the plan was computed for."""
+        return len(self.tokens)
 
 
 @dataclass
@@ -140,12 +211,75 @@ class TokenRouter:
         self.setup_rounds = network.metrics.total_rounds - rounds_before
 
     # ------------------------------------------------------------------ route
-    def route(self, tokens: Sequence[RoutingToken]) -> TokenRoutingResult:
+    def plan(self, tokens: Sequence[RoutingToken]) -> "RoutingPlan":
+        """Precompute the deterministic routing plan for a token list.
+
+        The plan -- the self-delivered split, each routable token's hashed
+        intermediate and its round-robin helper on both sides -- depends only
+        on the token *labels* and the router's fixed hash function, so a
+        caller routing the same label set every round (the CLIQUE simulation
+        routes one token per ordered skeleton pair per round) computes it
+        once and passes it to :meth:`route`, exactly like the paper evaluates
+        the shared hash per label once.
+        """
+        direct: Dict[int, List[RoutingToken]] = {}
+        routable: List[RoutingToken] = []
+        for token in tokens:
+            if token.sender == token.receiver:
+                direct.setdefault(token.receiver, []).append(token)
+            else:
+                routable.append(token)
+
+        # Each token's label is hashed exactly once -- the whole batch in one
+        # vectorised field evaluation.  The lanes must spell out
+        # RoutingToken.label's (sender, receiver, index) convention so the
+        # batch evaluates the same keys as the scalar hash on token.label.
+        token_senders = [token.sender for token in routable]
+        token_receivers = [token.receiver for token in routable]
+        intermediates = self.hash_function.many(
+            (token_senders, token_receivers, [token.index for token in routable])
+        )
+        # Helper assignment deals each endpoint's tokens round-robin: token
+        # number c of an endpoint goes to helper ``c % helper_count``, the
+        # balanced ⌈k/µ⌉-per-helper split of Fact 2.4.  Both sides are
+        # assigned by grouping the token positions per endpoint (one pass of
+        # array ops per endpoint, not per token).
+        sender_helper_of = _assign_round_robin(
+            token_senders, self.sender_helpers.helpers, "sender"
+        )
+        receiver_helper_of = _assign_round_robin(
+            token_receivers, self.receiver_helpers.helpers, "receiver"
+        )
+        # The final per-receiver token lists are label-determined as well
+        # (everything queued is delivered), so the grouping is part of the
+        # plan; route() hands out fresh copies.
+        delivered_by_receiver: Dict[int, List[RoutingToken]] = {
+            receiver: list(items) for receiver, items in direct.items()
+        }
+        for receiver, _, items in MessageBatch(
+            token_senders, token_receivers, routable
+        ).groupby_target():
+            delivered_by_receiver.setdefault(receiver, []).extend(items)
+        return RoutingPlan(
+            tokens=tokens,
+            routable=routable,
+            intermediates=intermediates,
+            sender_helper_of=sender_helper_of,
+            receiver_helper_of=receiver_helper_of,
+            delivered_by_receiver=delivered_by_receiver,
+        )
+
+    def route(
+        self, tokens: Sequence[RoutingToken], plan: Optional["RoutingPlan"] = None
+    ) -> TokenRoutingResult:
         """Execute Routing-Preparation + Routing-Scheme for the given tokens.
 
         The returned round count covers this routing instance only; the
         one-time helper-set construction cost is available as ``setup_rounds``
-        (the :func:`route_tokens` convenience wrapper includes it).
+        (the :func:`route_tokens` convenience wrapper includes it).  A
+        :meth:`plan` computed for this exact token list may be passed to skip
+        re-deriving the hashes and helper assignments (they are deterministic
+        per label set).
 
         Tokens whose sender equals their receiver are delivered directly (the
         node already has them); everything else flows through helpers and
@@ -156,40 +290,16 @@ class TokenRouter:
         rounds_before = network.metrics.total_rounds
         log_factor = network.config.log_rounds(network.n)
 
-        delivered: Dict[int, List[RoutingToken]] = {}
-        routable: List[RoutingToken] = []
-        for token in tokens:
-            if token.sender == token.receiver:
-                delivered.setdefault(token.receiver, []).append(token)
-            else:
-                routable.append(token)
-
-        # Each token's label is materialised and hashed exactly once -- the
-        # whole batch in one vectorised field evaluation -- and the
-        # (token, label, intermediate) triple travels through the phases, so
-        # the simulation never re-runs the Horner evaluation for the same
-        # label (the sender helper in phase A and the receiver helper in
-        # phase B evaluate the same shared function on the same label).
-        # The lanes must spell out RoutingToken.label's (sender, receiver,
-        # index) convention so the batch evaluates the same keys as the
-        # scalar hash on token.label.
-        intermediates = self.hash_function.many(
-            (
-                [token.sender for token in routable],
-                [token.receiver for token in routable],
-                [token.index for token in routable],
-            )
-        )
-        sender_tokens: Dict[int, List[Tuple[RoutingToken, Tuple[int, int, int], int]]] = {}
-        receiver_labels: Dict[int, List[Tuple[Tuple[int, int, int], int]]] = {}
-        for token, intermediate in zip(routable, intermediates):
-            if token.sender not in self.sender_helpers.helpers:
-                raise ProtocolError(f"token sender {token.sender} is not in the sender set")
-            if token.receiver not in self.receiver_helpers.helpers:
-                raise ProtocolError(f"token receiver {token.receiver} is not in the receiver set")
-            label = token.label
-            sender_tokens.setdefault(token.sender, []).append((token, label, intermediate))
-            receiver_labels.setdefault(token.receiver, []).append((label, intermediate))
+        if plan is None:
+            plan = self.plan(tokens)
+        elif plan.tokens is not tokens:
+            # Same-length-different-content misuse would silently deliver the
+            # plan's tokens, so require the exact list the plan was built for.
+            raise ValueError("routing plan was computed for a different token list")
+        routable = plan.routable
+        intermediates = plan.intermediates
+        sender_helper_of = plan.sender_helper_of
+        receiver_helper_of = plan.receiver_helper_of
 
         # ---------------------------------------------- Routing-Preparation
         # Two local flooding loops bounded by 2(µ_S + µ_R)⌈log n⌉ rounds each:
@@ -204,67 +314,46 @@ class TokenRouter:
         network.charge_local_rounds(preparation_rounds, self.phase + ":preparation-detect")
         network.charge_local_rounds(preparation_rounds, self.phase + ":preparation-distribute")
 
-        helper_outgoing: Dict[int, List[Tuple[RoutingToken, Tuple[int, int, int], int]]] = {}
-        for sender, its_tokens in sender_tokens.items():
-            helper_nodes = self.sender_helpers.helpers[sender]
-            for helper, bucket in zip(helper_nodes, split_evenly(its_tokens, len(helper_nodes))):
-                if bucket:
-                    helper_outgoing.setdefault(helper, []).extend(bucket)
-
-        helper_requests: Dict[int, List[Tuple[Tuple[int, int, int], int, int]]] = {}
-        for receiver, labels in receiver_labels.items():
-            helper_nodes = self.receiver_helpers.helpers[receiver]
-            for helper, bucket in zip(helper_nodes, split_evenly(labels, len(helper_nodes))):
-                for label, intermediate in bucket:
-                    helper_requests.setdefault(helper, []).append((label, intermediate, receiver))
-
         # -------------------------------------------------- Routing-Scheme
+        # The three phases ship their traffic as MessageBatch columns built
+        # straight from the token/helper/intermediate arrays (one message per
+        # token and phase), so the engine schedules and accounts them with
+        # whole-array operations.  The exchange always delivers every queued
+        # message, so the request an intermediate receives for a label and
+        # the token it stores for that label both follow from the same array
+        # row -- phase C's outboxes are derived from it directly instead of
+        # re-keying a per-intermediate store off the phase B inboxes.
         # Phase A: sender-helpers push tokens to their intermediate nodes.
-        push_outboxes = {
-            helper: [(intermediate, token) for token, _, intermediate in entries]
-            for helper, entries in helper_outgoing.items()
-        }
-        network.run_global_exchange(push_outboxes, self.phase + ":push")
-        # The exchange always delivers every queued message, so the store each
-        # intermediate ends up with is exactly the pushed (label -> token) map;
-        # building it from the outgoing side skips re-deriving labels from the
-        # inbox payloads.
-        intermediate_store: Dict[int, Dict[Tuple[int, int, int], RoutingToken]] = {}
-        for entries in helper_outgoing.values():
-            for token, label, intermediate in entries:
-                store = intermediate_store.get(intermediate)
-                if store is None:
-                    store = intermediate_store[intermediate] = {}
-                store[label] = token
-
-        # Phase B: receiver-helpers request their labels from the intermediates.
-        request_outboxes = {
-            helper: [
-                (intermediate, ("request", label, helper))
-                for label, intermediate, _ in requests
-            ]
-            for helper, requests in helper_requests.items()
-        }
-        request_inboxes, _ = network.run_global_exchange(request_outboxes, self.phase + ":request")
-
+        network.run_global_exchange(
+            MessageBatch(sender_helper_of, intermediates, routable), self.phase + ":push"
+        )
+        # Phase B: receiver-helpers request their labels from the
+        # intermediates (the payload stands for ``(label, requester)``).
+        network.run_global_exchange(
+            MessageBatch(receiver_helper_of, intermediates, routable),
+            self.phase + ":request",
+        )
         # Phase C: intermediates answer every request with the stored token.
-        response_outboxes: Dict[int, List[Tuple[int, RoutingToken]]] = {}
-        for intermediate, messages in request_inboxes.items():
-            store = intermediate_store.get(intermediate, {})
-            for _, (_, label, requester) in messages:
-                token = store.get(label)
-                if token is None:
-                    raise ProtocolError(f"intermediate {intermediate} missing token {label}")
-                response_outboxes.setdefault(intermediate, []).append((requester, token))
-        response_inboxes, _ = network.run_global_exchange(response_outboxes, self.phase + ":respond")
+        response_inboxes, _ = network.run_global_exchange(
+            MessageBatch(intermediates, receiver_helper_of, routable),
+            self.phase + ":respond",
+        )
 
         # Receivers collect the fetched tokens from their helpers locally.
         collection_bound = max(1, 2 * self.mu_receivers * log_factor)
         collection_rounds = max(1, min(2 * receiver_radius, collection_bound))
         network.charge_local_rounds(collection_rounds, self.phase + ":collect")
-        for _, messages in response_inboxes.items():
-            for _, token in messages:
-                delivered.setdefault(token.receiver, []).append(token)
+        # The exchange must have carried one response per routed token; with
+        # the count verified, the per-receiver token lists come from the plan
+        # (label-determined) instead of a per-message fold of the inbox.
+        if len(response_inboxes) != len(routable):
+            raise ProtocolError(
+                f"token routing delivered {len(response_inboxes)} of "
+                f"{len(routable)} routed tokens"
+            )
+        delivered: Dict[int, List[RoutingToken]] = {
+            receiver: list(items) for receiver, items in plan.delivered_by_receiver.items()
+        }
 
         expected = len(tokens)
         received = sum(len(items) for items in delivered.values())

@@ -73,6 +73,7 @@ class WeightedGraph:
         self._edge_count = 0
         self._backend_choice = backend
         self._csr = None
+        self._hop_diameter: Optional[float] = None
 
     # ------------------------------------------------------------------ basic
     @property
@@ -125,6 +126,7 @@ class WeightedGraph:
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
         self._csr = None
+        self._hop_diameter = None
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}`` (must exist)."""
@@ -134,6 +136,7 @@ class WeightedGraph:
         del self._adjacency[v][u]
         self._edge_count -= 1
         self._csr = None
+        self._hop_diameter = None
 
     def weight(self, u: int, v: int) -> int:
         """Weight of the edge ``{u, v}`` (must exist)."""
@@ -367,20 +370,29 @@ class WeightedGraph:
         return max(distances.values())
 
     def hop_diameter(self) -> float:
-        """``D(G)``: the maximum hop distance over all pairs (Section 1.3)."""
+        """``D(G)``: the maximum hop distance over all pairs (Section 1.3).
+
+        Cached like the CSR view (every simulated network on this graph asks
+        for it) and dropped on mutation.
+        """
+        if self._hop_diameter is not None:
+            return self._hop_diameter
         if self._use_csr():
             best = 0.0
             for ecc in self.hop_eccentricities():
                 if ecc == INFINITY:
-                    return INFINITY
+                    best = INFINITY
+                    break
                 best = max(best, ecc)
-            return best
-        best = 0.0
-        for u in range(self._n):
-            ecc = self.hop_eccentricity(u)
-            if ecc == INFINITY:
-                return INFINITY
-            best = max(best, ecc)
+        else:
+            best = 0.0
+            for u in range(self._n):
+                ecc = self.hop_eccentricity(u)
+                if ecc == INFINITY:
+                    best = INFINITY
+                    break
+                best = max(best, ecc)
+        self._hop_diameter = best
         return best
 
     def is_connected(self) -> bool:

@@ -5,6 +5,7 @@ Exports the simulation engine (:class:`HybridNetwork`), its configuration
 engine's exception types.
 """
 
+from repro.hybrid.batch import MessageBatch
 from repro.hybrid.config import ModelConfig
 from repro.hybrid.errors import CapacityExceededError, HybridModelError, ProtocolError
 from repro.hybrid.metrics import PhaseBreakdown, RoundMetrics
@@ -13,6 +14,7 @@ from repro.hybrid.network import HybridNetwork, Inboxes, Outboxes
 __all__ = [
     "ModelConfig",
     "HybridNetwork",
+    "MessageBatch",
     "RoundMetrics",
     "PhaseBreakdown",
     "CapacityExceededError",

@@ -1,0 +1,172 @@
+"""Batched representation of global-mode (NCC) message traffic.
+
+The engine's scalar interface moves global messages as
+``Dict[sender, List[(target, payload)]]`` outboxes and the mirror-image
+``Dict[receiver, List[(sender, payload)]]`` inboxes.  That shape forces a
+Python-level loop per message on both the protocol side (building the dicts
+one tuple at a time) and the engine side (draining them one tuple at a time).
+
+:class:`MessageBatch` is the array-backed alternative, mirroring the graph
+core's dict/CSR dual-backend pattern (DESIGN.md §4): one batch of messages is
+three parallel columns
+
+* ``senders`` -- integer array, ``senders[i]`` sent message ``i``,
+* ``targets`` -- integer array, ``targets[i]`` receives message ``i``, and
+* ``payloads`` -- a plain Python list of the message payloads,
+
+so the engine can do all round accounting (per-sender counts, per-receiver
+``np.bincount``, cut crossings, budget scheduling) with whole-array
+operations and only ever touches payloads to slice them.  Message ``i`` of a
+batch is *earlier* than message ``j > i``: within one sender the array order
+is the sender's queue order, exactly like the list order of a dict-form
+outbox.
+
+The same class serves as the batched inbox: :meth:`groupby_target` yields the
+per-receiver message groups in delivery order, and :meth:`to_inboxes` /
+:meth:`to_outboxes` convert to the scalar dict forms for interoperability.
+Without numpy the columns degrade to Python lists and the engine falls back
+to the scalar plane; every consumer keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+try:  # Arrays when available; plain lists otherwise (see module docstring).
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
+Outboxes = Dict[int, List[Tuple[int, object]]]
+Inboxes = Dict[int, List[Tuple[int, object]]]
+
+
+def _as_index_column(values) -> "Sequence[int]":
+    """Coerce a sender/target column to an int64 array (or list without numpy)."""
+    if _HAS_NUMPY:
+        return _np.asarray(values, dtype=_np.int64)
+    return [int(value) for value in values]
+
+
+class MessageBatch:
+    """One batch of global messages as parallel sender/target/payload columns."""
+
+    __slots__ = ("senders", "targets", "payloads")
+
+    def __init__(self, senders, targets, payloads: Sequence[object]) -> None:
+        self.senders = _as_index_column(senders)
+        self.targets = _as_index_column(targets)
+        self.payloads = list(payloads) if not isinstance(payloads, list) else payloads
+        if not (len(self.senders) == len(self.targets) == len(self.payloads)):
+            raise ValueError(
+                f"column lengths differ: {len(self.senders)} senders, "
+                f"{len(self.targets)} targets, {len(self.payloads)} payloads"
+            )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def empty(cls) -> "MessageBatch":
+        """A batch with no messages."""
+        return cls([], [], [])
+
+    @classmethod
+    def from_outboxes(cls, outboxes: Mapping[int, Sequence[Tuple[int, object]]]) -> "MessageBatch":
+        """Flatten dict-form outboxes (sender iteration order, then queue order)."""
+        senders: List[int] = []
+        targets: List[int] = []
+        payloads: List[object] = []
+        for sender, messages in outboxes.items():
+            for target, payload in messages:
+                senders.append(sender)
+                targets.append(target)
+                payloads.append(payload)
+        return cls(senders, targets, payloads)
+
+    @classmethod
+    def from_inboxes(cls, inboxes: Mapping[int, Sequence[Tuple[int, object]]]) -> "MessageBatch":
+        """Flatten dict-form inboxes; per-target message order is preserved."""
+        senders: List[int] = []
+        targets: List[int] = []
+        payloads: List[object] = []
+        for target, messages in inboxes.items():
+            for sender, payload in messages:
+                senders.append(sender)
+                targets.append(target)
+                payloads.append(payload)
+        return cls(senders, targets, payloads)
+
+    @classmethod
+    def concat(cls, batches: Sequence["MessageBatch"]) -> "MessageBatch":
+        """Concatenate batches in order (earlier batches are earlier messages)."""
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        payloads: List[object] = []
+        for batch in batches:
+            payloads.extend(batch.payloads)
+        if _HAS_NUMPY:
+            senders = _np.concatenate([batch.senders for batch in batches])
+            targets = _np.concatenate([batch.targets for batch in batches])
+        else:
+            senders = [s for batch in batches for s in batch.senders]
+            targets = [t for batch in batches for t in batch.targets]
+        return cls(senders, targets, payloads)
+
+    # ------------------------------------------------------------- conversions
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def to_outboxes(self) -> Outboxes:
+        """The scalar dict-of-tuples outbox form (per-sender queue order kept)."""
+        outboxes: Outboxes = {}
+        for sender, target, payload in zip(self.senders, self.targets, self.payloads):
+            outboxes.setdefault(int(sender), []).append((int(target), payload))
+        return outboxes
+
+    def to_inboxes(self) -> Inboxes:
+        """The scalar dict-of-tuples inbox form (per-receiver delivery order kept)."""
+        inboxes: Inboxes = {}
+        for sender, target, payload in zip(self.senders, self.targets, self.payloads):
+            inboxes.setdefault(int(target), []).append((int(sender), payload))
+        return inboxes
+
+    def groupby_target(self) -> Iterator[Tuple[int, Sequence[int], List[object]]]:
+        """Yield ``(target, senders, payloads)`` per distinct target.
+
+        Groups appear in ascending target order; within a group, messages keep
+        their batch (delivery) order, so per-target folds see exactly the
+        sequence a dict-form inbox would hold.  With numpy the senders come
+        back as an integer array (materialise with ``list(...)`` if needed).
+        """
+        if not len(self):
+            return
+        if _HAS_NUMPY:
+            order = _np.argsort(self.targets, kind="stable")
+            sorted_targets = self.targets[order]
+            boundaries = _np.flatnonzero(sorted_targets[1:] != sorted_targets[:-1]) + 1
+            starts = [0, *boundaries.tolist(), len(order)]
+            payloads = self.payloads
+            for begin, end in zip(starts[:-1], starts[1:]):
+                indices = order[begin:end]
+                yield (
+                    int(sorted_targets[begin]),
+                    self.senders[indices],
+                    [payloads[i] for i in indices.tolist()],
+                )
+        else:
+            grouped: Dict[int, Tuple[List[int], List[object]]] = {}
+            for sender, target, payload in zip(self.senders, self.targets, self.payloads):
+                bucket = grouped.setdefault(int(target), ([], []))
+                bucket[0].append(int(sender))
+                bucket[1].append(payload)
+            for target in sorted(grouped):
+                senders, payloads = grouped[target]
+                yield target, senders, payloads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageBatch(messages={len(self)})"

@@ -56,6 +56,14 @@ class ModelConfig:
         learn the whole graph.  When True (default), every local-phase charge
         is capped at the hop diameter of ``G``, which implements that remark
         per phase and keeps the accounting honest on small-diameter graphs.
+    global_plane:
+        How :class:`~repro.hybrid.batch.MessageBatch` traffic is executed:
+        ``"auto"`` (default) uses the vectorized whole-array scheduler when
+        numpy is importable, ``"vectorized"`` requires it, ``"scalar"`` forces
+        the per-message reference path (the two planes make identical
+        admission decisions and record identical metrics; benchmarks pin each
+        to measure the speedup).  Dict-form outboxes always take the scalar
+        path.
     rng_seed:
         Root seed for all randomness of a simulation run.
     """
@@ -69,6 +77,7 @@ class ModelConfig:
     helper_log_factor: float = 1.0
     hash_independence_factor: int = 3
     cap_local_at_diameter: bool = True
+    global_plane: str = "auto"
     rng_seed: int = 0
     extra: dict = field(default_factory=dict)
 

@@ -11,10 +11,16 @@ protocol implementations exactly the two communication modes of the model:
   corresponding neighbourhoods.  This is semantically what the LOCAL model
   allows and keeps Python simulations tractable (see DESIGN.md §2).
 
-* **Global mode (NCC).**  Simulated message by message.  Each round every node
-  may send at most ``ModelConfig.send_cap(n)`` messages of ``O(log n)`` bits to
-  arbitrary node IDs; the engine enforces the send budget, counts every round
-  and message, and records the per-round receive maxima that Lemma D.2 bounds.
+* **Global mode (NCC).**  Each round every node may send at most
+  ``ModelConfig.send_cap(n)`` messages of ``O(log n)`` bits to arbitrary node
+  IDs; the engine enforces the send budget, counts every round and message,
+  and records the per-round receive maxima that Lemma D.2 bounds.  Messages
+  travel in one of two interchangeable forms: the scalar dict-of-tuples
+  outboxes/inboxes, simulated message by message, or an array-backed
+  :class:`~repro.hybrid.batch.MessageBatch`, scheduled and accounted with
+  whole-array numpy operations (``ModelConfig.global_plane`` selects the
+  plane; both produce identical :class:`RoundMetrics` by construction, see
+  tests/test_message_plane.py).
 
 All counters live in :class:`~repro.hybrid.metrics.RoundMetrics`; the sum of
 local and global rounds is the quantity the paper's theorems are about.
@@ -22,19 +28,79 @@ local and global rounds is the quantity the paper's theorems are about.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.graphs.graph import WeightedGraph
+from repro.hybrid.batch import MessageBatch
 from repro.hybrid.config import ModelConfig
 from repro.hybrid.errors import CapacityExceededError
 from repro.hybrid.metrics import RoundMetrics
 from repro.util.rand import RandomSource
 
+try:  # The vectorized message plane needs numpy; the scalar plane never does.
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
 # A global outbox maps a sender to the list of (target, payload) messages it
 # wants to send; an inbox maps a receiver to the list of (sender, payload)
-# messages it got.
+# messages it got.  MessageBatch is the array-backed equivalent of either.
 Outboxes = Dict[int, List[Tuple[int, object]]]
 Inboxes = Dict[int, List[Tuple[int, object]]]
+GlobalMessages = Union[Mapping[int, Sequence[Tuple[int, object]]], MessageBatch]
+
+
+def _group_starts(keys):
+    """For a key array whose equal keys are contiguous: index of each run's start."""
+    length = keys.size
+    change = _np.empty(length, dtype=bool)
+    change[0] = True
+    _np.not_equal(keys[1:], keys[:-1], out=change[1:])
+    return _np.maximum.accumulate(_np.where(change, _np.arange(length), 0))
+
+
+def _admit_scan(senders, targets, scan_positions, send_cap: int, receive_cap: int):
+    """Which messages the scalar admission scan would admit this round.
+
+    The arrays are in canonical order -- sorted by (sender, queue position),
+    each sender's messages contiguous -- and ``scan_positions`` gives each
+    message's rank in the round's rotated scan order (the rotation moves
+    whole sender runs, so within a sender canonical order *is* scan order).
+    The scalar scheduler admits a message iff, among messages scanned before
+    it, fewer than ``send_cap`` of the same sender and fewer than
+    ``receive_cap`` to the same target were admitted (skipped messages
+    consume no budget).  That recurrence is solved by Jacobi iteration on
+    whole-array prefix sums: re-evaluating every message against the
+    previous iterate's admission vector fixes the decisions of the first
+    ``k`` scan positions after ``k`` sweeps (each decision depends only on
+    earlier positions), so the loop converges to the unique fixpoint -- the
+    exact scalar outcome -- and in practice stops after two or three sweeps.
+    """
+    length = senders.size
+    positions = _np.arange(length)
+    sender_starts = _group_starts(senders)
+    # One argsort orders the messages by (target, scan position); groupwise
+    # exclusive prefix sums over it count each message's admitted
+    # predecessors at the same target.
+    target_order = _np.argsort(targets * _np.int64(length) + scan_positions)
+    sorted_target_starts = _group_starts(targets[target_order])
+    inverse = _np.empty(length, dtype=positions.dtype)
+    inverse[target_order] = positions
+    admitted = _np.ones(length, dtype=bool)
+    for _ in range(length):
+        exclusive = _np.cumsum(admitted) - admitted
+        prior_sender = exclusive - exclusive[sender_starts]
+        admitted_by_target = admitted[target_order]
+        exclusive_target = _np.cumsum(admitted_by_target) - admitted_by_target
+        prior_target = (exclusive_target - exclusive_target[sorted_target_starts])[inverse]
+        refined = (prior_sender < send_cap) & (prior_target < receive_cap)
+        if _np.array_equal(refined, admitted):
+            break
+        admitted = refined
+    return admitted
 
 
 class HybridNetwork:
@@ -49,15 +115,26 @@ class HybridNetwork:
         self.send_cap = self.config.send_cap(self.n)
         self.receive_cap = self.config.receive_cap(self.n)
         self._states: List[Dict[str, object]] = [dict() for _ in range(self.n)]
-        self._cut_watchers: List[Tuple[str, Set[int]]] = []
+        # (name, node_set, membership mask or None) per registered cut.
+        self._cut_watchers: List[Tuple[str, Set[int], object]] = []
         self._hop_diameter: Optional[int] = None
+        plane = self.config.global_plane
+        if plane not in ("auto", "scalar", "vectorized"):
+            raise ValueError(f"unknown global_plane {plane!r}")
+        if plane == "vectorized" and not _HAS_NUMPY:
+            raise ValueError("global_plane='vectorized' requires numpy")
+        self.vectorized_plane = plane == "vectorized" or (plane == "auto" and _HAS_NUMPY)
         # Cumulative global messages received per node over the whole run;
         # the busiest node's total is the bandwidth bottleneck the paper's
         # trade-offs are about.
-        self.received_totals: List[int] = [0] * self.n
-        # Per-round receive counters, kept allocated across rounds: only the
-        # entries touched in a round are read and re-zeroed, so accounting
-        # cost scales with the round's traffic rather than with n.
+        if _HAS_NUMPY:
+            self.received_totals = _np.zeros(self.n, dtype=_np.int64)
+        else:
+            self.received_totals = [0] * self.n
+        # Per-round receive counters for the scalar plane, kept allocated
+        # across rounds: only the entries touched in a round are read and
+        # re-zeroed, so accounting cost scales with the round's traffic
+        # rather than with n.
         self._receive_counts: List[int] = [0] * self.n
 
     # ------------------------------------------------------------------ state
@@ -117,17 +194,25 @@ class HybridNetwork:
         simulation argument only charges for information crossing the cut via
         the global network.
         """
-        self._cut_watchers.append((name, set(node_set)))
+        members = set(node_set)
+        mask = None
+        if _HAS_NUMPY:
+            mask = _np.zeros(self.n, dtype=bool)
+            for node in members:
+                mask[node] = True
+        self._cut_watchers.append((name, members, mask))
 
-    def global_round(self, outboxes: Mapping[int, Sequence[Tuple[int, object]]], phase: str = "global") -> Inboxes:
+    def global_round(self, outboxes: GlobalMessages, phase: str = "global"):
         """Execute exactly one round of the global (NCC) mode.
 
         Parameters
         ----------
         outboxes:
-            For each sending node, the list of ``(target, payload)`` messages
-            it sends this round.  With ``strict_send`` (default) a node
-            exceeding the send budget raises
+            Either dict-form outboxes -- for each sending node, the list of
+            ``(target, payload)`` messages it sends this round -- or a
+            :class:`MessageBatch` holding the same messages as parallel
+            sender/target/payload columns.  With ``strict_send`` (default) a
+            node exceeding the send budget raises
             :class:`~repro.hybrid.errors.CapacityExceededError` -- a correct
             protocol never does.
         phase:
@@ -135,14 +220,29 @@ class HybridNetwork:
 
         Returns
         -------
-        dict
-            ``receiver -> [(sender, payload), ...]`` for this round.
+        dict or MessageBatch
+            Dict-form outboxes yield ``receiver -> [(sender, payload), ...]``
+            inboxes; a :class:`MessageBatch` yields the delivered messages as
+            a :class:`MessageBatch` (accounting done with whole-array
+            operations when the vectorized plane is active).  Both planes
+            record identical metrics for the same messages.
         """
+        if isinstance(outboxes, MessageBatch):
+            if self.vectorized_plane:
+                self._account_batched_round(outboxes.senders, outboxes.targets, phase)
+                return outboxes
+            return MessageBatch.from_inboxes(self._global_round_scalar(outboxes.to_outboxes(), phase))
+        return self._global_round_scalar(outboxes, phase)
+
+    def _global_round_scalar(
+        self, outboxes: Mapping[int, Sequence[Tuple[int, object]]], phase: str
+    ) -> Inboxes:
+        """One global round, simulated message by message (the scalar plane)."""
         inboxes: Inboxes = {}
         total_messages = 0
         max_sent = 0
         watchers = self._cut_watchers
-        cut_crossings = {name: 0 for name, _ in watchers}
+        cut_crossings = {name: 0 for name, _, _ in watchers}
         # Accounting is batched: receive counts accumulate in a reusable
         # per-node counter array and are folded into the totals/maximum once
         # per touched receiver, instead of dict lookups per message.  The
@@ -180,7 +280,7 @@ class HybridNetwork:
                         touched.append(target)
                     receive_counts[target] += 1
                     if watchers:
-                        for name, node_set in watchers:
+                        for name, node_set, _ in watchers:
                             if (sender in node_set) != (target in node_set):
                                 cut_crossings[name] += 1
         except Exception:
@@ -214,12 +314,61 @@ class HybridNetwork:
                 self.metrics.record_cut_bits(name, crossings * self.config.message_bits)
         return inboxes
 
+    def _account_batched_round(self, senders, targets, phase: str) -> None:
+        """Validate and account one global round given as sender/target arrays.
+
+        Whole-array replacement for the scalar round bookkeeping: per-sender
+        counts for the send-cap check, ``np.bincount`` receive accounting, and
+        mask comparisons for cut crossings.  Produces exactly the values the
+        scalar plane records for the same messages.
+        """
+        n = self.n
+        count = int(senders.size)
+        max_sent = 0
+        max_received = 0
+        if count:
+            if int(senders.min()) < 0 or int(senders.max()) >= n:
+                bad = senders[(senders < 0) | (senders >= n)][0]
+                raise ValueError(f"sender {int(bad)} outside the network")
+            if int(targets.min()) < 0 or int(targets.max()) >= n:
+                bad = targets[(targets < 0) | (targets >= n)][0]
+                raise ValueError(f"target {int(bad)} outside the network")
+            sent_counts = _np.bincount(senders, minlength=n)
+            max_sent = int(sent_counts.max())
+            if max_sent > self.send_cap and self.config.strict_send:
+                offender = int(sent_counts.argmax())
+                raise CapacityExceededError(
+                    f"node {offender} tried to send {max_sent} global messages in one "
+                    f"round (cap {self.send_cap})"
+                )
+            receive_counts = _np.bincount(targets, minlength=n)
+            max_received = int(receive_counts.max())
+            if max_received > self.receive_cap and self.config.strict_receive:
+                raise CapacityExceededError(
+                    f"a node received {max_received} global messages in one round "
+                    f"(cap {self.receive_cap})"
+                )
+            self.received_totals += receive_counts
+        self.metrics.charge_global(1, phase)
+        self.metrics.record_global_traffic(
+            messages=count,
+            bits=count * self.config.message_bits,
+            max_sent=max_sent,
+            max_received=max_received,
+            receive_cap=self.receive_cap,
+        )
+        if count:
+            for name, _, mask in self._cut_watchers:
+                crossings = int(_np.count_nonzero(mask[senders] != mask[targets]))
+                if crossings:
+                    self.metrics.record_cut_bits(name, crossings * self.config.message_bits)
+
     def run_global_exchange(
         self,
-        outboxes: Mapping[int, Sequence[Tuple[int, object]]],
+        outboxes: GlobalMessages,
         phase: str = "global",
         receiver_limited: bool = True,
-    ) -> Tuple[Inboxes, int]:
+    ):
         """Deliver an arbitrary-size batch of global messages over several rounds.
 
         Each node sends its queued messages at most ``send_cap`` per round and,
@@ -235,10 +384,33 @@ class HybridNetwork:
         shared fairly.  (A fixed ``sorted(queues)`` order would hand low-ID
         senders the whole budget every round and starve high-ID senders
         behind a saturated receiver; see the regression test in
-        tests/test_hybrid_engine.py.)
+        tests/test_hybrid_engine.py.)  Every round makes progress: the receive
+        budget is rebuilt per round, so the first message scanned is always
+        admissible -- the schedulers assert this invariant rather than
+        charging idle rounds.
 
+        Dict-form outboxes are drained by the scalar per-message scheduler
+        and yield dict-form inboxes; a :class:`MessageBatch` is scheduled by
+        the vectorized plane (whole-array budget accounting, identical
+        admission decisions and metrics) and yields a :class:`MessageBatch`.
         Returns the accumulated inboxes and the number of global rounds used.
         """
+        if isinstance(outboxes, MessageBatch):
+            if self.vectorized_plane:
+                return self._run_exchange_batched(outboxes, phase, receiver_limited)
+            inboxes, rounds = self._run_exchange_scalar(
+                outboxes.to_outboxes(), phase, receiver_limited
+            )
+            return MessageBatch.from_inboxes(inboxes), rounds
+        return self._run_exchange_scalar(outboxes, phase, receiver_limited)
+
+    def _run_exchange_scalar(
+        self,
+        outboxes: Mapping[int, Sequence[Tuple[int, object]]],
+        phase: str,
+        receiver_limited: bool,
+    ) -> Tuple[Inboxes, int]:
+        """The per-message reference scheduler (see run_global_exchange)."""
         queues: Dict[int, List[Tuple[int, object]]] = {
             sender: list(messages) for sender, messages in outboxes.items() if messages
         }
@@ -281,22 +453,91 @@ class HybridNetwork:
                     empty_senders.append(sender)
             for sender in empty_senders:
                 del queues[sender]
-            if not round_out:
-                # Every remaining message targets a saturated receiver; the
-                # round still elapses (receivers are busy draining).
-                self.metrics.charge_global(1, phase)
-                rounds += 1
-                continue
-            delivered = self.global_round(round_out, phase)
+            # The receive budget is rebuilt each round, so the first message
+            # of the first scheduled sender is always admitted; an empty
+            # round would mean the scheduler lost messages.
+            assert round_out, "global exchange scheduler made no progress"
+            delivered = self._global_round_scalar(round_out, phase)
             rounds += 1
             for receiver, messages in delivered.items():
                 inboxes.setdefault(receiver, []).extend(messages)
         return inboxes, rounds
 
+    def _run_exchange_batched(
+        self, batch: MessageBatch, phase: str, receiver_limited: bool
+    ) -> Tuple[MessageBatch, int]:
+        """The whole-array scheduler: same admissions as the scalar plane.
+
+        The pending messages are kept sorted by (sender, queue position) --
+        sorted once up front and filtered in place afterwards, which
+        preserves the order -- so each round's rotated scan order (senders
+        rank ``offset`` and up, then the wrap-around) is a single
+        array rotation at the offset sender's first message, and the active
+        sender list falls out of the run boundaries.  The admissible batch is
+        computed from send/receive budget arrays (:func:`_admit_scan`),
+        accounted via ``np.bincount`` and removed; everything else waits.
+        Payloads are only sliced once, at the end, by the accumulated
+        delivery order.
+        """
+        if len(batch) == 0:
+            return MessageBatch.empty(), 0
+        order = _np.argsort(batch.senders, kind="stable")
+        senders = batch.senders[order]
+        targets = batch.targets[order]
+        indices = order
+        delivered_senders: List[object] = []
+        delivered_targets: List[object] = []
+        delivered_indices: List[object] = []
+        send_cap = self.send_cap
+        rounds = 0
+        while senders.size:
+            length = senders.size
+            run_bounds = _np.empty(length, dtype=bool)
+            run_bounds[0] = True
+            _np.not_equal(senders[1:], senders[:-1], out=run_bounds[1:])
+            run_starts = _np.flatnonzero(run_bounds)
+            offset = rounds % run_starts.size
+            split = int(run_starts[offset])
+            positions = _np.arange(length)
+            # The rotation moves the runs of senders ranked >= offset to the
+            # front, which is an element-level rotation of the canonical
+            # order at ``split`` -- expressed as a scan-rank array instead of
+            # physically reordering the columns.
+            scan_positions = positions - split
+            scan_positions[scan_positions < 0] += length
+            if receiver_limited:
+                admitted = _admit_scan(senders, targets, scan_positions, send_cap, self.receive_cap)
+            else:
+                admitted = (positions - _group_starts(senders)) < send_cap
+            # Progress invariant (mirrors the scalar scheduler's assertion).
+            if not admitted.any():
+                raise AssertionError("global exchange scheduler made no progress")
+            admitted_at = _np.flatnonzero(admitted)
+            # Deliveries are recorded in scan order (what the scalar plane's
+            # per-round inbox building produces).
+            in_round = admitted_at[_np.argsort(scan_positions[admitted_at])]
+            self._account_batched_round(senders[in_round], targets[in_round], phase)
+            delivered_senders.append(senders[in_round])
+            delivered_targets.append(targets[in_round])
+            delivered_indices.append(indices[in_round])
+            waiting = ~admitted
+            senders = senders[waiting]
+            targets = targets[waiting]
+            indices = indices[waiting]
+            rounds += 1
+        payloads = batch.payloads
+        delivery_order = _np.concatenate(delivered_indices)
+        inbox = MessageBatch(
+            _np.concatenate(delivered_senders),
+            _np.concatenate(delivered_targets),
+            [payloads[i] for i in delivery_order.tolist()],
+        )
+        return inbox, rounds
+
     # ------------------------------------------------------------- shortcuts
     def max_total_received(self) -> int:
         """Largest cumulative global receive count of any node over the run."""
-        return max(self.received_totals) if self.received_totals else 0
+        return int(max(self.received_totals)) if self.n else 0
 
     def local_ball(self, node: int, radius: int) -> List[int]:
         """The ``radius``-hop neighbourhood of ``node`` (no rounds charged)."""

@@ -10,6 +10,11 @@ round ``i`` every node sends its current partial aggregate to the node
 inputs of all ``n`` nodes.  Each node sends exactly one message per round, so
 the send budget is never stressed.  A single-value broadcast uses the same
 doubling pattern seeded at the source.
+
+All message traffic is built as :class:`~repro.hybrid.batch.MessageBatch`
+columns (``np.arange``-shifted sender/target arrays, one slice per round)
+rather than per-node tuple loops; a single node already knows every input, so
+``n = 1`` never charges a round.
 """
 
 from __future__ import annotations
@@ -17,9 +22,25 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, TypeVar
 
+from repro.hybrid.batch import MessageBatch
 from repro.hybrid.network import HybridNetwork
 
+try:  # Outbox columns are numpy arrays when available, Python lists otherwise.
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
 T = TypeVar("T")
+
+
+def _node_range(low: int, high: int):
+    """The sender column ``[low, high)`` as an array (or list without numpy)."""
+    if _HAS_NUMPY:
+        return _np.arange(low, high, dtype=_np.int64)
+    return list(range(low, high))
 
 
 def aggregate(
@@ -41,20 +62,21 @@ def aggregate(
     for node, value in values.items():
         partial[node] = value
 
-    rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 1
-    for i in range(rounds):
-        step = 1 << i
-        outboxes = {}
-        for node in range(n):
-            if partial[node] is not None:
-                outboxes[node] = [((node + step) % n, partial[node])]
-        inboxes = network.global_round(outboxes, phase)
-        for receiver, messages in inboxes.items():
-            for _, value in messages:
+    if n > 1:
+        for i in range(max(1, math.ceil(math.log2(n)))):
+            step = 1 << i
+            senders = [node for node in range(n) if partial[node] is not None]
+            targets = [(node + step) % n for node in senders]
+            batch = MessageBatch(senders, targets, [partial[node] for node in senders])
+            delivered = network.global_round(batch, phase)
+            # Ring-doubling targets are distinct (sender -> sender + step is a
+            # bijection mod n), so each receiver folds at most one message.
+            for receiver, payload in zip(delivered.targets, delivered.payloads):
+                receiver = int(receiver)
                 if partial[receiver] is None:
-                    partial[receiver] = value
+                    partial[receiver] = payload
                 else:
-                    partial[receiver] = combine(partial[receiver], value)
+                    partial[receiver] = combine(partial[receiver], payload)
 
     # After ⌈log n⌉ doubling rounds on a ring every position has folded every
     # input at least once (values may be folded multiple times, which is why
@@ -88,27 +110,32 @@ def aggregate_sum(network: HybridNetwork, values: Dict[int, float], phase: str =
     implicit binary tree over node IDs (child ``2i+1, 2i+2`` -> parent ``i``)
     and then broadcast the root's total back down; both directions take
     ``O(log n)`` rounds and one message per node per round.
+
+    The convergecast starts at the deepest *occupied* level
+    ``⌊log2 n⌋`` (node ``i`` lives at level ``⌊log2(i+1)⌋``, so that is the
+    level of node ``n-1``); every level down to the root is then non-empty
+    and charges exactly one global round -- ``⌊log2 n⌋`` rounds in total.
     """
     n = network.n
     totals = [0.0] * n
     for node, value in values.items():
         totals[node] += value
-    depth = max(1, math.ceil(math.log2(n + 1)))
-    # Convergecast: deepest levels first.
+    # Convergecast: deepest occupied level first.  (Levels are never empty:
+    # level ℓ holds nodes [2^ℓ - 1, 2^{ℓ+1} - 1) and 2^ℓ - 1 < n for every
+    # ℓ ≤ ⌊log2 n⌋.)
+    depth = int(math.log2(n)) if n > 1 else 0
     for level in range(depth, 0, -1):
-        outboxes = {}
         low = (1 << level) - 1
         high = min(n, (1 << (level + 1)) - 1)
-        for node in range(low, high):
-            parent = (node - 1) // 2
-            outboxes[node] = [(parent, totals[node])]
-        if outboxes:
-            inboxes = network.global_round(outboxes, phase)
-            for receiver, messages in inboxes.items():
-                for _, value in messages:
-                    totals[receiver] += value
+        senders = _node_range(low, high)
+        if _HAS_NUMPY:
+            targets = (senders - 1) // 2
         else:
-            network.metrics.charge_global(1, phase)
+            targets = [(node - 1) // 2 for node in senders]
+        payloads = [totals[node] for node in range(low, high)]
+        delivered = network.global_round(MessageBatch(senders, targets, payloads), phase)
+        for parent, value in zip(delivered.targets, delivered.payloads):
+            totals[int(parent)] += value
     total = totals[0]
     broadcast_value(network, total, source=0, phase=phase)
     for node in range(n):
@@ -123,19 +150,20 @@ def broadcast_value(
 
     Binomial-tree doubling over node IDs: the set of informed nodes doubles
     every round, so ``⌈log2 n⌉`` rounds suffice and each informed node sends a
-    single message per round.
+    single message per round.  A single node is already informed and charges
+    no rounds.
     """
     n = network.n
-    informed = {source}
-    rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 1
-    for i in range(rounds):
-        step = 1 << i
-        outboxes = {}
-        for node in informed:
-            outboxes[node] = [((node + step) % n, value)]
-        inboxes = network.global_round(outboxes, phase)
-        for receiver in inboxes:
-            informed.add(receiver)
+    if n > 1:
+        informed = {source}
+        for i in range(max(1, math.ceil(math.log2(n)))):
+            step = 1 << i
+            senders = sorted(informed)
+            targets = [(node + step) % n for node in senders]
+            delivered = network.global_round(
+                MessageBatch(senders, targets, [value] * len(senders)), phase
+            )
+            informed.update(int(target) for target in delivered.targets)
     for node in range(n):
         network.state(node)["broadcast:" + phase] = value
     return value

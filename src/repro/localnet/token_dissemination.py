@@ -25,21 +25,64 @@ this library (see the substitution table in DESIGN.md):
    every relay, so afterwards every node knows every token.
 
 Total: ``Õ(√k + k/n + ℓ)`` rounds, matching Lemma B.1.
+
+Relay placement hashes a *canonical* per-token key (a stable digest of the
+token itself), not the token's discovery-order index, so the relay
+assignment -- and therefore the measured round count -- is independent of the
+order in which ``tokens_per_node`` was populated.  All three global phases
+build their traffic as :class:`~repro.hybrid.batch.MessageBatch` columns and
+the whole relay batch is hashed with one ``KWiseHashFunction.many`` call.
 """
 
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence
 
+from repro.hybrid.batch import MessageBatch
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.aggregation import aggregate_sum
 from repro.localnet.clustering import Clustering, cluster_around_rulers
 from repro.localnet.ruling_set import compute_ruling_set
 from repro.util.hashing import hash_family_for_network
 
+try:
+    import numpy as _np
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only in stripped environments
+    _np = None
+    _HAS_NUMPY = False
+
 Token = Hashable
+
+
+def _canonical_token_key(token: Token) -> int:
+    """A stable integer key identifying ``token`` regardless of discovery order.
+
+    Equal tokens repr identically, so the digest only depends on the token
+    itself; a (harmless) digest collision merely makes two tokens share a
+    relay.
+    """
+    return zlib.crc32(repr(token).encode("utf-8", "backslashreplace"))
+
+
+def _canonical_token_keys(tokens: Sequence[Token]):
+    """Canonical keys for a whole batch.
+
+    Integer tokens are their own canonical key (clipped into the hash field's
+    key range), skipping the digest entirely; anything else goes through
+    :func:`_canonical_token_key`.  Either way the key depends only on the
+    token's value, never on discovery order.
+    """
+    if _HAS_NUMPY and all(
+        type(token) is int and token.bit_length() < 63 for token in tokens
+    ):
+        return _np.asarray(tokens, dtype=_np.int64) & ((1 << 62) - 1)
+    crc32 = zlib.crc32
+    return [crc32(text.encode("utf-8", "backslashreplace")) for text in map(repr, tokens)]
 
 
 @dataclass
@@ -88,15 +131,13 @@ def disseminate_tokens(
 
     all_tokens: List[Token] = []
     seen = set()
-    holder_of: Dict[Token, int] = {}
-    max_per_node = 0
+    holders: List[int] = []
     for node, tokens in tokens_per_node.items():
-        max_per_node = max(max_per_node, len(tokens))
         for token in tokens:
             if token not in seen:
                 seen.add(token)
                 all_tokens.append(token)
-                holder_of[token] = node
+                holders.append(node)
     k = len(all_tokens)
 
     # Step 1: every node learns k (needed to agree on the cluster radius µ).
@@ -110,16 +151,14 @@ def disseminate_tokens(
         rounds = network.metrics.total_rounds - rounds_before
         return DisseminationResult(tokens=[], token_count=0, rounds=rounds)
 
-    # Step 2: relay every token to a pseudo-random node.
+    # Step 2: relay every token to a pseudo-random node.  The whole batch is
+    # hashed in one vectorised field evaluation over canonical token keys.
     hash_function = hash_family_for_network(n, network.fork_rng(phase + ":hash"))
-    relay_outboxes: Dict[int, List[Tuple[int, Token]]] = {}
-    for index, token in enumerate(all_tokens):
-        relay = hash_function((index, 1))
-        holder = holder_of[token]
-        relay_outboxes.setdefault(holder, []).append((relay, token))
-    relay_inboxes, _ = network.run_global_exchange(relay_outboxes, phase + ":relay")
+    relays = hash_function.many((_canonical_token_keys(all_tokens), [1] * k))
+    relay_batch = MessageBatch(holders, relays, list(all_tokens))
+    relay_inboxes, _ = network.run_global_exchange(relay_batch, phase + ":relay")
     relay_tokens: Dict[int, List[Token]] = {
-        relay: [token for _, token in messages] for relay, messages in relay_inboxes.items()
+        relay: tokens for relay, _, tokens in relay_inboxes.groupby_target()
     }
 
     # Step 3: clusters of >= µ members with hop radius Õ(µ).
@@ -129,28 +168,53 @@ def disseminate_tokens(
 
     # Step 4: members fetch disjoint relay shares.  A request is one message
     # (relay, requester); a response ships one token per message.
-    request_outboxes: Dict[int, List[Tuple[int, Tuple[str, int]]]] = {}
+    if _HAS_NUMPY:
+        occupied_relays = _np.array(sorted(relay_tokens), dtype=_np.int64)
+    else:
+        occupied_relays = sorted(relay_tokens)
+    request_senders: List[int] = []
+    request_targets: List[int] = []
+    request_payloads: List[int] = []
     for members in clustering.members.values():
         size = len(members)
-        for index, member in enumerate(members):
-            for relay in range(index, n, size):
-                if relay in relay_tokens:
-                    request_outboxes.setdefault(member, []).append((relay, ("fetch", member)))
-    request_inboxes, _ = network.run_global_exchange(request_outboxes, phase + ":requests")
+        if _HAS_NUMPY:
+            shares = occupied_relays % size
+            for index, member in enumerate(members):
+                share = occupied_relays[shares == index]
+                request_senders.extend([member] * share.size)
+                request_targets.extend(share.tolist())
+                request_payloads.extend([member] * share.size)
+        else:
+            for index, member in enumerate(members):
+                share = [relay for relay in occupied_relays if relay % size == index]
+                request_senders.extend([member] * len(share))
+                request_targets.extend(share)
+                request_payloads.extend([member] * len(share))
+    request_inboxes, _ = network.run_global_exchange(
+        MessageBatch(request_senders, request_targets, request_payloads),
+        phase + ":requests",
+    )
 
-    response_outboxes: Dict[int, List[Tuple[int, Token]]] = {}
-    for relay, requests in request_inboxes.items():
+    # Each relay answers every requester with its full token list, one token
+    # per message, in request-arrival order.
+    response_senders: List[int] = []
+    response_targets: List[int] = []
+    response_payloads: List[Token] = []
+    for relay, _, requesters in request_inboxes.groupby_target():
         tokens_here = relay_tokens.get(relay, [])
         if not tokens_here:
             continue
-        for _, (_, requester) in requests:
-            response_outboxes.setdefault(relay, []).extend(
-                (requester, token) for token in tokens_here
-            )
-    response_inboxes, _ = network.run_global_exchange(response_outboxes, phase + ":responses")
+        response_senders.extend([relay] * (len(requesters) * len(tokens_here)))
+        for requester in requesters:
+            response_targets.extend([requester] * len(tokens_here))
+            response_payloads.extend(tokens_here)
+    response_inboxes, _ = network.run_global_exchange(
+        MessageBatch(response_senders, response_targets, response_payloads),
+        phase + ":responses",
+    )
 
     fetched: Dict[int, List[Token]] = {
-        member: [token for _, token in messages] for member, messages in response_inboxes.items()
+        member: tokens for member, _, tokens in response_inboxes.groupby_target()
     }
     # Original holders keep their own tokens as well.
     for node, tokens in tokens_per_node.items():

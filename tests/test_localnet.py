@@ -168,6 +168,32 @@ class TestAggregation:
         aggregate_sum(network, {node: 1.0 for node in range(network.n)})
         assert network.metrics.max_sent_per_round <= network.send_cap
 
+    @pytest.mark.parametrize(
+        "n, expected_rounds",
+        [(7, 5), (8, 6), (9, 7)],  # ⌊log2 n⌋ convergecast + ⌈log2 n⌉ broadcast
+    )
+    def test_aggregate_sum_exact_round_counts(self, n, expected_rounds):
+        """Regression: the convergecast starts at the deepest *occupied* tree
+        level ⌊log2 n⌋; the old ⌈log2(n+1)⌉ iterated an empty level first and
+        charged a spurious global round for every n."""
+        network = HybridNetwork(generators.path_graph(n), ModelConfig(rng_seed=1))
+        total = aggregate_sum(network, {node: 1.0 for node in range(n)})
+        assert total == pytest.approx(n)
+        assert network.metrics.global_rounds == expected_rounds
+        assert network.metrics.local_rounds == 0
+
+    def test_single_node_charges_no_rounds(self):
+        """Regression: at n = 1 aggregation/broadcast must not send the node a
+        global message to itself or charge any round."""
+        network = HybridNetwork(generators.path_graph(1), ModelConfig(rng_seed=1))
+        assert aggregate_max(network, {0: 3.0}) == 3.0
+        assert broadcast_value(network, "payload") == "payload"
+        assert aggregate_sum(network, {0: 2.5}) == pytest.approx(2.5)
+        assert network.metrics.total_rounds == 0
+        assert network.metrics.global_messages == 0
+        assert network.state(0)["broadcast:broadcast"] == "payload"
+        assert network.state(0)["aggregate:aggregation-sum"] == pytest.approx(2.5)
+
 
 class TestTokenDissemination:
     def test_all_tokens_returned(self, network):
@@ -203,3 +229,23 @@ class TestTokenDissemination:
         tokens = {0: [("bulk", i) for i in range(40)]}
         disseminate_tokens(network, tokens)
         assert network.metrics.max_sent_per_round <= network.send_cap
+
+    def test_huge_integer_tokens_use_digest_fallback(self, network):
+        """Integer tokens outside int64 must take the digest path, not crash."""
+        result = disseminate_tokens(network, {0: [2**63, -(2**70), 5]})
+        assert result.token_count == 3
+
+    def test_rounds_invariant_under_holder_insertion_order(self):
+        """Regression: relay placement hashes a canonical per-token key, so
+        permuting the ``tokens_per_node`` dict insertion order must not move
+        any relay and the measured rounds stay identical."""
+        graph = generators.cycle_graph(30)
+        tokens = {node: [("tok", node, i) for i in range(2)] for node in range(30)}
+        forward = HybridNetwork(graph, ModelConfig(rng_seed=3))
+        forward_result = disseminate_tokens(forward, tokens)
+        reversed_tokens = {node: tokens[node] for node in reversed(list(tokens))}
+        backward = HybridNetwork(graph, ModelConfig(rng_seed=3))
+        backward_result = disseminate_tokens(backward, reversed_tokens)
+        assert forward_result.rounds == backward_result.rounds
+        assert forward.metrics.as_dict() == backward.metrics.as_dict()
+        assert set(forward_result.tokens) == set(backward_result.tokens)

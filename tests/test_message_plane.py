@@ -1,0 +1,308 @@
+"""The batched NCC message plane: MessageBatch + scalar/vectorized identity.
+
+The engine executes global traffic on one of two planes -- the per-message
+scalar reference path and the whole-array vectorized scheduler
+(``ModelConfig.global_plane``).  The property tests here drive both planes
+with the same messages (hypothesis-generated exchanges and the protocol
+workloads behind experiments E1/E8/E12) and assert *identical* RoundMetrics:
+rounds, messages, bits, per-round maxima, per-phase breakdowns and cut
+crossings.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+numpy = pytest.importorskip("numpy")
+
+from repro.core.clique_simulation import HybridCliqueTransport
+from repro.core.skeleton import compute_skeleton
+from repro.core.token_routing import make_tokens, route_tokens
+from repro.graphs import generators
+from repro.hybrid import CapacityExceededError, HybridNetwork, MessageBatch, ModelConfig
+from repro.localnet import aggregate_max, aggregate_sum, broadcast_value, disseminate_tokens
+from repro.util.rand import RandomSource
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+message_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=19), st.integers(min_value=0, max_value=19)),
+    min_size=0,
+    max_size=120,
+)
+
+
+def metrics_snapshot(network):
+    """Everything RoundMetrics records, including per-phase and cut counters."""
+    snapshot = network.metrics.as_dict()
+    snapshot["phases"] = {
+        name: (breakdown.local_rounds, breakdown.global_rounds)
+        for name, breakdown in network.metrics.phases.items()
+    }
+    snapshot["cut_bits"] = dict(network.metrics.cut_bits)
+    snapshot["received_totals"] = [int(total) for total in network.received_totals]
+    return snapshot
+
+
+def build_batch(pairs):
+    return MessageBatch(
+        [sender for sender, _ in pairs],
+        [target for _, target in pairs],
+        [("payload", index) for index in range(len(pairs))],
+    )
+
+
+class TestMessageBatch:
+    def test_outbox_round_trip(self):
+        outboxes = {3: [(1, "a"), (2, "b")], 0: [(1, "c")]}
+        batch = MessageBatch.from_outboxes(outboxes)
+        assert len(batch) == 3
+        assert batch.to_outboxes() == outboxes
+
+    def test_inbox_round_trip(self):
+        inboxes = {1: [(3, "a"), (0, "c")], 2: [(3, "b")]}
+        batch = MessageBatch.from_inboxes(inboxes)
+        assert batch.to_inboxes() == inboxes
+
+    def test_groupby_target_preserves_order(self):
+        batch = MessageBatch([0, 1, 2, 3], [5, 4, 5, 5], ["a", "b", "c", "d"])
+        groups = {
+            target: (list(senders), payloads)
+            for target, senders, payloads in batch.groupby_target()
+        }
+        assert groups == {4: ([1], ["b"]), 5: ([0, 2, 3], ["a", "c", "d"])}
+
+    def test_concat(self):
+        first = MessageBatch([0], [1], ["a"])
+        second = MessageBatch([2, 3], [1, 0], ["b", "c"])
+        merged = MessageBatch.concat([first, MessageBatch.empty(), second])
+        assert merged.senders.tolist() == [0, 2, 3]
+        assert merged.payloads == ["a", "b", "c"]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            MessageBatch([0, 1], [2], ["a", "b"])
+
+
+class TestBatchedGlobalRound:
+    def make(self, plane="vectorized", **config):
+        graph = generators.cycle_graph(20)
+        return HybridNetwork(graph, ModelConfig(rng_seed=1, global_plane=plane, **config))
+
+    def test_unknown_plane_rejected(self):
+        graph = generators.cycle_graph(4)
+        with pytest.raises(ValueError):
+            HybridNetwork(graph, ModelConfig(global_plane="bogus"))
+
+    def test_delivers_batch(self):
+        network = self.make()
+        delivered = network.global_round(MessageBatch([0, 1], [5, 5], ["hello", "world"]))
+        assert isinstance(delivered, MessageBatch)
+        assert delivered.payloads == ["hello", "world"]
+        assert network.metrics.global_rounds == 1
+        assert network.metrics.global_messages == 2
+        assert network.metrics.max_received_per_round == 2
+
+    def test_scalar_plane_accepts_batches(self):
+        network = self.make(plane="scalar")
+        assert not network.vectorized_plane
+        delivered = network.global_round(MessageBatch([0], [3], ["x"]))
+        assert isinstance(delivered, MessageBatch)
+        assert delivered.to_inboxes() == {3: [(0, "x")]}
+
+    def test_send_cap_enforced(self):
+        network = self.make()
+        count = network.send_cap + 1
+        batch = MessageBatch([0] * count, list(range(count)), list(range(count)))
+        with pytest.raises(CapacityExceededError):
+            network.global_round(batch)
+
+    def test_strict_receive_enforced(self):
+        network = self.make(strict_receive=True, global_receive_factor=0.1)
+        batch = MessageBatch(list(range(1, 16)), [0] * 15, list(range(15)))
+        with pytest.raises(CapacityExceededError):
+            network.global_round(batch)
+
+    def test_invalid_target_rejected(self):
+        network = self.make()
+        with pytest.raises(ValueError):
+            network.global_round(MessageBatch([0], [network.n + 5], ["x"]))
+        with pytest.raises(ValueError):
+            network.global_round(MessageBatch([-1], [0], ["x"]))
+
+    def test_empty_batch_still_charges_a_round(self):
+        network = self.make()
+        network.global_round(MessageBatch.empty())
+        assert network.metrics.global_rounds == 1
+        assert network.metrics.global_messages == 0
+
+    def test_batched_exchange_respects_caps(self):
+        network = self.make()
+        batch = MessageBatch([0] * 35, [1] * 35, list(range(35)))
+        inboxes, rounds = network.run_global_exchange(batch)
+        assert len(inboxes) == 35
+        assert rounds >= math.ceil(35 / network.receive_cap)
+        assert network.metrics.max_sent_per_round <= network.send_cap
+        assert network.metrics.max_received_per_round <= network.receive_cap
+
+
+class TestSaturatedReceiverProgress:
+    """The exchange makes progress every round: a contested receiver drains at
+    exactly ``receive_cap`` messages per round, with no idle (stall) rounds --
+    the scheduler asserts the invariant instead of charging them."""
+
+    @pytest.mark.parametrize("plane", ["scalar", "vectorized"])
+    def test_exact_drain_rate(self, plane):
+        n = 20
+        network = HybridNetwork(generators.cycle_graph(n), ModelConfig(rng_seed=0, global_plane=plane))
+        per_sender = 3
+        pairs = [(sender, 0) for sender in range(1, n) for _ in range(per_sender)]
+        total = len(pairs)
+        # 19 senders with 3 messages each can fill the receive budget every
+        # round, so the drain takes exactly ceil(total / receive_cap) rounds.
+        assert (n - 2) * per_sender >= network.receive_cap
+        inboxes, rounds = network.run_global_exchange(build_batch(pairs))
+        delivered = len(inboxes) if isinstance(inboxes, MessageBatch) else sum(
+            len(messages) for messages in inboxes.values()
+        )
+        assert delivered == total
+        assert rounds == math.ceil(total / network.receive_cap)
+        assert network.metrics.global_rounds == rounds
+
+
+class TestPlaneIdentity:
+    """Scalar and vectorized planes record bit-identical RoundMetrics."""
+
+    @common_settings
+    @given(message_lists, st.booleans())
+    def test_exchange_identical_metrics(self, pairs, receiver_limited):
+        graph = generators.cycle_graph(20)
+        snapshots = {}
+        deliveries = {}
+        for plane in ("scalar", "vectorized"):
+            network = HybridNetwork(graph, ModelConfig(rng_seed=1, global_plane=plane))
+            network.add_cut_watcher("half", range(10))
+            inbox, rounds = network.run_global_exchange(
+                build_batch(pairs), receiver_limited=receiver_limited
+            )
+            snapshots[plane] = metrics_snapshot(network)
+            deliveries[plane] = {
+                target: (list(senders), payloads)
+                for target, senders, payloads in inbox.groupby_target()
+            }
+        assert snapshots["scalar"] == snapshots["vectorized"]
+        assert deliveries["scalar"] == deliveries["vectorized"]
+
+    @common_settings
+    @given(message_lists)
+    def test_dict_form_and_batched_form_identical_metrics(self, pairs):
+        """The dict-of-tuples form (scalar path) and the MessageBatch form
+        (vectorized path) of the same messages produce the same metrics."""
+        graph = generators.cycle_graph(20)
+        outboxes = {}
+        for index, (sender, target) in enumerate(pairs):
+            outboxes.setdefault(sender, []).append((target, ("payload", index)))
+        dict_network = HybridNetwork(graph, ModelConfig(rng_seed=1))
+        dict_inboxes, dict_rounds = dict_network.run_global_exchange(outboxes)
+        batch_network = HybridNetwork(graph, ModelConfig(rng_seed=1, global_plane="vectorized"))
+        batch_inbox, batch_rounds = batch_network.run_global_exchange(build_batch(pairs))
+        assert dict_rounds == batch_rounds
+        assert metrics_snapshot(dict_network) == metrics_snapshot(batch_network)
+        assert {
+            target: messages for target, messages in batch_inbox.to_inboxes().items()
+        } == dict_inboxes
+
+    @common_settings
+    @given(message_lists)
+    def test_single_round_identical_metrics(self, pairs):
+        graph = generators.cycle_graph(20)
+        counts = {}
+        for sender, _ in pairs:
+            counts[sender] = counts.get(sender, 0) + 1
+        snapshots = {}
+        for plane in ("scalar", "vectorized"):
+            network = HybridNetwork(
+                graph, ModelConfig(rng_seed=1, global_plane=plane, strict_send=False)
+            )
+            network.add_cut_watcher("half", range(10))
+            network.global_round(build_batch(pairs))
+            snapshots[plane] = metrics_snapshot(network)
+        assert snapshots["scalar"] == snapshots["vectorized"]
+
+
+def run_on_both_planes(build_graph, protocol):
+    """Run a protocol under each plane and return the two metric snapshots."""
+    snapshots = {}
+    outputs = {}
+    for plane in ("scalar", "vectorized"):
+        network = HybridNetwork(build_graph(), ModelConfig(rng_seed=5, global_plane=plane))
+        outputs[plane] = protocol(network)
+        snapshots[plane] = metrics_snapshot(network)
+    return snapshots, outputs
+
+
+class TestProtocolPlaneIdentity:
+    """End-to-end workloads (E1 routing, E8 clique, E12 dissemination /
+    aggregation) leave identical metrics on both planes."""
+
+    def test_aggregation_workload(self):
+        values = {node: float((node * 13) % 11) for node in range(0, 33, 2)}
+
+        def protocol(network):
+            aggregate_max(network, values)
+            aggregate_sum(network, values)
+            return broadcast_value(network, 42.0, source=3)
+
+        snapshots, outputs = run_on_both_planes(lambda: generators.cycle_graph(33), protocol)
+        assert snapshots["scalar"] == snapshots["vectorized"]
+        assert outputs["scalar"] == outputs["vectorized"]
+
+    def test_dissemination_workload(self):
+        tokens = {node: [("t", node, i) for i in range(3)] for node in range(0, 40, 4)}
+
+        def protocol(network):
+            return disseminate_tokens(network, tokens).rounds
+
+        snapshots, outputs = run_on_both_planes(lambda: generators.cycle_graph(40), protocol)
+        assert snapshots["scalar"] == snapshots["vectorized"]
+        assert outputs["scalar"] == outputs["vectorized"]
+
+    def test_token_routing_workload(self):
+        rng = RandomSource(9)
+        tokens = make_tokens(
+            {
+                sender: [(rng.randrange(40), ("p", sender, i)) for i in range(4)]
+                for sender in rng.sample(list(range(40)), 8)
+            }
+        )
+
+        def protocol(network):
+            result = route_tokens(network, tokens)
+            return result.rounds, sorted(
+                (token.label for items in result.delivered.values() for token in items)
+            )
+
+        snapshots, outputs = run_on_both_planes(
+            lambda: generators.connected_workload(40, RandomSource(4), weighted=False), protocol
+        )
+        assert snapshots["scalar"] == snapshots["vectorized"]
+        assert outputs["scalar"] == outputs["vectorized"]
+
+    def test_clique_simulation_workload(self):
+        def protocol(network):
+            skeleton = compute_skeleton(
+                network, 0.2, ensure_connected=True, keep_local_knowledge=False
+            )
+            transport = HybridCliqueTransport(network, skeleton)
+            transport.exchange({0: [(1, "x")]})
+            return skeleton.size
+
+        snapshots, outputs = run_on_both_planes(
+            lambda: generators.connected_workload(30, RandomSource(8), weighted=False), protocol
+        )
+        assert snapshots["scalar"] == snapshots["vectorized"]
+        assert outputs["scalar"] == outputs["vectorized"]
