@@ -1,0 +1,119 @@
+"""E14 -- HybridSession reuse: cold vs warm queries on one network.
+
+Measures the serving-layer speedup: the first query of a session pays the
+shared preprocessing (skeleton exploration, edge publication, helper sets),
+every later query pays only its own phases.  The cold/warm benchmark pairs
+run the *identical* query via the identical code path -- the only difference
+is whether the session cache is empty -- so the wall-clock ratio recorded in
+BENCH_core.json isolates the preprocessing reuse, and the attached round
+counts record the amortized vs cold-equivalent accounting per query.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_CONFIG,
+    attach,
+    locality_workload,
+    run_repeated,
+    smoke_scaled,
+)
+from repro.hybrid import ModelConfig
+from repro.session import HybridSession
+
+N = smoke_scaled(256, 48)
+
+
+def _session(graph) -> HybridSession:
+    return HybridSession(graph, ModelConfig(rng_seed=N, **BENCH_CONFIG))
+
+
+@pytest.mark.benchmark(group="core-session")
+@pytest.mark.parametrize("mode", ["cold", "warm"])
+def test_session_apsp_reuse(benchmark, mode):
+    """One APSP query: empty cache vs a session warmed by a previous APSP."""
+    graph = locality_workload(N, seed=N)
+    if mode == "cold":
+
+        def run():
+            return _session(graph)
+
+        def query(session):
+            return session.apsp()
+
+        # Timed function builds the session *and* answers, so every timed run
+        # pays preprocessing from scratch.
+        def timed():
+            return query(run())
+
+        result = run_repeated(benchmark, timed, rounds=3)
+        session = _session(graph)
+        session.apsp()
+        record = session.queries[-1]
+    else:
+        session = _session(graph)
+        session.apsp()  # warm the cache outside the timing
+
+        def timed():
+            return session.apsp()
+
+        result = run_repeated(benchmark, timed, rounds=3)
+        record = session.queries[-1]
+    assert result.matrix is not None
+    attach(
+        benchmark,
+        {
+            "experiment": "E14",
+            "n": N,
+            "mode": mode,
+            "amortized_rounds": record.amortized_rounds,
+            "cold_equivalent_rounds": record.cold_rounds,
+            "preprocessing_rounds": session.preprocessing_rounds,
+        },
+    )
+
+
+@pytest.mark.benchmark(group="core-session")
+@pytest.mark.parametrize("mode", ["cold", "warm"])
+def test_session_mixed_workload(benchmark, mode):
+    """An SSSP + diameter pair, cold per run vs on an APSP-warmed session."""
+    graph = locality_workload(N, seed=N + 1)
+
+    if mode == "cold":
+
+        def timed():
+            session = _session(graph)
+            session.sssp(0)
+            return session.diameter()
+
+        result = run_repeated(benchmark, timed, rounds=3)
+        session = _session(graph)
+        session.sssp(0)
+        session.diameter()
+    else:
+        session = _session(graph)
+        session.apsp()
+        session.sssp(0)  # the extension transport is part of the warmup
+        session.diameter()
+
+        def timed():
+            session.sssp(0)
+            return session.diameter()
+
+        result = run_repeated(benchmark, timed, rounds=3)
+    assert result.estimate >= 0
+    sssp_records = [r for r in session.queries if r.kind == "sssp"]
+    diameter_records = [r for r in session.queries if r.kind == "diameter"]
+    attach(
+        benchmark,
+        {
+            "experiment": "E14",
+            "n": N,
+            "mode": mode,
+            "sssp_amortized_rounds": sssp_records[-1].amortized_rounds,
+            "sssp_cold_equivalent_rounds": sssp_records[-1].cold_rounds,
+            "diameter_amortized_rounds": diameter_records[-1].amortized_rounds,
+            "diameter_cold_equivalent_rounds": diameter_records[-1].cold_rounds,
+            "preprocessing_rounds": session.preprocessing_rounds,
+        },
+    )

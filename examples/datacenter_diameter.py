@@ -6,16 +6,17 @@ setting of a high-bandwidth local fabric plus a flexible global channel.  A
 natural monitoring task is estimating the network diameter (worst-case hop
 count) of the wired fabric without flooding it.
 
-This example builds a pod/rack/server topology, runs the diameter algorithm of
-Theorem 5.1 with both CLIQUE plug-ins, and compares against the true diameter
-and against the pure-LOCAL cost.
+This example builds a pod/rack/server topology and runs the diameter
+algorithm of Theorem 5.1 with both CLIQUE plug-ins -- served from one
+``HybridSession``, so the second plug-in reuses the skeleton and CLIQUE
+transport the first one prepared and pays only its own simulation rounds.
 
 Run with:  python examples/datacenter_diameter.py
 """
 
 from __future__ import annotations
 
-from repro import EccentricityDiameter, GatherDiameter, HybridNetwork, ModelConfig, approximate_diameter
+from repro import EccentricityDiameter, GatherDiameter, HybridSession, ModelConfig
 from repro.graphs import generators
 
 
@@ -25,15 +26,17 @@ def main() -> None:
     print(f"data-center fabric: {graph.node_count} nodes, {graph.edge_count} links, "
           f"true hop diameter {true_diameter:.0f}")
 
+    session = HybridSession(graph, ModelConfig(rng_seed=11))
     for name, plugin in (("exact skeleton diameter", GatherDiameter()),
                          ("eccentricity 2-approximation", EccentricityDiameter())):
-        network = HybridNetwork(graph, ModelConfig(rng_seed=11))
-        result = approximate_diameter(network, plugin)
+        result = session.diameter(plugin)
+        record = session.last_query
         print(f"\n[Theorem 5.1] plug-in: {name}")
         print(f"  estimate D̃:            {result.estimate:.0f} (true D = {true_diameter:.0f})")
         print(f"  ratio D̃ / D:           {result.estimate / true_diameter:.3f} "
               f"(guarantee {result.guaranteed_alpha():.2f})")
-        print(f"  rounds:                 {result.rounds}")
+        print(f"  amortized rounds:       {record.amortized_rounds} "
+              f"(+ {record.preparation_rounds} new preprocessing rounds)")
         print(f"  answered from local phase: {result.used_local_estimate}")
 
     print("\npure-LOCAL baseline: flooding needs Θ(D) = "

@@ -11,15 +11,17 @@ top of it:
 * diameter approximation (Theorems 5.1, 1.4), and
 * the lower-bound constructions of Sections 6 and 7 (Theorems 1.5, 1.6).
 
-Quick start::
+Quick start (the session API shares the ``Õ(√n)`` preprocessing between
+queries; the one-shot functions like :func:`apsp_exact` remain available)::
 
-    from repro import HybridNetwork, ModelConfig, generators, apsp_exact
+    from repro import HybridSession, ModelConfig, generators
     from repro.util import RandomSource
 
     graph = generators.connected_workload(120, RandomSource(1), weighted=True)
-    network = HybridNetwork(graph, ModelConfig(rng_seed=1))
-    result = apsp_exact(network)
-    print(result.rounds, result.distance(0, 5))
+    session = HybridSession(graph, ModelConfig(rng_seed=1))
+    apsp = session.apsp()          # pays the preprocessing
+    sssp = session.sssp(0)         # warm: amortized cost only
+    print(apsp.distance(0, 5), session.last_query.amortized_rounds)
 """
 
 from repro.baselines import (
@@ -45,6 +47,7 @@ from repro.core import (
     RoutingToken,
     ShortestPathsResult,
     Skeleton,
+    SkeletonContext,
     SSSPResult,
     TokenRouter,
     TokenRoutingResult,
@@ -54,6 +57,7 @@ from repro.core import (
     compute_representatives,
     compute_skeleton,
     make_tokens,
+    prepare_skeleton_context,
     route_tokens,
     shortest_paths_via_clique,
     sssp_exact,
@@ -61,6 +65,7 @@ from repro.core import (
 from repro.graphs import WeightedGraph, generators, reference
 from repro.hybrid import HybridNetwork, ModelConfig, RoundMetrics
 from repro.localnet import disseminate_tokens
+from repro.session import HybridSession, QueryRecord
 from repro.util.rand import RandomSource
 
 __version__ = "1.0.0"
@@ -69,6 +74,8 @@ __all__ = [
     "__version__",
     # model
     "HybridNetwork",
+    "HybridSession",
+    "QueryRecord",
     "ModelConfig",
     "RoundMetrics",
     "WeightedGraph",
@@ -93,6 +100,8 @@ __all__ = [
     "HelperSets",
     "compute_skeleton",
     "Skeleton",
+    "SkeletonContext",
+    "prepare_skeleton_context",
     "compute_representatives",
     "disseminate_tokens",
     # clique substrate

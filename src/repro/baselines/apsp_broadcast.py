@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,9 +25,8 @@ from repro.core.apsp import (
     _combine_distances,
     _distances_to_skeleton,
     _near_skeleton_matrix,
-    _skeleton_distance_matrix,
 )
-from repro.core.skeleton import compute_skeleton
+from repro.core.context import SkeletonContext, prepare_skeleton_context
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.token_dissemination import disseminate_tokens
 
@@ -48,36 +47,35 @@ class BaselineAPSPResult:
 
 
 def apsp_broadcast_baseline(
-    network: HybridNetwork, phase: str = "apsp-baseline"
+    network: HybridNetwork,
+    phase: str = "apsp-baseline",
+    context: Optional[SkeletonContext] = None,
 ) -> BaselineAPSPResult:
     """Exact APSP with the label-broadcast strategy of Augustine et al. SODA'20.
 
     The skeleton sampling probability is ``1/n^{2/3}`` (the optimum of the
     baseline's trade-off), so the skeleton has ``~n^{1/3}`` nodes and the label
-    broadcast moves ``~n^{4/3}`` tokens.
+    broadcast moves ``~n^{4/3}`` tokens.  ``context`` may supply a prepared
+    skeleton, exactly as for :func:`repro.core.apsp.apsp_exact`.
     """
     rounds_before = network.metrics.total_rounds
     n = network.n
 
-    probability = min(1.0, n ** (-2.0 / 3.0))
-    skeleton = compute_skeleton(
-        network,
-        probability,
-        phase=phase + ":skeleton",
-        ensure_connected=True,
-        keep_local_knowledge=True,
-    )
+    if context is None:
+        probability = min(1.0, n ** (-2.0 / 3.0))
+        context = prepare_skeleton_context(
+            network,
+            probability,
+            phase=phase + ":skeleton",
+            keep_local_knowledge=True,
+        )
+    skeleton = context.skeleton
+    if skeleton.knowledge_matrix is None:
+        raise ValueError("the baseline needs a context prepared with keep_local_knowledge")
     n_s = skeleton.size
 
     # Publish the skeleton edges (as in the new algorithm).
-    edge_tokens: Dict[int, List[Tuple[int, int, int]]] = {}
-    for u, v, w in skeleton.graph.edges():
-        holder = skeleton.original_id(u)
-        edge_tokens.setdefault(holder, []).append(
-            (skeleton.original_id(u), skeleton.original_id(v), w)
-        )
-    disseminate_tokens(network, edge_tokens, phase=phase + ":publish-skeleton")
-    skeleton_distances = _skeleton_distance_matrix(skeleton)
+    skeleton_distances = context.published_skeleton_distances(phase + ":publish-skeleton")
 
     # The baseline's bottleneck: broadcast every d_h(v, s) label to everyone.
     label_tokens: Dict[int, List[Tuple[int, int, float]]] = {}

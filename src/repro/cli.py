@@ -5,18 +5,23 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run E2 [--scale medium]
     python -m repro.cli run-all [--scale small] [--output EXPERIMENTS_GENERATED.md]
+    python -m repro.cli query [--n 200] [--seed 1] [--repeat 2]
 
 ``run`` prints one experiment's markdown table; ``run-all`` renders every
-registered experiment (the content recorded in EXPERIMENTS.md).
+registered experiment (the content recorded in EXPERIMENTS.md); ``query``
+serves a mixed SSSP/diameter/APSP workload from one
+:class:`~repro.session.HybridSession` and prints the per-query amortized vs
+cold-equivalent accounting.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
-from repro.experiments import available_experiments, run_all, run_experiment
+from repro.experiments import SCALES, available_experiments, run_all, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,17 +40,88 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E2")
     run_parser.add_argument(
-        "--scale", choices=["small", "medium"], default="small", help="sweep size"
+        "--scale", choices=list(SCALES), default="small", help="sweep size"
     )
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument(
-        "--scale", choices=["small", "medium"], default="small", help="sweep size"
+        "--scale", choices=list(SCALES), default="small", help="sweep size"
     )
     run_all_parser.add_argument(
         "--output", default=None, help="write the markdown report to this file instead of stdout"
     )
+
+    query_parser = subparsers.add_parser(
+        "query", help="serve a mixed SSSP/diameter/APSP workload from one session"
+    )
+    query_parser.add_argument("--n", type=int, default=200, help="graph size")
+    query_parser.add_argument("--seed", type=int, default=1, help="graph and model seed")
+    query_parser.add_argument(
+        "--repeat", type=int, default=2, help="how many times to repeat the workload"
+    )
     return parser
+
+
+def serve_query_workload(n: int, seed: int, repeat: int) -> int:
+    """Answer a mixed workload from one session and print the accounting.
+
+    The workload interleaves SSSP, diameter and APSP queries ``repeat`` times
+    against a single :class:`~repro.session.HybridSession`; only the first
+    pass pays preprocessing, which is exactly what the printed amortized vs
+    cold-equivalent columns show.
+    """
+    from repro.graphs import generators
+    from repro.session import HybridSession
+    from repro.hybrid import ModelConfig
+    from repro.util.rand import RandomSource
+
+    if n < 2:
+        print("--n must be at least 2", file=sys.stderr)
+        return 2
+    if repeat < 1:
+        print("--repeat must be at least 1", file=sys.stderr)
+        return 2
+    graph = generators.random_geometric_like_graph(
+        n, neighbourhood=2, rng=RandomSource(seed), extra_edge_probability=0.01
+    )
+    session = HybridSession(graph, ModelConfig(rng_seed=seed))
+    source_rng = RandomSource(seed + 1)
+    print(
+        f"serving on n={n}, m={graph.edge_count}, hop diameter "
+        f"{graph.hop_diameter():.0f} (seed {seed})\n"
+    )
+    header = f"{'query':>14s} {'amortized':>10s} {'cold-equiv':>10s} {'new prep':>9s} {'wall ms':>8s}"
+    print(header)
+    print("-" * len(header))
+    for _ in range(repeat):
+        workload = [
+            ("sssp", source_rng.randrange(n)),
+            ("diameter", None),
+            ("sssp", source_rng.randrange(n)),
+            ("apsp", None),
+        ]
+        for kind, argument in workload:
+            started = time.perf_counter()
+            if kind == "sssp":
+                session.sssp(argument)
+            elif kind == "diameter":
+                session.diameter()
+            else:
+                session.apsp()
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            record = session.last_query
+            label = kind if argument is None else f"{kind}({argument})"
+            print(
+                f"{label:>14s} {record.amortized_rounds:>10d} {record.cold_rounds:>10d} "
+                f"{record.preparation_rounds:>9d} {elapsed_ms:>8.1f}"
+            )
+    total_amortized = sum(record.amortized_rounds for record in session.queries)
+    print(
+        f"\n{len(session.queries)} queries: {total_amortized} amortized rounds total "
+        f"+ {session.preprocessing_rounds} preprocessing rounds (paid once); "
+        f"cold-equivalent total {sum(record.cold_rounds for record in session.queries)}."
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -66,6 +142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(table.to_markdown())
         return 0
+
+    if args.command == "query":
+        return serve_query_workload(args.n, args.seed, args.repeat)
 
     if args.command == "run-all":
         sections = [table.to_markdown() for table in run_all(scale=args.scale)]

@@ -11,6 +11,7 @@
 
 from repro.core.apsp import APSPResult, apsp_exact
 from repro.core.clique_simulation import HybridCliqueTransport, predicted_simulation_rounds
+from repro.core.context import SkeletonContext, prepare_skeleton_context
 from repro.core.diameter import DiameterResult, approximate_diameter
 from repro.core.helper_sets import HelperSets, compute_helper_sets, helper_parameter
 from repro.core.kssp import (
@@ -51,6 +52,8 @@ __all__ = [
     "Representatives",
     "compute_representatives",
     "Skeleton",
+    "SkeletonContext",
+    "prepare_skeleton_context",
     "compute_skeleton",
     "framework_exponent",
     "framework_sampling_probability",

@@ -28,15 +28,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.skeleton import Skeleton, compute_skeleton
-from repro.core.token_routing import RoutingToken, TokenRouter
+from repro.core.context import SkeletonContext, prepare_skeleton_context
+from repro.core.skeleton import Skeleton
+from repro.core.token_routing import RoutingToken
 from repro.graphs.graph import INFINITY
 from repro.hybrid.network import HybridNetwork
-from repro.localnet.token_dissemination import disseminate_tokens
 
 
 @dataclass
@@ -72,31 +72,38 @@ class APSPResult:
         return {v: float(row[v]) for v in range(row.shape[0]) if np.isfinite(row[v])}
 
 
-def apsp_exact(network: HybridNetwork, phase: str = "apsp") -> APSPResult:
-    """Solve APSP exactly in the HYBRID model (Theorem 1.1)."""
+def apsp_exact(
+    network: HybridNetwork,
+    phase: str = "apsp",
+    context: Optional[SkeletonContext] = None,
+) -> APSPResult:
+    """Solve APSP exactly in the HYBRID model (Theorem 1.1).
+
+    ``context`` may hold the prepared preprocessing state (skeleton, published
+    edge set, token router) of an earlier query on the same network; without
+    one the prologue is built inline under this call's phases, which is the
+    pre-session behaviour round for round.
+    """
     rounds_before = network.metrics.total_rounds
     n = network.n
 
     # Step 1: skeleton with sampling probability 1/√n.
-    probability = min(1.0, 1.0 / math.sqrt(n))
-    skeleton = compute_skeleton(
-        network,
-        probability,
-        phase=phase + ":skeleton",
-        ensure_connected=True,
-        keep_local_knowledge=True,
-    )
+    if context is None:
+        probability = min(1.0, 1.0 / math.sqrt(n))
+        context = prepare_skeleton_context(
+            network,
+            probability,
+            phase=phase + ":skeleton",
+            keep_local_knowledge=True,
+        )
+    skeleton = context.skeleton
+    if skeleton.knowledge_matrix is None:
+        raise ValueError("apsp_exact needs a context prepared with keep_local_knowledge")
     n_s = skeleton.size
 
-    # Step 2: make E_S public knowledge and solve APSP on the skeleton locally.
-    edge_tokens: Dict[int, List[Tuple[int, int, int]]] = {}
-    for u, v, w in skeleton.graph.edges():
-        holder = skeleton.original_id(u)
-        edge_tokens.setdefault(holder, []).append(
-            (skeleton.original_id(u), skeleton.original_id(v), w)
-        )
-    disseminate_tokens(network, edge_tokens, phase=phase + ":publish-skeleton")
-    skeleton_distances = _skeleton_distance_matrix(skeleton)
+    # Step 2: make E_S public knowledge and solve APSP on the skeleton locally
+    # (free if the context already published it for an earlier query).
+    skeleton_distances = context.published_skeleton_distances(phase + ":publish-skeleton")
 
     # Step 3: every node computes d(v, s) and the connector for every skeleton s.
     near_matrix = _near_skeleton_matrix(network, skeleton)
@@ -118,14 +125,7 @@ def apsp_exact(network: HybridNetwork, phase: str = "apsp") -> APSPResult:
                     payload=(float(near_matrix[v, conn_index]), int(conn_index)),
                 )
             )
-    router = TokenRouter(
-        network,
-        senders=list(range(n)),
-        receivers=list(skeleton.nodes),
-        max_tokens_per_sender=max(1, n_s),
-        max_tokens_per_receiver=n,
-        phase=phase + ":routing",
-    )
+    router = context.apsp_router(phase + ":routing")
     routing = router.route(tokens)
 
     # Step 5: each skeleton node s computes d(s, v) = d_S(s, s') + d_h(s', v)
@@ -154,11 +154,6 @@ def apsp_exact(network: HybridNetwork, phase: str = "apsp") -> APSPResult:
         hop_length=skeleton.hop_length,
         routing_tokens=len(tokens),
     )
-
-
-def _skeleton_distance_matrix(skeleton: Skeleton) -> np.ndarray:
-    """All-pairs distances of the skeleton graph as a dense matrix."""
-    return skeleton.graph.distance_matrix()
 
 
 def _near_skeleton_matrix(network: HybridNetwork, skeleton: Skeleton) -> np.ndarray:

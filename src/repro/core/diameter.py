@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueDiameterAlgorithm
-from repro.core.clique_simulation import HybridCliqueTransport
-from repro.core.skeleton import compute_skeleton, framework_sampling_probability
+from repro.core.context import SkeletonContext, prepare_skeleton_context
+from repro.core.skeleton import framework_sampling_probability
 from repro.graphs.graph import INFINITY
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.aggregation import aggregate_max
@@ -75,11 +76,14 @@ def approximate_diameter(
     network: HybridNetwork,
     algorithm: CliqueDiameterAlgorithm,
     phase: str = "diameter",
+    context: Optional[SkeletonContext] = None,
 ) -> DiameterResult:
     """Run Algorithm 9 (``Diam-Simulation``) with the given CLIQUE algorithm.
 
     The input graph must be unweighted (Theorem 5.1 approximates the hop
-    diameter ``D(G)``); a weighted graph raises ``ValueError``.
+    diameter ``D(G)``); a weighted graph raises ``ValueError``.  ``context``
+    may supply a prepared skeleton and CLIQUE transport from an earlier query
+    on the same network.
     """
     if not network.graph.is_unweighted():
         raise ValueError("the diameter algorithm of Section 5 targets unweighted graphs")
@@ -88,16 +92,19 @@ def approximate_diameter(
     spec = algorithm.spec
 
     # Step 1: skeleton of size ~n^x.
-    probability = framework_sampling_probability(n, spec.delta)
-    skeleton = compute_skeleton(
-        network,
-        probability,
-        phase=phase + ":skeleton",
-        ensure_connected=True,
-    )
+    if context is None:
+        probability = framework_sampling_probability(n, spec.delta)
+        context = prepare_skeleton_context(
+            network,
+            probability,
+            phase=phase + ":skeleton",
+            keep_local_knowledge=False,
+        )
+    skeleton = context.skeleton
 
     # Step 2: simulate the CLIQUE diameter algorithm on the skeleton.
-    transport = HybridCliqueTransport(network, skeleton, phase=phase + ":simulation")
+    transport = context.transport(phase + ":simulation")
+    clique_rounds_before = transport.rounds_used
     skeleton_estimate = algorithm.run(transport, skeleton.incident_edges())
 
     # Step 3: local phase of η·h + 1 rounds.  Every node's largest locally
@@ -130,7 +137,7 @@ def approximate_diameter(
         rounds=rounds,
         skeleton_size=skeleton.size,
         hop_length=skeleton.hop_length,
-        clique_rounds=transport.rounds_used,
+        clique_rounds=transport.rounds_used - clique_rounds_before,
         spec=spec,
         exploration_depth=exploration_depth,
     )

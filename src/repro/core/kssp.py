@@ -30,11 +30,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueShortestPathAlgorithm
-from repro.core.clique_simulation import HybridCliqueTransport
+from repro.core.context import SkeletonContext, prepare_skeleton_context
 from repro.core.representatives import Representatives, compute_representatives
 from repro.core.skeleton import (
     Skeleton,
-    compute_skeleton,
     framework_exponent,
     framework_sampling_probability,
 )
@@ -98,8 +97,15 @@ def shortest_paths_via_clique(
     sources: Sequence[int],
     algorithm: CliqueShortestPathAlgorithm,
     phase: str = "kssp",
+    context: Optional[SkeletonContext] = None,
 ) -> ShortestPathsResult:
-    """Run Algorithm 5 (``SP-Simulation``) with the given CLIQUE algorithm."""
+    """Run Algorithm 5 (``SP-Simulation``) with the given CLIQUE algorithm.
+
+    ``context`` may supply a prepared skeleton and CLIQUE transport (for a
+    single source the caller must have forced the source into the skeleton,
+    e.g. via :meth:`SkeletonContext.extended` -- Lemma 4.5); without one the
+    prologue is built inline exactly as before the extraction.
+    """
     if not sources:
         raise ValueError("at least one source is required")
     sources = sorted(set(sources))
@@ -109,15 +115,16 @@ def shortest_paths_via_clique(
 
     # Step 1: skeleton of size ~n^x with x = 2/(3+2δ); a single source joins it.
     single_source = len(sources) == 1
-    probability = framework_sampling_probability(n, spec.delta)
-    skeleton = compute_skeleton(
-        network,
-        probability,
-        forced_members=sources if single_source else (),
-        phase=phase + ":skeleton",
-        ensure_connected=True,
-        keep_local_knowledge=True,
-    )
+    if context is None:
+        probability = framework_sampling_probability(n, spec.delta)
+        context = prepare_skeleton_context(
+            network,
+            probability,
+            forced_members=sources if single_source else (),
+            phase=phase + ":skeleton",
+            keep_local_knowledge=True,
+        )
+    skeleton = context.skeleton
 
     # Step 2: representatives of the sources on the skeleton.
     representatives = compute_representatives(
@@ -125,7 +132,8 @@ def shortest_paths_via_clique(
     )
 
     # Step 3: simulate the CLIQUE algorithm on the skeleton.
-    transport = HybridCliqueTransport(network, skeleton, phase=phase + ":simulation")
+    transport = context.transport(phase + ":simulation")
+    clique_rounds_before = transport.rounds_used
     clique_sources = [skeleton.index_of[rep] for rep in representatives.skeleton_sources]
     skeleton_estimates = algorithm.run(transport, skeleton.incident_edges(), clique_sources)
 
@@ -150,7 +158,7 @@ def shortest_paths_via_clique(
         rounds=rounds,
         skeleton_size=skeleton.size,
         hop_length=skeleton.hop_length,
-        clique_rounds=transport.rounds_used,
+        clique_rounds=transport.rounds_used - clique_rounds_before,
         spec=spec,
         exploration_depth=exploration_depth,
     )

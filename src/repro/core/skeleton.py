@@ -177,14 +177,7 @@ def compute_skeleton(
         # n sources; a connectivity retry re-runs (and conservatively
         # re-charges) it at the doubled depth.
         limited = explore_limited_distance_matrix(network, hop_length, phase=phase + ":exploration")
-        skeleton_graph = WeightedGraph(max(1, len(nodes)))
-        if len(nodes) > 1:
-            pairwise = limited[np.ix_(node_array, node_array)]
-            edge_u, edge_v = np.nonzero(np.isfinite(pairwise))
-            edge_w = pairwise[edge_u, edge_v]
-            for u, v, distance in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
-                if u < v:
-                    skeleton_graph.add_edge(u, v, max(1, int(round(distance))))
+        skeleton_graph = skeleton_graph_from_limited(limited, nodes)
         connected = len(nodes) <= 1 or skeleton_graph.is_connected()
         if connected or not ensure_connected or hop_length >= network.n:
             break
@@ -192,13 +185,7 @@ def compute_skeleton(
 
     # Per node, the d_h map restricted to nearby skeleton nodes (what the
     # exploration of Algorithm 6 leaves behind at every node).
-    near = limited[:, node_array] if len(nodes) else limited[:, :0]
-    local_distances: List[Dict[int, float]] = []
-    for row in near:
-        reached = np.flatnonzero(np.isfinite(row))
-        local_distances.append(
-            {nodes[i]: float(value) for i, value in zip(reached.tolist(), row[reached].tolist())}
-        )
+    local_distances = local_distance_maps(limited, nodes)
 
     rounds_charged = network.metrics.total_rounds - rounds_before
     return Skeleton(
@@ -211,6 +198,41 @@ def compute_skeleton(
         rounds_charged=rounds_charged,
         knowledge_matrix=limited if keep_local_knowledge else None,
     )
+
+
+def skeleton_graph_from_limited(limited: np.ndarray, nodes: Sequence[int]) -> WeightedGraph:
+    """The skeleton graph induced by an exploration outcome on ``nodes``.
+
+    ``limited`` is a depth-``h`` exploration matrix (``limited[v, u] = d_h``,
+    ``inf`` outside the ball); sampled nodes within each other's ball are
+    connected by an edge weighted ``max(1, round(d_h))``.  Shared by
+    :func:`compute_skeleton` and :meth:`SkeletonContext.extended
+    <repro.core.context.SkeletonContext.extended>` so the two paths can never
+    diverge.
+    """
+    node_array = np.asarray(nodes, dtype=np.int64)
+    skeleton_graph = WeightedGraph(max(1, len(nodes)))
+    if len(nodes) > 1:
+        pairwise = limited[np.ix_(node_array, node_array)]
+        edge_u, edge_v = np.nonzero(np.isfinite(pairwise))
+        edge_w = pairwise[edge_u, edge_v]
+        for u, v, distance in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
+            if u < v:
+                skeleton_graph.add_edge(u, v, max(1, int(round(distance))))
+    return skeleton_graph
+
+
+def local_distance_maps(limited: np.ndarray, nodes: Sequence[int]) -> List[Dict[int, float]]:
+    """Per node, the ``d_h`` map restricted to the skeleton nodes ``nodes``."""
+    node_array = np.asarray(nodes, dtype=np.int64)
+    near = limited[:, node_array] if len(nodes) else limited[:, :0]
+    local_distances: List[Dict[int, float]] = []
+    for row in near:
+        reached = np.flatnonzero(np.isfinite(row))
+        local_distances.append(
+            {nodes[i]: float(value) for i, value in zip(reached.tolist(), row[reached].tolist())}
+        )
+    return local_distances
 
 
 def framework_exponent(delta: float) -> float:

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 from repro.clique.interfaces import CliqueShortestPathAlgorithm
 from repro.clique.sssp import BroadcastBellmanFordSSSP
+from repro.core.context import SkeletonContext
 from repro.core.kssp import ShortestPathsResult, shortest_paths_via_clique
 from repro.graphs.graph import INFINITY
 from repro.hybrid.network import HybridNetwork
@@ -29,7 +30,14 @@ from repro.hybrid.network import HybridNetwork
 
 @dataclass
 class SSSPResult:
-    """Distances from a single source, plus the framework run statistics."""
+    """Distances from a single source, plus the framework run statistics.
+
+    ``distances`` holds one entry per node of the network, including
+    ``float('inf')`` for nodes unreachable from the source -- the same
+    contract as the ``inf`` entries of :attr:`APSPResult.matrix`.  (Earlier
+    revisions silently dropped unreachable nodes from the dict, so iterating
+    it disagreed with the APSP result on disconnected graphs.)
+    """
 
     source: int
     distances: Dict[int, float]
@@ -39,7 +47,10 @@ class SSSPResult:
     clique_rounds: int
 
     def distance(self, node: int) -> float:
-        """The computed distance ``d̃(node, source)`` (exact for Theorem 1.3)."""
+        """The computed distance ``d̃(node, source)`` (exact for Theorem 1.3).
+
+        Returns ``INFINITY`` for unreachable nodes.
+        """
         return self.distances.get(node, INFINITY)
 
 
@@ -48,22 +59,26 @@ def sssp_exact(
     source: int,
     algorithm: Optional[CliqueShortestPathAlgorithm] = None,
     phase: str = "sssp",
+    context: Optional[SkeletonContext] = None,
 ) -> SSSPResult:
     """Solve SSSP exactly in the HYBRID model (Theorem 1.3).
 
     ``algorithm`` must be an exact CLIQUE SSSP algorithm (``α = 1, β = 0,
     γ = 0``); it defaults to the broadcast Bellman-Ford substitute.
+    ``context`` may supply prepared preprocessing state whose skeleton
+    contains ``source`` (Lemma 4.5 -- exactness needs the source in the
+    skeleton); it is forwarded to the Theorem 4.1 framework.
     """
     algorithm = algorithm or BroadcastBellmanFordSSSP()
     if not algorithm.spec.exact:
         raise ValueError("Theorem 1.3 requires an exact CLIQUE algorithm")
+    if context is not None and not context.skeleton.contains(source):
+        raise ValueError("the prepared skeleton must contain the SSSP source (Lemma 4.5)")
     result: ShortestPathsResult = shortest_paths_via_clique(
-        network, [source], algorithm, phase=phase
+        network, [source], algorithm, phase=phase, context=context
     )
     distances = {
-        node: result.estimates[node][source]
-        for node in range(network.n)
-        if result.estimates[node].get(source, INFINITY) < INFINITY
+        node: result.estimates[node].get(source, INFINITY) for node in range(network.n)
     }
     return SSSPResult(
         source=source,

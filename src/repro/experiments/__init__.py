@@ -5,6 +5,7 @@ the whole evaluation.  The command-line entry point is ``python -m repro.cli``.
 """
 
 from repro.experiments.runner import (
+    SCALES,
     ExperimentTable,
     available_experiments,
     run_all,
@@ -12,4 +13,4 @@ from repro.experiments.runner import (
 )
 from repro.experiments import sweeps  # noqa: F401  (imports register the experiments)
 
-__all__ = ["ExperimentTable", "available_experiments", "run_all", "run_experiment"]
+__all__ = ["SCALES", "ExperimentTable", "available_experiments", "run_all", "run_experiment"]

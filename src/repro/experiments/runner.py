@@ -15,6 +15,13 @@ from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.report import format_markdown_table
 
+#: The sweep sizes every experiment supports, in increasing cost order:
+#: ``small`` (seconds; the test suite and CI), ``medium`` (the scale recorded
+#: in EXPERIMENTS.md) and ``large`` (offline only; used by the E14 multi-query
+#: amortization sweep).  Single source of truth -- the CLI's ``--scale``
+#: choices and the runner's validation both read it.
+SCALES = ("small", "medium", "large")
+
 
 @dataclass
 class ExperimentTable:
@@ -73,14 +80,14 @@ def available_experiments() -> List[str]:
 
 
 def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentTable:
-    """Run one experiment at the given scale (``small`` or ``medium``)."""
+    """Run one experiment at the given scale (one of :data:`SCALES`)."""
     key = experiment_id.upper()
     if key not in _REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(available_experiments())}"
         )
-    if scale not in ("small", "medium"):
-        raise ValueError("scale must be 'small' or 'medium'")
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {', '.join(repr(s) for s in SCALES)}")
     return _REGISTRY[key](scale)
 
 

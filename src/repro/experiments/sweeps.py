@@ -1,10 +1,12 @@
-"""The per-experiment sweeps (E1-E13 of the DESIGN.md index).
+"""The per-experiment sweeps (E1-E14 of the DESIGN.md index).
 
-Every function reproduces one artefact of the paper and returns an
-:class:`~repro.experiments.runner.ExperimentTable`.  Two scales are supported:
-``small`` (seconds, used by the test suite and CI) and ``medium`` (the scale
-recorded in EXPERIMENTS.md).  All sweeps are deterministic given the built-in
-seeds.
+Every function reproduces one artefact of the paper (or, for E14, of this
+library's serving layer) and returns an
+:class:`~repro.experiments.runner.ExperimentTable`.  The supported scales are
+:data:`~repro.experiments.runner.SCALES`: ``small`` (seconds, used by the
+test suite and CI), ``medium`` (the scale recorded in EXPERIMENTS.md) and
+``large`` (offline; exercised by the E14 amortization sweep).  All sweeps are
+deterministic given the built-in seeds.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ from repro.lower_bounds import (
 )
 from repro.lower_bounds import kssp_gadget as kssp_lb
 from repro.lower_bounds import set_disjointness as diam_lb
+from repro.session import HybridSession
 from repro.util.rand import RandomSource, sample_nodes
 
 
@@ -700,5 +703,112 @@ def scenario_scaling_experiment(scale: str) -> ExperimentTable:
             "diverge from hop counts, and the ISP hierarchy has LAN-dense leaves "
             "behind a small backbone.  All runs stay exact; benchmarks/BENCH_core.json "
             "tracks the wall-clock trajectory per backend.",
+        ],
+    )
+
+
+# -------------------------------------------------------------------------- E14
+@register("E14")
+def session_amortization_experiment(scale: str) -> ExperimentTable:
+    """Multi-query amortization: a HybridSession vs one-shot calls per query.
+
+    Runs a mixed APSP / SSSP / diameter workload against one
+    :class:`~repro.session.HybridSession` and, side by side, against fresh
+    one-shot function calls on identical fresh networks.  Per query the table
+    shows the amortized rounds (warm session), the session's cold-equivalent
+    accounting (amortized + shared preparation), and the one-shot rounds.
+    Every distance/diameter answer is cross-checked between the two paths.
+    """
+    if scale == "small":
+        n, sssp_sources = 120, [0, 7]
+    elif scale == "medium":
+        n, sssp_sources = 300, [0, 7, 31, 64]
+    else:
+        n, sssp_sources = 800, [0, 7, 31, 64, 127, 256]
+    graph = _locality_graph(n, seed=n + 29)
+
+    session = HybridSession(graph, ModelConfig(rng_seed=n))
+    workload = [("apsp", None)] + [("sssp", s) for s in sssp_sources] + [("diameter", None)]
+    answers = {}
+    for kind, argument in workload:
+        if kind == "apsp":
+            answers[(kind, argument)] = session.apsp()
+        elif kind == "sssp":
+            answers[(kind, argument)] = session.sssp(argument)
+        else:
+            answers[(kind, argument)] = session.diameter()
+
+    rows = []
+    truth = reference.all_pairs_distances(graph)
+    true_diameter = graph.hop_diameter()
+    for record, (kind, argument) in zip(session.queries, workload):
+        one_shot_network = _network(graph, seed=n)
+        if kind == "apsp":
+            one_shot = apsp_exact(one_shot_network)
+            agree = all(
+                abs(answers[(kind, argument)].distance(u, v) - one_shot.distance(u, v)) <= 1e-9
+                for u in range(n)
+                for v, _ in truth[u].items()
+            )
+        elif kind == "sssp":
+            one_shot = sssp_exact(one_shot_network, source=argument)
+            agree = all(
+                abs(answers[(kind, argument)].distance(v) - one_shot.distance(v)) <= 1e-9
+                for v in range(n)
+            )
+        else:
+            one_shot = approximate_diameter(one_shot_network, GatherDiameter())
+            session_result = answers[(kind, argument)]
+            # Both paths must bracket the true diameter within their declared
+            # guarantee (with the local branch -- the regime at these scales --
+            # both answer D exactly).
+            agree = all(
+                true_diameter - 1e-9
+                <= result.estimate
+                <= result.guaranteed_alpha() * true_diameter + 1e-9
+                for result in (session_result, one_shot)
+            )
+        label = kind if argument is None else f"{kind}({argument})"
+        rows.append(
+            [
+                label,
+                record.amortized_rounds,
+                record.preparation_rounds,
+                record.cold_rounds,
+                one_shot.rounds,
+                round(record.cold_rounds / max(1, record.amortized_rounds), 2),
+                agree,
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL",
+            sum(r.amortized_rounds for r in session.queries),
+            session.preprocessing_rounds,
+            sum(r.cold_rounds for r in session.queries),
+            "-",
+            "-",
+            True,
+        ]
+    )
+    return ExperimentTable(
+        "E14",
+        "Multi-query amortization on one HybridSession",
+        [
+            "query",
+            "amortized rounds",
+            "new prep rounds",
+            "cold-equivalent rounds",
+            "one-shot rounds",
+            "cold/warm",
+            "answers agree",
+        ],
+        rows,
+        notes=[
+            "The session pays the skeleton exploration, edge publication and helper-set "
+            "construction once; every later query keeps only its own phases (the "
+            "cold/warm column is the amortization factor).  One-shot rounds differ "
+            "slightly from the cold-equivalent column because the one-shot functions "
+            "choose their own per-theorem skeleton density.",
         ],
     )

@@ -74,6 +74,7 @@ class WeightedGraph:
         self._backend_choice = backend
         self._csr = None
         self._hop_diameter: Optional[float] = None
+        self._version = 0
 
     # ------------------------------------------------------------------ basic
     @property
@@ -82,6 +83,17 @@ class WeightedGraph:
         if self._backend_choice == "auto":
             return "csr" if _HAS_NUMPY else "dict"
         return self._backend_choice
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: incremented by every ``add_edge`` / ``remove_edge``.
+
+        Derived caches outside the graph (the network's hop-diameter cache,
+        a session's preprocessing cache) compare the version they were built
+        at against the current one -- the same freeze/invalidate discipline
+        the internal CSR view uses.
+        """
+        return self._version
 
     def csr(self):
         """The frozen CSR view (built on first use, dropped on mutation)."""
@@ -127,6 +139,7 @@ class WeightedGraph:
         self._adjacency[v][u] = weight
         self._csr = None
         self._hop_diameter = None
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}`` (must exist)."""
@@ -137,6 +150,7 @@ class WeightedGraph:
         self._edge_count -= 1
         self._csr = None
         self._hop_diameter = None
+        self._version += 1
 
     def weight(self, u: int, v: int) -> int:
         """Weight of the edge ``{u, v}`` (must exist)."""

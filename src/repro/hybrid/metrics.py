@@ -9,13 +9,22 @@ keeps detailed counters:
   (Lemma D.2 asserts these stay at ``O(log n)`` w.h.p.), and
 * total global bits, which the lower-bound experiments (Sections 6-7) compare
   against the information-theoretic requirements.
+
+Counters can additionally be observed through *scopes*
+(:meth:`RoundMetrics.scoped`): a scope is a fresh ``RoundMetrics`` that
+receives a copy of every charge recorded while it is active, so a caller can
+read off exactly what one query (or one protocol phase) cost -- including the
+per-round maxima, which a subtract-two-snapshots scheme could not recover.
+The session layer (:mod:`repro.session`) uses scopes for its per-query
+amortized accounting.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -44,11 +53,36 @@ class RoundMetrics:
     receive_cap_violations: int = 0
     phases: Dict[str, PhaseBreakdown] = field(default_factory=lambda: defaultdict(PhaseBreakdown))
     cut_bits: Dict[str, int] = field(default_factory=dict)
+    _scopes: List["RoundMetrics"] = field(default_factory=list, repr=False, compare=False)
 
     @property
     def total_rounds(self) -> int:
         """The quantity every theorem bounds: local + global rounds."""
         return self.local_rounds + self.global_rounds
+
+    @contextmanager
+    def scoped(self) -> Iterator["RoundMetrics"]:
+        """Observe every charge recorded while the context is active.
+
+        Yields a fresh :class:`RoundMetrics`; all charges (rounds, traffic,
+        cut bits, merges) recorded on *this* object while the scope is open
+        are mirrored into it.  Scopes nest -- an inner scope sees a subset of
+        what the outer one sees -- and unlike a snapshot subtraction the
+        scope's ``max_sent_per_round`` / ``max_received_per_round`` are the
+        true per-round maxima *within* the scope.
+        """
+        scope = RoundMetrics()
+        self._scopes.append(scope)
+        try:
+            yield scope
+        finally:
+            # Remove by identity: two nested scopes that observed the same
+            # charges compare equal, so value-based list.remove would pop
+            # the wrong one.
+            for index, active in enumerate(self._scopes):
+                if active is scope:
+                    del self._scopes[index]
+                    break
 
     def charge_local(self, rounds: int, phase: str = "local") -> None:
         """Add ``rounds`` local rounds attributed to ``phase``."""
@@ -56,6 +90,8 @@ class RoundMetrics:
             raise ValueError("rounds must be non-negative")
         self.local_rounds += rounds
         self.phases[phase].local_rounds += rounds
+        for scope in self._scopes:
+            scope.charge_local(rounds, phase)
 
     def charge_global(self, rounds: int, phase: str = "global") -> None:
         """Add ``rounds`` global rounds attributed to ``phase``."""
@@ -63,6 +99,8 @@ class RoundMetrics:
             raise ValueError("rounds must be non-negative")
         self.global_rounds += rounds
         self.phases[phase].global_rounds += rounds
+        for scope in self._scopes:
+            scope.charge_global(rounds, phase)
 
     def record_global_traffic(
         self,
@@ -79,13 +117,19 @@ class RoundMetrics:
         self.max_received_per_round = max(self.max_received_per_round, max_received)
         if receive_cap is not None and max_received > receive_cap:
             self.receive_cap_violations += 1
+        for scope in self._scopes:
+            scope.record_global_traffic(messages, bits, max_sent, max_received, receive_cap)
 
     def record_cut_bits(self, cut_name: str, bits: int) -> None:
         """Accumulate global bits that crossed a named cut (lower-bound experiments)."""
         self.cut_bits[cut_name] = self.cut_bits.get(cut_name, 0) + bits
+        for scope in self._scopes:
+            scope.record_cut_bits(cut_name, bits)
 
     def merge(self, other: "RoundMetrics") -> None:
         """Fold another metrics object into this one (used by nested protocols)."""
+        for scope in self._scopes:
+            scope.merge(other)
         self.local_rounds += other.local_rounds
         self.global_rounds += other.global_rounds
         self.global_messages += other.global_messages

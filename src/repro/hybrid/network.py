@@ -117,7 +117,6 @@ class HybridNetwork:
         self._states: List[Dict[str, object]] = [dict() for _ in range(self.n)]
         # (name, node_set, membership mask or None) per registered cut.
         self._cut_watchers: List[Tuple[str, Set[int], object]] = []
-        self._hop_diameter: Optional[int] = None
         plane = self.config.global_plane
         if plane not in ("auto", "scalar", "vectorized"):
             raise ValueError(f"unknown global_plane {plane!r}")
@@ -164,11 +163,14 @@ class HybridNetwork:
 
     # ------------------------------------------------------------- local mode
     def hop_diameter(self) -> int:
-        """The hop diameter ``D(G)`` (computed once and cached)."""
-        if self._hop_diameter is None:
-            diameter = self.graph.hop_diameter()
-            self._hop_diameter = self.n if diameter == float("inf") else int(diameter)
-        return self._hop_diameter
+        """The hop diameter ``D(G)``, with infinity clamped to ``n``.
+
+        Delegates to the graph's own mutation-invalidated cache, so a session
+        that mutates the graph between queries never charges local rounds
+        against a stale diameter cap.
+        """
+        diameter = self.graph.hop_diameter()
+        return self.n if diameter == float("inf") else int(diameter)
 
     def charge_local_rounds(self, rounds: int, phase: str = "local") -> None:
         """Account for a local-mode phase of the given length.

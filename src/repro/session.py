@@ -1,0 +1,438 @@
+"""Multi-query serving on one HYBRID network: the :class:`HybridSession` facade.
+
+Every algorithm in this library pays the same ``Õ(√n)``-shaped preprocessing
+-- skeleton construction, edge dissemination, helper sets, the shared routing
+hash -- before answering a query.  The one-shot entry points
+(:func:`~repro.core.apsp.apsp_exact` and friends) rebuild that state on every
+call; a :class:`HybridSession` owns the :class:`HybridNetwork` and a keyed
+cache of prepared :class:`~repro.core.context.SkeletonContext` objects and
+:class:`~repro.core.token_routing.TokenRouter` endpoints, so a stream of
+queries against the same graph pays the preprocessing once.
+
+Accounting (see DESIGN.md §6): preprocessing charges accumulate in
+:attr:`HybridSession.preprocessing`; every query runs inside a metrics scope
+(:meth:`RoundMetrics.scoped`) and leaves a :class:`QueryRecord` with its
+*amortized* per-query :class:`RoundMetrics` next to the *cold-equivalent*
+round count (amortized + the preparation cost of the reused state).  All
+cached state is keyed by the graph's mutation counter
+(:attr:`WeightedGraph.version`, the CSR freeze/invalidate pattern): any
+``add_edge`` / ``remove_edge`` invalidates the whole cache and the next query
+re-prepares from scratch.
+
+By default every query of a session shares one canonical skeleton sampled
+with probability ``1/√n`` (the Theorem 1.1 optimum; exact for APSP and, with
+the source force-added via Lemma 4.5, for SSSP).  Query results are therefore
+a deterministic function of the session configuration alone -- independent of
+the order queries arrive in -- which is what makes warm and cold answers
+comparable bit for bit.  Per-query ``probability=`` overrides prepare (and
+cache) additional skeletons keyed by their sampling probability.
+
+Quick start::
+
+    from repro import HybridSession, ModelConfig, generators
+    from repro.util.rand import RandomSource
+
+    graph = generators.connected_workload(200, RandomSource(1))
+    session = HybridSession(graph, ModelConfig(rng_seed=1))
+    apsp = session.apsp()              # pays the preprocessing
+    sssp = session.sssp(0)             # reuses it: amortized cost only
+    diam = session.diameter()
+    for record in session.queries:
+        print(record.kind, record.amortized_rounds, record.cold_rounds)
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.clique import BroadcastBellmanFordSSSP, GatherDiameter, GatherShortestPaths
+from repro.clique.interfaces import CliqueDiameterAlgorithm, CliqueShortestPathAlgorithm
+from repro.core.apsp import APSPResult, apsp_exact
+from repro.core.context import SkeletonContext, prepare_skeleton_context
+from repro.core.diameter import DiameterResult, approximate_diameter
+from repro.core.kssp import ShortestPathsResult, shortest_paths_via_clique
+from repro.core.sssp import SSSPResult, sssp_exact
+from repro.core.token_routing import RoutingToken, TokenRouter, TokenRoutingResult
+from repro.graphs.graph import WeightedGraph
+from repro.hybrid.config import ModelConfig
+from repro.hybrid.metrics import RoundMetrics
+from repro.hybrid.network import HybridNetwork
+
+#: Cache key of one prepared skeleton: (sampling probability, forced members).
+ContextKey = Tuple[float, FrozenSet[int]]
+
+#: Cache key of one reusable token-routing endpoint:
+#: (senders, receivers, max tokens per sender, max tokens per receiver).
+RouterKey = Tuple[FrozenSet[int], FrozenSet[int], int, int]
+
+
+@dataclass
+class QueryRecord:
+    """Accounting for one query answered by a session.
+
+    Attributes
+    ----------
+    kind:
+        ``"apsp"``, ``"sssp"``, ``"shortest-paths"``, ``"diameter"`` or
+        ``"route-tokens"``.
+    metrics:
+        The query's own charges (rounds, messages, bits, per-round maxima),
+        captured by a metrics scope -- the *amortized* cost, excluding all
+        shared preprocessing.
+    preparation_rounds:
+        Preprocessing rounds newly charged *by this query* (non-zero when the
+        query was the first to need some cached piece; zero on a fully warm
+        cache).
+    shared_preparation_rounds:
+        Preparation cost of exactly the cached pieces this query kind
+        consumes (e.g. skeleton + CLIQUE transport for SSSP; never the APSP
+        edge publication) -- what the query would additionally have paid had
+        it been asked cold on this session.
+    result:
+        The underlying result object the query returned, or None unless the
+        session was opened with ``keep_results=True`` -- a serving session
+        answers an unbounded stream of queries, and pinning every APSP matrix
+        in the query log would grow memory without bound.
+    """
+
+    kind: str
+    metrics: RoundMetrics
+    preparation_rounds: int
+    shared_preparation_rounds: int
+    result: object
+
+    @property
+    def amortized_rounds(self) -> int:
+        """Rounds this query actually cost on the warm session."""
+        return self.metrics.total_rounds
+
+    @property
+    def cold_rounds(self) -> int:
+        """Rounds a cold run on this query's prepared state would have cost."""
+        return self.metrics.total_rounds + self.shared_preparation_rounds
+
+
+class HybridSession:
+    """A serving session over one graph: shared preprocessing, many queries.
+
+    Parameters
+    ----------
+    graph:
+        The local communication graph (owned by the session's network).
+    config:
+        Model constants; defaults to :class:`ModelConfig()`.
+    skeleton_probability:
+        Sampling probability of the session's canonical skeleton; defaults to
+        the Theorem 1.1 optimum ``1/√n``.  Every query uses this skeleton
+        unless it passes its own ``probability=``.
+    keep_results:
+        When True, each :class:`QueryRecord` retains the query's result
+        object; off by default so the query log holds only the accounting.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        config: Optional[ModelConfig] = None,
+        *,
+        skeleton_probability: Optional[float] = None,
+        keep_results: bool = False,
+    ) -> None:
+        self.network = HybridNetwork(graph, config)
+        if skeleton_probability is None:
+            skeleton_probability = min(1.0, 1.0 / math.sqrt(max(1, self.network.n)))
+        if not 0 < skeleton_probability <= 1:
+            raise ValueError("skeleton_probability must be in (0, 1]")
+        self.skeleton_probability = skeleton_probability
+        self.keep_results = keep_results
+        #: Rounds (and traffic) charged preparing shared state, across all keys.
+        self.preprocessing = RoundMetrics()
+        #: One record per answered query, in order.
+        self.queries: List[QueryRecord] = []
+        self._contexts: Dict[ContextKey, SkeletonContext] = {}
+        self._routers: Dict[RouterKey, Tuple[TokenRouter, int]] = {}
+        self._graph_version = graph.version
+        self._active_preparation: Optional[RoundMetrics] = None
+
+    # ------------------------------------------------------------- properties
+    @property
+    def graph(self) -> WeightedGraph:
+        """The session's graph (mutations invalidate all cached state)."""
+        return self.network.graph
+
+    @property
+    def metrics(self) -> RoundMetrics:
+        """The network's cumulative counters (preprocessing + all queries)."""
+        return self.network.metrics
+
+    @property
+    def last_query(self) -> Optional[QueryRecord]:
+        """The most recent query's accounting record (None before any query)."""
+        return self.queries[-1] if self.queries else None
+
+    @property
+    def preprocessing_rounds(self) -> int:
+        """Total rounds spent on shared preprocessing so far."""
+        return self.preprocessing.total_rounds
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate(self) -> None:
+        """Drop every cached context and router (forced cold restart)."""
+        self._contexts.clear()
+        self._routers.clear()
+        self.network.clear_states()
+        self._graph_version = self.graph.version
+
+    def _check_version(self) -> None:
+        if self.graph.version != self._graph_version:
+            self.invalidate()
+
+    def add_edge(self, u: int, v: int, weight: int = 1) -> None:
+        """Mutate the graph; cached preprocessing is invalidated lazily."""
+        self.graph.add_edge(u, v, weight)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Mutate the graph; cached preprocessing is invalidated lazily."""
+        self.graph.remove_edge(u, v)
+
+    # ------------------------------------------------------------ preparation
+    @contextmanager
+    def _preparing(self) -> Iterator[RoundMetrics]:
+        """Scope whose charges count as shared preprocessing.
+
+        Re-entrant: a nested ``_preparing`` (a query's preparation step
+        calling :meth:`context`, which opens its own) joins the active outer
+        scope instead of double-counting its charges.
+        """
+        if self._active_preparation is not None:
+            yield self._active_preparation
+            return
+        with self.network.metrics.scoped() as scope:
+            self._active_preparation = scope
+            try:
+                yield scope
+            finally:
+                # Merge even when preparation raises, so a failed build can
+                # never leave rounds charged to the network but missing from
+                # the session's preprocessing ledger (the "amortized +
+                # preprocessing = total" invariant).
+                self._active_preparation = None
+                self.preprocessing.merge(scope)
+
+    @staticmethod
+    def _key_tag(key: ContextKey) -> str:
+        probability, forced = key
+        tag = f"p{probability:.6g}"
+        if forced:
+            tag += "+" + ",".join(str(node) for node in sorted(forced))
+        return tag
+
+    def context(
+        self, probability: Optional[float] = None, forced_members: Sequence[int] = ()
+    ) -> SkeletonContext:
+        """The prepared context for one cache key, building it if needed.
+
+        Preparation phases are named after the key alone (not after the query
+        that happened to trigger the build), so the skeleton a key yields is
+        the same no matter which query arrives first -- warm answers equal
+        cold ones by construction.
+        """
+        self._check_version()
+        key: ContextKey = (
+            self.skeleton_probability if probability is None else probability,
+            frozenset(forced_members),
+        )
+        context = self._contexts.get(key)
+        if context is None:
+            tag = self._key_tag(key)
+            with self._preparing():
+                context = prepare_skeleton_context(
+                    self.network,
+                    key[0],
+                    forced_members=sorted(key[1]),
+                    phase=f"session:{tag}:skeleton",
+                    keep_local_knowledge=True,
+                    label=f"session:{tag}",
+                )
+            self._contexts[key] = context
+        return context
+
+    def _context_with_members(self, members: Sequence[int]) -> SkeletonContext:
+        """The canonical context extended to contain ``members`` (Lemma 4.5).
+
+        The extension reuses the base exploration, so it costs no extra
+        rounds; if the enlarged skeleton would be disconnected at the base
+        hop length (rare at simulation scale), a dedicated context with the
+        members forced in is prepared and cached instead.
+        """
+        base = self.context()
+        extended = base.extended(members)
+        if extended is not None:
+            return extended
+        return self.context(forced_members=sorted(members))
+
+    # ----------------------------------------------------------------- queries
+    def _record(
+        self,
+        kind: str,
+        scope: RoundMetrics,
+        preparation_rounds: int,
+        shared_preparation_rounds: int,
+        result: object,
+    ) -> QueryRecord:
+        record = QueryRecord(
+            kind=kind,
+            metrics=scope,
+            preparation_rounds=preparation_rounds,
+            shared_preparation_rounds=shared_preparation_rounds,
+            result=result if self.keep_results else None,
+        )
+        self.queries.append(record)
+        return record
+
+    def _query_phase(self, kind: str) -> str:
+        return f"query{len(self.queries)}:{kind}"
+
+    def apsp(self, probability: Optional[float] = None) -> APSPResult:
+        """Exact APSP (Theorem 1.1) on the session's prepared skeleton."""
+        with self._preparing() as prep:
+            context = self.context(probability)
+            context.published_skeleton_distances(context.label + ":publish-skeleton")
+            context.apsp_router(context.label + ":routing")
+        with self.network.metrics.scoped() as scope:
+            result = apsp_exact(self.network, phase=self._query_phase("apsp"), context=context)
+        self._record("apsp", scope, prep.total_rounds, context.apsp_preparation_rounds, result)
+        return result
+
+    def sssp(
+        self,
+        source: int,
+        algorithm: Optional[CliqueShortestPathAlgorithm] = None,
+    ) -> SSSPResult:
+        """Exact SSSP (Theorem 1.3); the source joins the shared skeleton."""
+        if not 0 <= source < self.network.n:
+            raise ValueError(f"source {source} outside the network")
+        algorithm = algorithm or BroadcastBellmanFordSSSP()
+        with self._preparing() as prep:
+            context = self._context_with_members([source])
+            context.transport(context.label + ":simulation")
+        with self.network.metrics.scoped() as scope:
+            result = sssp_exact(
+                self.network,
+                source,
+                algorithm,
+                phase=self._query_phase("sssp"),
+                context=context,
+            )
+        self._record(
+            "sssp", scope, prep.total_rounds, context.simulation_preparation_rounds, result
+        )
+        return result
+
+    def shortest_paths(
+        self,
+        sources: Sequence[int],
+        algorithm: Optional[CliqueShortestPathAlgorithm] = None,
+    ) -> ShortestPathsResult:
+        """The k-SSP framework (Theorem 4.1) on the session's skeleton."""
+        for source in sources:
+            if not 0 <= source < self.network.n:
+                raise ValueError(f"source {source} outside the network")
+        algorithm = algorithm or GatherShortestPaths()
+        with self._preparing() as prep:
+            if len(set(sources)) == 1:
+                context = self._context_with_members(list(sources))
+            else:
+                context = self.context()
+            context.transport(context.label + ":simulation")
+        with self.network.metrics.scoped() as scope:
+            result = shortest_paths_via_clique(
+                self.network,
+                sources,
+                algorithm,
+                phase=self._query_phase("kssp"),
+                context=context,
+            )
+        self._record(
+            "shortest-paths", scope, prep.total_rounds, context.simulation_preparation_rounds, result
+        )
+        return result
+
+    def diameter(self, algorithm: Optional[CliqueDiameterAlgorithm] = None) -> DiameterResult:
+        """Diameter approximation (Theorem 5.1) on the session's skeleton."""
+        algorithm = algorithm or GatherDiameter()
+        with self._preparing() as prep:
+            context = self.context()
+            context.transport(context.label + ":simulation")
+        with self.network.metrics.scoped() as scope:
+            result = approximate_diameter(
+                self.network,
+                algorithm,
+                phase=self._query_phase("diameter"),
+                context=context,
+            )
+        self._record(
+            "diameter", scope, prep.total_rounds, context.simulation_preparation_rounds, result
+        )
+        return result
+
+    def route_tokens(self, tokens: Sequence[RoutingToken]) -> TokenRoutingResult:
+        """Token routing (Theorem 2.2) with cached helper sets per population.
+
+        The :class:`TokenRouter` (helper sets + shared hash) is keyed by the
+        token list's endpoint populations and per-endpoint maxima; repeated
+        workloads over the same populations skip the setup entirely.  The
+        returned ``rounds`` cover this routing instance only (the amortized
+        cost); the record's ``cold_rounds`` adds the router setup.
+        """
+        self._check_version()
+        if not tokens:
+            result = TokenRoutingResult(
+                delivered={}, rounds=0, mu_senders=1, mu_receivers=1, token_count=0
+            )
+            with self.network.metrics.scoped() as scope:
+                pass
+            self._record("route-tokens", scope, 0, 0, result)
+            return result
+        per_sender: Dict[int, int] = {}
+        per_receiver: Dict[int, int] = {}
+        for token in tokens:
+            per_sender[token.sender] = per_sender.get(token.sender, 0) + 1
+            per_receiver[token.receiver] = per_receiver.get(token.receiver, 0) + 1
+        key: RouterKey = (
+            frozenset(per_sender),
+            frozenset(per_receiver),
+            max(per_sender.values()),
+            max(per_receiver.values()),
+        )
+        cached = self._routers.get(key)
+        if cached is None:
+            # The phase (and with it the router's hash-seed RNG fork) is
+            # named after the cache key, like the contexts, so identical
+            # workloads get identical routers regardless of arrival order.
+            digest = zlib.crc32(
+                repr((sorted(key[0]), sorted(key[1]), key[2], key[3])).encode()
+            )
+            with self._preparing() as prep:
+                router = TokenRouter(
+                    self.network,
+                    senders=list(per_sender),
+                    receivers=list(per_receiver),
+                    max_tokens_per_sender=key[2],
+                    max_tokens_per_receiver=key[3],
+                    phase=f"session:routing:{digest:08x}",
+                )
+            cached = (router, prep.total_rounds)
+            self._routers[key] = cached
+            preparation_rounds = prep.total_rounds
+        else:
+            preparation_rounds = 0
+        router, setup_rounds = cached
+        with self.network.metrics.scoped() as scope:
+            result = router.route(tokens)
+        self._record("route-tokens", scope, preparation_rounds, setup_rounds, result)
+        return result

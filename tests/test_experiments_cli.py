@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments import available_experiments, run_all, run_experiment
+from repro.experiments import SCALES, available_experiments, run_all, run_experiment
 from repro.experiments.runner import ExperimentTable, register
 
 
@@ -23,6 +23,7 @@ class TestRegistry:
             "E11",
             "E12",
             "E13",
+            "E14",
         ]
 
     def test_unknown_experiment_raises(self):
@@ -32,6 +33,12 @@ class TestRegistry:
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError):
             run_experiment("E1", scale="huge")
+
+    def test_scales_constant_is_the_single_source_of_truth(self):
+        assert SCALES == ("small", "medium", "large")
+        parser = build_parser()
+        assert parser.parse_args(["run", "E1", "--scale", "large"]).scale == "large"
+        assert parser.parse_args(["run-all", "--scale", "large"]).scale == "large"
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):
@@ -51,7 +58,7 @@ class TestExperimentTables:
         assert "| 3 | 4 |" in markdown
         assert "- note" in markdown
 
-    @pytest.mark.parametrize("experiment_id", ["E1", "E9", "E10", "E12", "E13"])
+    @pytest.mark.parametrize("experiment_id", ["E1", "E9", "E10", "E12", "E13", "E14"])
     def test_small_scale_experiments_run(self, experiment_id):
         table = run_experiment(experiment_id, scale="small")
         assert table.experiment_id == experiment_id
@@ -78,13 +85,35 @@ class TestExperimentTables:
         assert {"power-law", "grid+highways", "hierarchical-isp"} <= scenarios
         assert all(row[exact] for row in table.rows)
 
+    def test_session_amortization_agrees_and_amortizes(self):
+        table = run_experiment("E14", scale="small")
+        agree = table.headers.index("answers agree")
+        assert all(row[agree] for row in table.rows)
+        amortized = table.headers.index("amortized rounds")
+        cold = table.headers.index("cold-equivalent rounds")
+        totals = [row for row in table.rows if row[0] == "TOTAL"]
+        assert totals and totals[0][amortized] < totals[0][cold]
+
 
 class TestCLI:
-    def test_parser_has_three_commands(self):
+    def test_parser_has_four_commands(self):
         parser = build_parser()
         assert parser.parse_args(["list"]).command == "list"
         assert parser.parse_args(["run", "E1"]).experiment == "E1"
         assert parser.parse_args(["run-all", "--scale", "small"]).scale == "small"
+        query_args = parser.parse_args(["query", "--n", "64", "--seed", "2", "--repeat", "1"])
+        assert (query_args.command, query_args.n, query_args.repeat) == ("query", 64, 1)
+
+    def test_query_command_serves_a_session(self, capsys):
+        assert main(["query", "--n", "48", "--seed", "2", "--repeat", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "amortized" in output and "cold-equiv" in output
+        assert "preprocessing rounds (paid once)" in output
+        # 2 repeats x 4 queries per pass.
+        assert "8 queries:" in output
+
+    def test_query_command_rejects_tiny_n(self, capsys):
+        assert main(["query", "--n", "1"]) == 2
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0

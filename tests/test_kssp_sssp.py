@@ -136,3 +136,30 @@ class TestSSSP:
         assert result.rounds == network.metrics.total_rounds
         assert result.skeleton_size >= 1
         assert result.clique_rounds >= 1
+
+    def test_disconnected_graph_keeps_unreachable_entries(self):
+        """Contract pin: ``distances`` covers every node, inf for unreachable.
+
+        Mirrors the ``inf`` entries of ``APSPResult.matrix`` -- earlier
+        revisions silently dropped unreachable nodes from the SSSP dict.
+        """
+        from repro.core.apsp import apsp_exact
+        from repro.graphs.graph import INFINITY, WeightedGraph
+
+        graph = WeightedGraph(7)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 4)]:
+            graph.add_edge(u, v, 2)
+
+        network = HybridNetwork(graph, ModelConfig(rng_seed=41))
+        result = sssp_exact(network, source=0)
+        assert set(result.distances) == set(range(7))
+        for v, d in reference.single_source_distances(graph, 0).items():
+            assert result.distance(v) == pytest.approx(d)
+        for unreachable in (4, 5, 6):
+            assert result.distances[unreachable] == INFINITY
+            assert result.distance(unreachable) == INFINITY
+
+        apsp_network = HybridNetwork(graph, ModelConfig(rng_seed=41))
+        apsp = apsp_exact(apsp_network)
+        for unreachable in (4, 5, 6):
+            assert apsp.distance(0, unreachable) == INFINITY
