@@ -83,7 +83,9 @@ def test_dissemination_plane_speedup(benchmark, plane):
     tokens_per_node = smoke_scaled(16, 2)
     graph = locality_workload(n, seed=n)
     graph.hop_diameter()
-    tokens = {node: [node * tokens_per_node + i for i in range(tokens_per_node)] for node in range(n)}
+    tokens = {
+        node: [node * tokens_per_node + i for i in range(tokens_per_node)] for node in range(n)
+    }
 
     def run():
         network = bench_network(graph, seed=9, plane=plane)

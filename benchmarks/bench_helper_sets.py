@@ -16,7 +16,9 @@ from repro.util.rand import RandomSource, sample_nodes
 def test_helper_set_properties(benchmark, member_probability, tokens):
     n = 160
     graph = locality_workload(n, seed=31)
-    members = sample_nodes(range(n), member_probability, RandomSource(int(member_probability * 100)))
+    members = sample_nodes(
+        range(n), member_probability, RandomSource(int(member_probability * 100))
+    )
     members = members or [0]
 
     def run():

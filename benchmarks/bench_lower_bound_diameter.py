@@ -9,7 +9,7 @@ and cut-crossing bits of an actual HYBRID diameter computation on the gadget.
 
 import pytest
 
-from benchmarks.conftest import attach, bench_network, run_once
+from benchmarks.conftest import attach, run_once
 from repro.clique import GatherDiameter
 from repro.core.diameter import approximate_diameter
 from repro.graphs import reference

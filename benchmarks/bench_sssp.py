@@ -8,6 +8,7 @@ plus the comparison against the pure-LOCAL ``Θ(D)`` baseline.
 import pytest
 
 from benchmarks.conftest import attach, bench_network, locality_workload, run_once
+from repro.clique import BroadcastBellmanFordSSSP
 from repro.core.kssp import predicted_framework_rounds
 from repro.core.sssp import sssp_exact
 from repro.graphs import reference
@@ -33,7 +34,7 @@ def test_sssp_exact(benchmark, n):
             "measured_rounds": result.rounds,
             "exact": exact,
             "local_only_rounds": graph.hop_diameter(),
-            "framework_shape": predicted_framework_rounds(n, __import__("repro.clique", fromlist=["BroadcastBellmanFordSSSP"]).BroadcastBellmanFordSSSP().spec),
+            "framework_shape": predicted_framework_rounds(n, BroadcastBellmanFordSSSP().spec),
             "skeleton_size": result.skeleton_size,
         },
     )

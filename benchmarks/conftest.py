@@ -21,8 +21,6 @@ import os
 import pathlib
 from typing import Callable, Dict, Optional
 
-import pytest
-
 from repro.graphs import generators
 from repro.graphs.graph import WeightedGraph
 from repro.hybrid import HybridNetwork, ModelConfig

@@ -36,7 +36,10 @@ def main() -> None:
 
     sender_ids = rng.sample(list(range(n)), senders)
     tokens = make_tokens(
-        {s: [(rng.randrange(n), ("telemetry", s, i)) for i in range(payloads_each)] for s in sender_ids}
+        {
+            s: [(rng.randrange(n), ("telemetry", s, i)) for i in range(payloads_each)]
+            for s in sender_ids
+        }
     )
     print(f"workload: {len(tokens)} point-to-point payloads from {senders} devices")
 
@@ -56,7 +59,9 @@ def main() -> None:
     print(f"  theoretical shape:       sqrt(K) + l ≈ "
           f"{predicted_broadcast_rounds(len(tokens), payloads_each):.1f}")
 
-    message_saving = broadcast_net.metrics.global_messages / max(1, routing_net.metrics.global_messages)
+    message_saving = broadcast_net.metrics.global_messages / max(
+        1, routing_net.metrics.global_messages
+    )
     print("\nsummary")
     print(f"  global messages moved:  routing {routing_net.metrics.global_messages}, "
           f"broadcast {broadcast_net.metrics.global_messages} "

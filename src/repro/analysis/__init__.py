@@ -7,6 +7,13 @@ from repro.analysis.complexity import (
     fit_power_law_with_log,
     geometric_sweep,
 )
+from repro.analysis.regression import (
+    RegressionReport,
+    Violation,
+    compare_benchmarks,
+    compare_manifests,
+    run_regression,
+)
 from repro.analysis.report import (
     format_key_values,
     format_markdown_table,
@@ -14,6 +21,11 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "RegressionReport",
+    "Violation",
+    "compare_benchmarks",
+    "compare_manifests",
+    "run_regression",
     "PowerLawFit",
     "exponent_gap",
     "fit_power_law",

@@ -9,7 +9,11 @@
 """
 
 from repro.baselines.apsp_broadcast import BaselineAPSPResult, apsp_broadcast_baseline
-from repro.baselines.local_only import LocalOnlyResult, local_only_diameter, local_only_shortest_paths
+from repro.baselines.local_only import (
+    LocalOnlyResult,
+    local_only_diameter,
+    local_only_shortest_paths,
+)
 from repro.baselines.naive_routing import (
     NaiveRoutingResult,
     predicted_broadcast_rounds,

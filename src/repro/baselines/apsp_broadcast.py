@@ -15,7 +15,6 @@ crossover in measured rounds can be compared with the analytic
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

@@ -42,7 +42,9 @@ def local_only_shortest_paths(
     return LocalOnlyResult(rounds=rounds, distances=estimates, diameter=diameter)
 
 
-def local_only_diameter(network: HybridNetwork, phase: str = "local-only-diameter") -> LocalOnlyResult:
+def local_only_diameter(
+    network: HybridNetwork, phase: str = "local-only-diameter"
+) -> LocalOnlyResult:
     """Exact diameter using only the local network (``Θ(D)`` rounds)."""
     diameter = network.graph.hop_diameter()
     if diameter == float("inf"):

@@ -5,18 +5,26 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run E2 [--scale medium]
     python -m repro.cli run-all [--scale small] [--output EXPERIMENTS_GENERATED.md]
+    python -m repro.cli sweep [--jobs 4] [--resume] [--only E3,E14] [--scale medium]
+    python -m repro.cli regress --baseline benchmarks/BENCH_baseline.json
     python -m repro.cli query [--n 200] [--seed 1] [--repeat 2]
 
 ``run`` prints one experiment's markdown table; ``run-all`` renders every
-registered experiment (the content recorded in EXPERIMENTS.md); ``query``
-serves a mixed SSSP/diameter/APSP workload from one
-:class:`~repro.session.HybridSession` and prints the per-query amortized vs
-cold-equivalent accounting.
+registered experiment serially (the content recorded in EXPERIMENTS.md).
+``sweep`` is the scalable path: it decomposes the selected experiments into
+independent shards, executes them across a process pool, persists each shard
+to a resumable artifact store and assembles the same tables from the stored
+payloads.  ``regress`` diffs a fresh ``BENCH_core.json`` (or sweep manifest)
+against a committed baseline and exits non-zero on tolerance violations --
+the CI regression gate.  ``query`` serves a mixed SSSP/diameter/APSP workload
+from one :class:`~repro.session.HybridSession` and prints the per-query
+amortized vs cold-equivalent accounting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -43,12 +51,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=list(SCALES), default="small", help="sweep size"
     )
 
-    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment serially")
     run_all_parser.add_argument(
         "--scale", choices=list(SCALES), default="small", help="sweep size"
     )
     run_all_parser.add_argument(
         "--output", default=None, help="write the markdown report to this file instead of stdout"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run experiments as parallel, resumable shards through the artifact store",
+    )
+    sweep_parser.add_argument(
+        "--scale", choices=list(SCALES), default="small", help="sweep size"
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial, the default)"
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards whose artifact already matches (finish an interrupted sweep)",
+    )
+    sweep_parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment ids to run (default: all), e.g. E3,E14",
+    )
+    sweep_parser.add_argument(
+        "--artifacts", default="artifacts", help="artifact store root directory"
+    )
+    sweep_parser.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="replica trials per shard for reseedable sweeps (spawned seed stream)",
+    )
+    sweep_parser.add_argument(
+        "--root-seed",
+        type=int,
+        default=2020,
+        help="entropy of the SeedSequence stream replica trials draw from",
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, help="write the markdown report to this file instead of stdout"
+    )
+
+    regress_parser = subparsers.add_parser(
+        "regress",
+        help="diff fresh benchmark records / sweep manifest against a committed baseline",
+    )
+    regress_parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON (records or manifest)"
+    )
+    regress_parser.add_argument(
+        "--current",
+        default="BENCH_core.json",
+        help="freshly produced JSON to check (default: BENCH_core.json)",
+    )
+    regress_parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.25,
+        help="relative wall-clock tolerance (default 0.25 = ±25%%)",
+    )
+    regress_parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="disable median machine-speed normalization of wall-clock ratios",
+    )
+    regress_parser.add_argument(
+        "--min-wall-seconds",
+        type=float,
+        default=0.05,
+        help=(
+            "skip the wall-clock check (only) for records whose baseline wall time "
+            "is below this; round counts still gate them (default 0.05)"
+        ),
+    )
+    regress_parser.add_argument(
+        "--report", default=None, help="write the machine-readable JSON report to this file"
     )
 
     query_parser = subparsers.add_parser(
@@ -60,6 +143,98 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=2, help="how many times to repeat the workload"
     )
     return parser
+
+
+def run_sweep_command(args) -> int:
+    """Plan, execute (parallel + resumable) and render the selected sweeps."""
+    from repro.experiments import (
+        ArtifactStore,
+        ExperimentEngine,
+        assemble_tables,
+        plan_shards,
+    )
+
+    if args.only:
+        # dict.fromkeys: dedupe (--only E6,E6) while keeping the given order.
+        ids = list(
+            dict.fromkeys(token.strip().upper() for token in args.only.split(",") if token.strip())
+        )
+    else:
+        ids = None
+    try:
+        shards = plan_shards(
+            ids, scale=args.scale, trials=args.trials, root_seed=args.root_seed
+        )
+    except (KeyError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+
+    store = ArtifactStore(args.artifacts)
+    engine = ExperimentEngine(store, jobs=args.jobs, resume=args.resume)
+    total = len(shards)
+    done = {"count": 0}
+
+    def progress(status: str, shard, wall: float) -> None:
+        done["count"] += 1
+        if status == "executed":
+            detail = f"({wall:.2f}s)"
+        else:
+            detail = f"({status})"
+        print(f"[{done['count']}/{total}] {shard.key} {detail}")
+
+    print(
+        f"sweep: {total} shard(s) across {len(set(s.experiment for s in shards))} "
+        f"experiment(s) at scale {args.scale!r}, jobs={args.jobs}, "
+        f"resume={'on' if args.resume else 'off'}, store={args.artifacts}"
+    )
+    report = engine.run(shards, progress=progress)
+    print(f"engine: {report.summary()}; manifest: {store.manifest_path()}")
+    if report.failed:
+        for key, error in report.failed.items():
+            print(f"FAILED {key}: {error}", file=sys.stderr)
+        return 1
+
+    sections = [table.to_markdown() for table in assemble_tables(store, shards)]
+    rendered = (
+        "# Regenerated experiment tables (sharded engine)\n\n"
+        + f"Scale: {args.scale}\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def run_regress_command(args) -> int:
+    """Run the regression gate; exit 0 on pass, 1 on violations."""
+    from repro.analysis.regression import run_regression
+
+    try:
+        report = run_regression(
+            args.baseline,
+            args.current,
+            wall_tolerance=args.wall_tolerance,
+            normalize=not args.no_normalize,
+            min_wall_seconds=args.min_wall_seconds,
+        )
+    except (OSError, ValueError) as error:
+        print(f"regress: {error}", file=sys.stderr)
+        return 2
+    print(report.format_text())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    return 0 if report.status == "pass" else 1
 
 
 def serve_query_workload(n: int, seed: int, repeat: int) -> int:
@@ -90,7 +265,9 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
         f"serving on n={n}, m={graph.edge_count}, hop diameter "
         f"{graph.hop_diameter():.0f} (seed {seed})\n"
     )
-    header = f"{'query':>14s} {'amortized':>10s} {'cold-equiv':>10s} {'new prep':>9s} {'wall ms':>8s}"
+    header = (
+        f"{'query':>14s} {'amortized':>10s} {'cold-equiv':>10s} {'new prep':>9s} {'wall ms':>8s}"
+    )
     print(header)
     print("-" * len(header))
     for _ in range(repeat):
@@ -142,6 +319,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(table.to_markdown())
         return 0
+
+    if args.command == "sweep":
+        return run_sweep_command(args)
+
+    if args.command == "regress":
+        return run_regress_command(args)
 
     if args.command == "query":
         return serve_query_workload(args.n, args.seed, args.repeat)

@@ -14,7 +14,7 @@ DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.clique.apsp import _bellman_ford_phase, _gather_graph
 from repro.clique.interfaces import (

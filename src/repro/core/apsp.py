@@ -35,7 +35,6 @@ import numpy as np
 from repro.core.context import SkeletonContext, prepare_skeleton_context
 from repro.core.skeleton import Skeleton
 from repro.core.token_routing import RoutingToken
-from repro.graphs.graph import INFINITY
 from repro.hybrid.network import HybridNetwork
 
 

@@ -33,7 +33,9 @@ class HybridCliqueTransport:
     used by every subsequent routing instance once.
     """
 
-    def __init__(self, network: HybridNetwork, skeleton: Skeleton, phase: str = "clique-simulation") -> None:
+    def __init__(
+        self, network: HybridNetwork, skeleton: Skeleton, phase: str = "clique-simulation"
+    ) -> None:
         if skeleton.size < 1:
             raise ValueError("cannot simulate a CLIQUE on an empty skeleton")
         self.network = network

@@ -28,7 +28,6 @@ from typing import Optional
 from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueDiameterAlgorithm
 from repro.core.context import SkeletonContext, prepare_skeleton_context
 from repro.core.skeleton import framework_sampling_probability
-from repro.graphs.graph import INFINITY
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.aggregation import aggregate_max
 

@@ -15,7 +15,6 @@ nodes (which is all later phases need from it).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 

@@ -1,0 +1,486 @@
+"""Process-parallel, resumable execution of the registered sweeps.
+
+The registry (:mod:`repro.experiments.runner`) decomposes every experiment
+into independent ``(experiment, scale, graph family, seed, trial)`` shards;
+this module is the machinery that executes them at scale:
+
+* :func:`plan_shards` resolves the shard decomposition of a set of
+  experiments at one scale.  Trial 0 of every shard carries the sweep's
+  canonical built-in seed (the one that reproduces the committed tables);
+  replica trials of reseedable sweeps draw their seeds from a deterministic
+  ``numpy.random.SeedSequence`` stream keyed by the shard's identity, so the
+  seed of a shard never depends on which other shards run.
+* :class:`ExperimentEngine` executes shards across a ``multiprocessing``
+  pool (``jobs=1`` degenerates to an in-process serial loop -- the two are
+  bit-identical because every shard rebuilds its graphs and networks from
+  its own seeds and is observed through a fresh ambient
+  :class:`~repro.hybrid.metrics.RoundMetrics` scope).
+* :class:`ArtifactStore` persists each completed shard as a content-addressed
+  JSON artifact (``<root>/<experiment>/<family>-t<trial>-<spec hash>.json``)
+  plus a deterministic ``manifest.json``, so an interrupted run resumes by
+  skipping every shard whose artifact already matches its spec.
+* :func:`assemble_tables` rebuilds the experiment tables from stored
+  payloads, which is how ``repro.cli sweep`` renders its report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import (
+    ExperimentTable,
+    available_experiments,
+    get_sweep,
+)
+from repro.hybrid.metrics import ambient_observer
+
+ENGINE_VERSION = 1
+
+#: Root entropy of the replica-trial seed stream (the paper's year).  Trial 0
+#: never consumes it -- canonical seeds come from the sweep plans -- so the
+#: committed tables are independent of this value.
+DEFAULT_ROOT_SEED = 2020
+
+
+def _slug(text: str) -> str:
+    """A filesystem-safe lowercase label (non-alphanumerics collapse to ``-``)."""
+    cleaned = "".join(ch if ch.isalnum() else "-" for ch in str(text).lower())
+    while "--" in cleaned:
+        cleaned = cleaned.replace("--", "-")
+    return cleaned.strip("-") or "shard"
+
+
+def _canonical_json(value: object) -> str:
+    """Canonical JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _json_default(value: object) -> object:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def _jsonable(value: object) -> object:
+    """Normalize a payload to plain JSON types (tuples to lists, numpy to
+    Python scalars), so in-memory results and reloaded artifacts compare
+    bit-identically."""
+    return json.loads(json.dumps(value, default=_json_default))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of work: an experiment's parameter point at one scale.
+
+    ``params`` is stored as a sorted tuple of items so shards are hashable
+    and their canonical JSON spec is stable.
+    """
+
+    experiment: str
+    scale: str
+    family: str
+    seed: int
+    trial: int
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(
+        experiment: str,
+        scale: str,
+        family: str,
+        seed: int,
+        trial: int,
+        params: Optional[Dict[str, object]] = None,
+    ) -> "Shard":
+        items = tuple(sorted((params or {}).items()))
+        return Shard(experiment, scale, family, seed, trial, items)
+
+    @staticmethod
+    def from_spec(spec: Dict[str, object]) -> "Shard":
+        return Shard.make(
+            spec["experiment"],
+            spec["scale"],
+            spec["family"],
+            spec["seed"],
+            spec["trial"],
+            dict(spec.get("params", {})),
+        )
+
+    def spec(self) -> Dict[str, object]:
+        """The full, JSON-serialisable shard identity."""
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "family": self.family,
+            "seed": self.seed,
+            "trial": self.trial,
+            "params": dict(self.params),
+        }
+
+    @property
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical spec (the shard's content address)."""
+        return hashlib.sha256(_canonical_json(_jsonable(self.spec())).encode()).hexdigest()
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used as the artifact file stem and manifest key."""
+        return (
+            f"{self.experiment}-{self.scale}-{_slug(self.family)}"
+            f"-t{self.trial}-{self.spec_hash[:12]}"
+        )
+
+
+def _trial_seed_lane(
+    root_seed: int, experiment: str, scale: str, family: str
+) -> np.random.SeedSequence:
+    """The per-shard ``SeedSequence`` replica trials spawn their seeds from.
+
+    The lane is keyed by the shard's identity (not its position in the plan),
+    so adding experiments or filtering with ``--only`` never shifts the seeds
+    of unrelated shards.
+    """
+    digest = hashlib.sha256(f"{experiment}/{scale}/{family}".encode()).digest()
+    spawn_key = tuple(int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4))
+    return np.random.SeedSequence(entropy=root_seed, spawn_key=spawn_key)
+
+
+def replica_seeds(
+    root_seed: int, experiment: str, scale: str, family: str, trials: int
+) -> List[int]:
+    """Deterministic seeds for trials ``1 .. trials-1`` of one shard family."""
+    if trials <= 1:
+        return []
+    lane = _trial_seed_lane(root_seed, experiment, scale, family)
+    return [int(child.generate_state(1, dtype=np.uint32)[0]) for child in lane.spawn(trials - 1)]
+
+
+def plan_shards(
+    experiment_ids: Optional[Sequence[str]] = None,
+    scale: str = "small",
+    trials: int = 1,
+    root_seed: int = DEFAULT_ROOT_SEED,
+) -> List[Shard]:
+    """Decompose the requested experiments into their executable shards.
+
+    ``trials > 1`` appends replica shards (with spawned seeds) for every
+    sweep that declares itself ``reseedable``; trial 0 always carries the
+    canonical seed, so the assembled tables are unaffected by replication.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
+    shards: List[Shard] = []
+    for experiment_id in ids:
+        sweep = get_sweep(experiment_id)
+        for plan in sweep.shard_plans(scale):
+            shards.append(
+                Shard.make(sweep.experiment_id, scale, plan.family, plan.seed, 0, plan.params)
+            )
+            if sweep.reseedable:
+                seeds = replica_seeds(
+                    root_seed, sweep.experiment_id, scale, plan.family, trials
+                )
+                for trial, seed in enumerate(seeds, start=1):
+                    shards.append(
+                        Shard.make(
+                            sweep.experiment_id, scale, plan.family, seed, trial, plan.params
+                        )
+                    )
+    return shards
+
+
+def execute_shard(shard: Shard) -> Dict[str, object]:
+    """Run one shard in the current process and return its artifact record.
+
+    The shard's networks are observed through an ambient metrics scope, so
+    the record carries the exact :class:`RoundMetrics` totals of everything
+    the shard simulated -- deterministic, and therefore bit-identical between
+    serial and parallel execution at fixed seeds.
+    """
+    sweep = get_sweep(shard.experiment)
+    started = time.perf_counter()
+    with ambient_observer() as observed:
+        payload = sweep.run_shard(shard.scale, shard.seed, dict(shard.params))
+    wall_time = time.perf_counter() - started
+    return {
+        "engine_version": ENGINE_VERSION,
+        "spec": _jsonable(shard.spec()),
+        "payload": _jsonable(payload),
+        "metrics": _jsonable(observed.as_dict()),
+        "wall_time_seconds": wall_time,
+    }
+
+
+def _worker_run(
+    spec: Dict[str, object],
+) -> Tuple[Dict[str, object], Dict[str, object], Optional[str]]:
+    """Pool worker: execute one shard spec, never raise (errors are data)."""
+    shard = Shard.from_spec(spec)
+    try:
+        return spec, execute_shard(shard), None
+    except Exception as error:  # noqa: BLE001 - a shard failure must not kill the pool
+        return spec, {}, f"{type(error).__name__}: {error}"
+
+
+class ArtifactStore:
+    """Durable, content-addressed storage for completed shards.
+
+    Layout::
+
+        <root>/manifest.json                      deterministic run inventory
+        <root>/<EXP>/<family>-t<k>-<hash12>.json  one record per shard
+
+    Each record embeds the shard's full spec; :meth:`load_record` only
+    accepts a file whose embedded spec matches the requesting shard, so a
+    renamed, truncated or stale artifact is treated as absent (and the shard
+    re-runs) instead of corrupting a resumed sweep.
+    """
+
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def shard_path(self, shard: Shard) -> Path:
+        return self.root / shard.experiment / f"{shard.key}.json"
+
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST_NAME
+
+    @staticmethod
+    def payload_hash(record: Dict[str, object]) -> str:
+        """SHA-256 over the deterministic parts of a record (payload+metrics).
+
+        A payload may carry wall-clock measurements next to its rows under a
+        top-level ``wall_time_seconds`` key (E13 does); those are excluded
+        here, so manifests stay identical across runs at fixed seeds.
+        """
+        payload = record.get("payload")
+        if isinstance(payload, dict):
+            payload = {k: v for k, v in payload.items() if k != "wall_time_seconds"}
+        content = {"payload": payload, "metrics": record.get("metrics")}
+        return hashlib.sha256(_canonical_json(content).encode()).hexdigest()
+
+    def load_record(self, shard: Shard) -> Optional[Dict[str, object]]:
+        """The stored record for a shard, or ``None`` if absent or invalid."""
+        path = self.shard_path(shard)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or "payload" not in record:
+            return None
+        if record.get("spec") != _jsonable(shard.spec()):
+            return None
+        return record
+
+    def write_record(self, shard: Shard, record: Dict[str, object]) -> Path:
+        """Atomically persist one shard record (write temp file, then rename).
+
+        The rename is atomic on POSIX, so a run killed mid-write leaves either
+        the previous artifact or none -- never a half-written file that a
+        resume would trust.
+        """
+        path = self.shard_path(shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        temp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        os.replace(temp, path)
+        return path
+
+    def iter_records(self):
+        """Yield every valid ``(record, path)`` under the store root."""
+        if not self.root.is_dir():
+            return
+        for directory in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for path in sorted(directory.glob("*.json")):
+                try:
+                    record = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    continue
+                if isinstance(record, dict) and "spec" in record and "payload" in record:
+                    yield record, path
+
+    def build_manifest(self) -> Dict[str, object]:
+        """The deterministic inventory of every artifact currently stored.
+
+        Entries carry the shard spec and content hashes but no wall-clock
+        times, so the manifests of a clean run and an interrupted+resumed run
+        of the same sweep are equal (pinned by tests/test_engine.py).
+        """
+        entries: Dict[str, Dict[str, object]] = {}
+        for record, _path in self.iter_records():
+            shard = Shard.from_spec(record["spec"])
+            entries[shard.key] = {
+                "experiment": shard.experiment,
+                "scale": shard.scale,
+                "family": shard.family,
+                "seed": shard.seed,
+                "trial": shard.trial,
+                "params": dict(shard.params),
+                "spec_hash": shard.spec_hash,
+                "payload_hash": self.payload_hash(record),
+            }
+        return {
+            "version": ENGINE_VERSION,
+            "shards": {key: entries[key] for key in sorted(entries)},
+        }
+
+    def write_manifest(self) -> Path:
+        path = self.manifest_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        temp.write_text(json.dumps(self.build_manifest(), indent=2, sort_keys=True) + "\n")
+        os.replace(temp, path)
+        return path
+
+
+@dataclass
+class EngineReport:
+    """What one :meth:`ExperimentEngine.run` call did."""
+
+    requested: List[str] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: Dict[str, str] = field(default_factory=dict)
+    wall_time_seconds: float = 0.0
+    shard_wall_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.executed)} shard(s) executed",
+            f"{len(self.skipped)} skipped (resume)",
+        ]
+        if self.failed:
+            parts.append(f"{len(self.failed)} FAILED")
+        parts.append(f"{self.wall_time_seconds:.2f}s wall")
+        return ", ".join(parts)
+
+
+ProgressCallback = Callable[[str, Shard, float], None]
+
+
+class ExperimentEngine:
+    """Execute shards across a process pool, persisting each to the store.
+
+    ``jobs=1`` runs shards inline in plan order -- the serial runner is just
+    this special case.  With ``jobs>1`` the shards are distributed over a
+    ``multiprocessing`` pool (``fork`` start method where available, else
+    ``spawn``); completion order is nondeterministic but the artifacts and
+    manifest are not, because every shard is self-contained.
+
+    With ``resume=True`` shards whose stored record already matches their
+    spec are skipped, which is what makes an interrupted sweep cheap to
+    finish: only the missing shards execute.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        jobs: int = 1,
+        resume: bool = False,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.store = store
+        self.jobs = jobs
+        self.resume = resume
+        self.mp_context = mp_context
+
+    def _pool_context(self):
+        import multiprocessing
+
+        if self.mp_context is not None:
+            return multiprocessing.get_context(self.mp_context)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    def run(
+        self, shards: Sequence[Shard], progress: Optional[ProgressCallback] = None
+    ) -> EngineReport:
+        """Execute (or skip) every shard, then rewrite the merged manifest."""
+        started = time.perf_counter()
+        report = EngineReport(requested=[shard.key for shard in shards])
+        pending: List[Shard] = []
+        for shard in shards:
+            if self.resume and self.store.load_record(shard) is not None:
+                report.skipped.append(shard.key)
+                if progress:
+                    progress("skipped", shard, 0.0)
+            else:
+                pending.append(shard)
+
+        by_key = {shard.key: shard for shard in pending}
+
+        def complete(spec: Dict[str, object], record: Dict[str, object], error: Optional[str]):
+            shard = by_key[Shard.from_spec(spec).key]
+            if error is not None:
+                report.failed[shard.key] = error
+                if progress:
+                    progress("failed", shard, 0.0)
+                return
+            self.store.write_record(shard, record)
+            report.executed.append(shard.key)
+            wall = float(record.get("wall_time_seconds", 0.0))
+            report.shard_wall_times[shard.key] = wall
+            if progress:
+                progress("executed", shard, wall)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for shard in pending:
+                complete(*_worker_run(shard.spec()))
+        elif pending:
+            context = self._pool_context()
+            with context.Pool(processes=min(self.jobs, len(pending))) as pool:
+                for result in pool.imap_unordered(
+                    _worker_run, [shard.spec() for shard in pending]
+                ):
+                    complete(*result)
+
+        self.store.write_manifest()
+        report.wall_time_seconds = time.perf_counter() - started
+        return report
+
+
+def assemble_tables(store: ArtifactStore, shards: Sequence[Shard]) -> List[ExperimentTable]:
+    """Rebuild the experiment tables from stored trial-0 shard payloads.
+
+    Shards must all belong to one scale; replica trials contribute to the
+    artifact store and manifest but not to the canonical tables.
+    """
+    ordered: Dict[str, List[Shard]] = {}
+    for shard in shards:
+        if shard.trial == 0:
+            ordered.setdefault(shard.experiment, []).append(shard)
+    tables: List[ExperimentTable] = []
+    for experiment_id, group in ordered.items():
+        sweep = get_sweep(experiment_id)
+        scale = group[0].scale
+        payloads = []
+        for shard in group:
+            record = store.load_record(shard)
+            if record is None:
+                raise KeyError(f"no stored artifact for shard {shard.key}")
+            payloads.append(record["payload"])
+        tables.append(sweep.finalize(scale, payloads))
+    return tables

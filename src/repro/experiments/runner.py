@@ -1,11 +1,17 @@
-"""Experiment registry and result containers.
+"""Experiment registry, shard decomposition and result containers.
 
 An *experiment* is a named, parameterised sweep that reproduces one artefact of
 the paper (a theorem's round bound, a lemma's structural property, a lower
-bound construction).  Each experiment function returns an
-:class:`ExperimentTable`; the CLI (``python -m repro.cli``) renders them as the
-markdown tables recorded in EXPERIMENTS.md, so the whole evaluation can be
-regenerated with one command.
+bound construction).  Each experiment is registered as a :class:`Sweep`: a
+*plan* that decomposes the sweep into independent shards (one graph family /
+parameter point each), a *shard runner* that executes one shard and returns a
+JSON-serialisable payload, and a *finalizer* that assembles the payloads into
+an :class:`ExperimentTable`.  The CLI (``python -m repro.cli``) renders tables
+as the markdown recorded in EXPERIMENTS.md, so the whole evaluation can be
+regenerated with one command; the process-parallel engine
+(:mod:`repro.experiments.engine`) executes the same shards across a worker
+pool and persists each one to an artifact store, so serial and parallel runs
+are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ class ExperimentTable:
     Attributes
     ----------
     experiment_id:
-        Identifier from the DESIGN.md index (``E1`` ... ``E12``).
+        Identifier from the DESIGN.md index (``E1`` ... ``E14``).
     title:
         Human-readable description including the paper artefact it reproduces.
     headers / rows:
@@ -56,22 +62,137 @@ class ExperimentTable:
         return "\n".join(lines)
 
 
-ExperimentFunction = Callable[[str], ExperimentTable]
+@dataclass
+class ShardPlan:
+    """One independently executable unit of a sweep.
 
-_REGISTRY: Dict[str, ExperimentFunction] = {}
+    Attributes
+    ----------
+    family:
+        Graph family / parameter-point label, e.g. ``"locality-n64"``.  Unique
+        within one experiment+scale; the artifact store uses it in file names.
+    seed:
+        The canonical seed this shard runs under (the built-in seed that
+        reproduces the committed tables).  Replica trials (``--trials``)
+        replace it with a ``numpy.random.SeedSequence``-spawned seed.
+    params:
+        JSON-serialisable keyword parameters for the sweep's shard runner.
+    """
+
+    family: str
+    seed: int
+    params: Dict[str, object] = field(default_factory=dict)
 
 
-def register(experiment_id: str) -> Callable[[ExperimentFunction], ExperimentFunction]:
-    """Decorator that registers an experiment under its DESIGN.md identifier."""
+#: ``run_shard(scale, seed, params) -> payload``.  The payload must be
+#: JSON-serialisable (the artifact store round-trips it); by convention the
+#: row-parallel sweeps return a list of table rows.
+ShardRunner = Callable[[str, int, Dict[str, object]], object]
+PlanFunction = Callable[[str], List[ShardPlan]]
+FinalizeFunction = Callable[[str, List[object]], ExperimentTable]
 
-    def decorator(function: ExperimentFunction) -> ExperimentFunction:
-        key = experiment_id.upper()
-        if key in _REGISTRY:
-            raise ValueError(f"experiment {key} registered twice")
-        _REGISTRY[key] = function
+
+@dataclass
+class Sweep:
+    """A registered experiment: shard decomposition + execution + assembly."""
+
+    experiment_id: str
+    plan: PlanFunction
+    run_shard: ShardRunner
+    finalize: FinalizeFunction
+    #: Whether replica trials with engine-spawned seeds are meaningful (the
+    #: shard runner genuinely derives its randomness from the ``seed`` input).
+    reseedable: bool = False
+
+    def shard_plans(self, scale: str) -> List[ShardPlan]:
+        """The shard decomposition at the given scale."""
+        if scale not in SCALES:
+            raise ValueError(f"scale must be one of {', '.join(repr(s) for s in SCALES)}")
+        return self.plan(scale)
+
+    def table(self, scale: str) -> ExperimentTable:
+        """Run every shard serially, in plan order, and assemble the table.
+
+        This is the serial path the CLI's ``run`` / ``run-all`` use; the
+        engine's ``--jobs 1`` executes exactly the same shard functions, so
+        the two are bit-identical by construction.
+        """
+        payloads = [
+            self.run_shard(scale, plan.seed, dict(plan.params))
+            for plan in self.shard_plans(scale)
+        ]
+        return self.finalize(scale, payloads)
+
+
+_REGISTRY: Dict[str, Sweep] = {}
+
+
+def _add_sweep(sweep: Sweep) -> None:
+    key = sweep.experiment_id
+    if key in _REGISTRY:
+        raise ValueError(f"experiment {key} registered twice")
+    _REGISTRY[key] = sweep
+
+
+def register_sweep(
+    experiment_id: str,
+    *,
+    plan: PlanFunction,
+    finalize: FinalizeFunction,
+    reseedable: bool = False,
+) -> Callable[[ShardRunner], ShardRunner]:
+    """Decorator registering a sharded sweep under its DESIGN.md identifier.
+
+    The decorated function is the shard runner; ``plan`` and ``finalize``
+    complete the :class:`Sweep`.
+    """
+
+    def decorator(run_shard: ShardRunner) -> ShardRunner:
+        _add_sweep(Sweep(experiment_id.upper(), plan, run_shard, finalize, reseedable))
+        return run_shard
+
+    return decorator
+
+
+def register(experiment_id: str):
+    """Decorator that registers a plain ``scale -> ExperimentTable`` function.
+
+    Back-compat shim: the function becomes a single-shard sweep whose payload
+    carries the whole rendered table, so it still runs under the parallel
+    engine (at shard granularity one) and through the artifact store.
+    """
+
+    def decorator(function):
+        def plan(scale: str) -> List[ShardPlan]:
+            return [ShardPlan(family="all", seed=0)]
+
+        def run_shard(scale: str, seed: int, params: Dict[str, object]) -> object:
+            table = function(scale)
+            return {
+                "table": {
+                    "experiment_id": table.experiment_id,
+                    "title": table.title,
+                    "headers": list(table.headers),
+                    "rows": [list(row) for row in table.rows],
+                    "notes": list(table.notes),
+                }
+            }
+
+        def finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+            data = payloads[0]["table"]
+            return ExperimentTable(
+                data["experiment_id"], data["title"], data["headers"], data["rows"], data["notes"]
+            )
+
+        _add_sweep(Sweep(experiment_id.upper(), plan, run_shard, finalize))
         return function
 
     return decorator
+
+
+def unregister(experiment_id: str) -> None:
+    """Remove a registered sweep (test support for temporary registrations)."""
+    _REGISTRY.pop(experiment_id.upper(), None)
 
 
 def available_experiments() -> List[str]:
@@ -79,18 +200,50 @@ def available_experiments() -> List[str]:
     return sorted(_REGISTRY, key=lambda key: (len(key), key))
 
 
-def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentTable:
-    """Run one experiment at the given scale (one of :data:`SCALES`)."""
+def get_sweep(experiment_id: str) -> Sweep:
+    """The registered :class:`Sweep` for an identifier (case-insensitive)."""
     key = experiment_id.upper()
+    if key not in _REGISTRY:
+        # Worker processes started with the ``spawn`` method import this
+        # module without going through ``repro.experiments``; pull in the
+        # sweep definitions lazily so the registry is populated either way.
+        import repro.experiments.sweeps  # noqa: F401
+
     if key not in _REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(available_experiments())}"
         )
-    if scale not in SCALES:
-        raise ValueError(f"scale must be one of {', '.join(repr(s) for s in SCALES)}")
-    return _REGISTRY[key](scale)
+    return _REGISTRY[key]
+
+
+def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentTable:
+    """Run one experiment serially at the given scale (one of :data:`SCALES`)."""
+    return get_sweep(experiment_id).table(scale)
 
 
 def run_all(scale: str = "small") -> List[ExperimentTable]:
-    """Run every registered experiment."""
+    """Run every registered experiment serially."""
     return [run_experiment(key, scale) for key in available_experiments()]
+
+
+def flatten_rows(payloads: Sequence[object]) -> List[List[object]]:
+    """Concatenate per-shard row lists in plan order (the common finalizer step)."""
+    rows: List[List[object]] = []
+    for payload in payloads:
+        rows.extend(payload)
+    return rows
+
+
+def plain_table(
+    experiment_id: str,
+    title: str,
+    headers: Sequence[str],
+    notes: Sequence[str],
+) -> FinalizeFunction:
+    """A finalizer for sweeps whose payloads are row lists and whose headers
+    and notes do not depend on the measured rows."""
+
+    def finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+        return ExperimentTable(experiment_id, title, headers, flatten_rows(payloads), list(notes))
+
+    return finalize

@@ -18,13 +18,15 @@ which role in the reduction).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.graphs.graph import WeightedGraph
 from repro.util.rand import RandomSource
 
 
-def assign_random_weights(graph: WeightedGraph, max_weight: int, rng: RandomSource) -> WeightedGraph:
+def assign_random_weights(
+    graph: WeightedGraph, max_weight: int, rng: RandomSource
+) -> WeightedGraph:
     """Return a copy of ``graph`` with uniform random weights in ``[1, max_weight]``."""
     if max_weight < 1:
         raise ValueError("max_weight must be at least 1")
@@ -415,7 +417,9 @@ def hierarchical_isp_graph(
         if core_count > 1 and not graph.has_edge(core, (core + 1) % core_count):
             graph.add_edge(core, (core + 1) % core_count, 1)
     for core in range(core_count):
-        regionals = [regional_base + core * regionals_per_core + i for i in range(regionals_per_core)]
+        regionals = [
+            regional_base + core * regionals_per_core + i for i in range(regionals_per_core)
+        ]
         for position, regional in enumerate(regionals):
             graph.add_edge(core, regional, 1)
             if len(regionals) > 2:

@@ -363,7 +363,8 @@ class WeightedGraph:
                 reached_all = (levels >= 0).all(axis=1)
                 maxima = levels.max(axis=1)
                 result.extend(
-                    float(m) if ok else INFINITY for m, ok in zip(maxima.tolist(), reached_all.tolist())
+                    float(m) if ok else INFINITY
+                    for m, ok in zip(maxima.tolist(), reached_all.tolist())
                 )
             else:
                 result.extend(float(m) for m in levels.max(axis=1).tolist())

@@ -94,7 +94,8 @@ def _min_hops_on_shortest_paths(graph: WeightedGraph, source: int) -> Dict[int, 
         for v, w in graph.neighbor_items(u):
             nd = d + w
             nh = h + 1
-            if nd < dist.get(v, INFINITY) or (nd == dist.get(v, INFINITY) and nh < hops.get(v, 1 << 60)):
+            known = dist.get(v, INFINITY)
+            if nd < known or (nd == known and nh < hops.get(v, 1 << 60)):
                 dist[v] = nd
                 hops[v] = nh
                 heapq.heappush(heap, (nd, nh, v))

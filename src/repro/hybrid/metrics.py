@@ -27,6 +27,37 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 
+#: Process-local stack of ambient observers (see :func:`ambient_observer`).
+#: Every :class:`~repro.hybrid.network.HybridNetwork` created while an
+#: observer is active attaches it to its metrics via
+#: :meth:`RoundMetrics.attach_ambient_observers`, so one observer sees the
+#: combined charges of *all* networks a code region builds.  The experiment
+#: engine opens one observer per shard: because the stack is per process and
+#: shards run one at a time within a worker, the per-shard metrics recorded
+#: in the artifact store are bit-identical between serial and parallel runs.
+_AMBIENT_OBSERVERS: List["RoundMetrics"] = []
+
+
+@contextmanager
+def ambient_observer() -> Iterator["RoundMetrics"]:
+    """Observe every metrics charge of networks created inside the context.
+
+    Yields a fresh :class:`RoundMetrics` that is appended, as a scope, to the
+    metrics of every ``HybridNetwork`` constructed while the context is
+    active (the same mirroring machinery as :meth:`RoundMetrics.scoped`).
+    Charges on networks created *before* the context opened are not seen.
+    """
+    scope = RoundMetrics()
+    _AMBIENT_OBSERVERS.append(scope)
+    try:
+        yield scope
+    finally:
+        for index, active in enumerate(_AMBIENT_OBSERVERS):
+            if active is scope:
+                del _AMBIENT_OBSERVERS[index]
+                break
+
+
 @dataclass
 class PhaseBreakdown:
     """Rounds attributed to one named protocol phase."""
@@ -59,6 +90,19 @@ class RoundMetrics:
     def total_rounds(self) -> int:
         """The quantity every theorem bounds: local + global rounds."""
         return self.local_rounds + self.global_rounds
+
+    def attach_ambient_observers(self) -> None:
+        """Subscribe this metrics object to the active ambient observers.
+
+        Called by ``HybridNetwork`` at construction (and on metrics reset) so
+        that :func:`ambient_observer` scopes see the charges of every network
+        born inside them.  Only top-level network metrics attach -- plain
+        ``RoundMetrics`` used as accumulators (e.g. the session's
+        ``preprocessing`` ledger) never do, so merged charges are counted
+        exactly once.
+        """
+        for scope in _AMBIENT_OBSERVERS:
+            self._scopes.append(scope)
 
     @contextmanager
     def scoped(self) -> Iterator["RoundMetrics"]:

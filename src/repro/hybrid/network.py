@@ -111,6 +111,9 @@ class HybridNetwork:
         self.config = config or ModelConfig()
         self.n = graph.node_count
         self.metrics = RoundMetrics()
+        # Shard-level accounting: the experiment engine observes every network
+        # born inside one shard through an ambient scope (no-op otherwise).
+        self.metrics.attach_ambient_observers()
         self.rng = RandomSource(self.config.rng_seed)
         self.send_cap = self.config.send_cap(self.n)
         self.receive_cap = self.config.receive_cap(self.n)
@@ -156,6 +159,7 @@ class HybridNetwork:
     def reset_metrics(self) -> None:
         """Zero all counters (e.g. between benchmark repetitions)."""
         self.metrics = RoundMetrics()
+        self.metrics.attach_ambient_observers()
 
     def fork_rng(self, label: str) -> RandomSource:
         """A child random source for one protocol phase (reproducible per label)."""
@@ -233,7 +237,9 @@ class HybridNetwork:
             if self.vectorized_plane:
                 self._account_batched_round(outboxes.senders, outboxes.targets, phase)
                 return outboxes
-            return MessageBatch.from_inboxes(self._global_round_scalar(outboxes.to_outboxes(), phase))
+            return MessageBatch.from_inboxes(
+                self._global_round_scalar(outboxes.to_outboxes(), phase)
+            )
         return self._global_round_scalar(outboxes, phase)
 
     def _global_round_scalar(

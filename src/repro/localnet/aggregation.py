@@ -93,17 +93,23 @@ def aggregate(
     return result
 
 
-def aggregate_max(network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-max") -> Optional[float]:
+def aggregate_max(
+    network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-max"
+) -> Optional[float]:
     """All nodes learn ``max(values)`` in ``O(log n)`` global rounds."""
     return aggregate(network, values, max, phase)
 
 
-def aggregate_min(network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-min") -> Optional[float]:
+def aggregate_min(
+    network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-min"
+) -> Optional[float]:
     """All nodes learn ``min(values)`` in ``O(log n)`` global rounds."""
     return aggregate(network, values, min, phase)
 
 
-def aggregate_sum(network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-sum") -> float:
+def aggregate_sum(
+    network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-sum"
+) -> float:
     """All nodes learn ``sum(values)`` in ``O(log n)`` global rounds.
 
     Sums are not idempotent, so instead of ring doubling we aggregate up an

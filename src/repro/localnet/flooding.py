@@ -16,7 +16,7 @@ structure of the flooding loops being simulated).
 from __future__ import annotations
 
 import warnings
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Dict, List, Optional, Sequence, TypeVar
 
 from repro.hybrid.network import HybridNetwork
 

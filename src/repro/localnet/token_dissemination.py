@@ -44,7 +44,7 @@ from typing import Dict, Hashable, List, Sequence
 from repro.hybrid.batch import MessageBatch
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.aggregation import aggregate_sum
-from repro.localnet.clustering import Clustering, cluster_around_rulers
+from repro.localnet.clustering import cluster_around_rulers
 from repro.localnet.ruling_set import compute_ruling_set
 from repro.util.hashing import hash_family_for_network
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.graphs.graph import WeightedGraph
 from repro.util.rand import RandomSource
@@ -97,7 +97,11 @@ def build_kssp_gadget(
         raise ValueError("the backbone path needs at least 2 hops")
     if source_count < 2:
         raise ValueError("need at least 2 sources")
-    L = bottleneck_distance if bottleneck_distance is not None else suggested_bottleneck_distance(source_count)
+    L = (
+        bottleneck_distance
+        if bottleneck_distance is not None
+        else suggested_bottleneck_distance(source_count)
+    )
     if L >= path_hops:
         raise ValueError("the bottleneck distance L must be smaller than the path length")
 

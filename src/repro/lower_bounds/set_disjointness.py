@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable
 
 from repro.hybrid.config import ModelConfig
 from repro.hybrid.network import HybridNetwork
@@ -57,7 +57,11 @@ def choose_parameters(target_nodes: int, weighted: bool = False) -> LowerBoundPa
     path_hops = max(2, int(round((target_nodes / log_sq) ** (1.0 / 3.0))))
     # Solve (2k+1)(ℓ-1) + 4k + 2 <= target for k.
     k = max(2, (target_nodes - 2 - (path_hops - 1)) // (2 * (path_hops - 1) + 4))
-    weight = path_hops + 1 if not weighted else max(path_hops + 1, int(round(target_nodes ** (1.0 / 3.0))))
+    weight = (
+        path_hops + 1
+        if not weighted
+        else max(path_hops + 1, int(round(target_nodes ** (1.0 / 3.0))))
+    )
     interior = path_hops - 1
     node_count = 4 * k + 2 + (2 * k + 1) * interior
     return LowerBoundParameters(k=k, path_hops=path_hops, weight=weight, node_count=node_count)

@@ -358,7 +358,11 @@ class HybridSession:
                 context=context,
             )
         self._record(
-            "shortest-paths", scope, prep.total_rounds, context.simulation_preparation_rounds, result
+            "shortest-paths",
+            scope,
+            prep.total_rounds,
+            context.simulation_preparation_rounds,
+            result,
         )
         return result
 

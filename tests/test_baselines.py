@@ -94,14 +94,18 @@ class TestNCCOnlyBaseline:
 class TestNaiveRoutingBaseline:
     def test_delivers_all_tokens(self):
         graph, network = make_network(59)
-        tokens = make_tokens({s: [((s * 3 + 1) % 40, ("p", s, i)) for i in range(3)] for s in range(0, 40, 4)})
+        tokens = make_tokens(
+            {s: [((s * 3 + 1) % 40, ("p", s, i)) for i in range(3)] for s in range(0, 40, 4)}
+        )
         result = route_tokens_by_broadcast(network, tokens)
         delivered = [t for items in result.delivered.values() for t in items]
         assert sorted(t.label for t in delivered) == sorted(t.label for t in tokens)
 
     def test_broadcast_moves_more_data_than_routing(self):
         graph, network = make_network(60)
-        tokens = make_tokens({s: [((s * 7 + 2) % 40, ("p", s, i)) for i in range(4)] for s in range(0, 40, 2)})
+        tokens = make_tokens(
+            {s: [((s * 7 + 2) % 40, ("p", s, i)) for i in range(4)] for s in range(0, 40, 2)}
+        )
         broadcast_messages_net = HybridNetwork(graph, ModelConfig(rng_seed=61, skeleton_xi=1.0))
         route_tokens_by_broadcast(broadcast_messages_net, tokens)
 

@@ -5,7 +5,7 @@ import pytest
 from repro.clique import GatherShortestPaths
 from repro.core.clique_simulation import HybridCliqueTransport, predicted_simulation_rounds
 from repro.core.skeleton import compute_skeleton
-from repro.graphs import generators, reference
+from repro.graphs import generators
 from repro.hybrid import HybridNetwork, ModelConfig
 from repro.util.rand import RandomSource
 

@@ -24,7 +24,9 @@ class TestDiameterApproximation:
         assert result.estimate <= result.guaranteed_alpha() * true_diameter + 2 * result.hop_length
 
     def test_small_diameter_graphs_answered_exactly(self):
-        graph = generators.connected_workload(40, RandomSource(43), weighted=False, average_degree=6.0)
+        graph = generators.connected_workload(
+            40, RandomSource(43), weighted=False, average_degree=6.0
+        )
         network = make_network(graph, 43)
         result = approximate_diameter(network, GatherDiameter())
         # D is tiny, so the local phase sees everything and Equation (3) takes
@@ -49,7 +51,8 @@ class TestDiameterApproximation:
         result = approximate_diameter(network, EccentricityDiameter())
         true_diameter = graph.hop_diameter()
         assert result.estimate >= true_diameter
-        assert result.estimate <= (result.guaranteed_alpha()) * true_diameter + 2 * result.hop_length
+        limit = (result.guaranteed_alpha()) * true_diameter + 2 * result.hop_length
+        assert result.estimate <= limit
 
     def test_path_graph_exact_branch_vs_skeleton_branch(self):
         path = generators.path_graph(30)

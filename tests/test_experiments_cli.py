@@ -1,9 +1,11 @@
 """Tests for the experiment registry and the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments import SCALES, available_experiments, run_all, run_experiment
+from repro.experiments import SCALES, available_experiments, run_experiment
 from repro.experiments.runner import ExperimentTable, register
 
 
@@ -96,13 +98,70 @@ class TestExperimentTables:
 
 
 class TestCLI:
-    def test_parser_has_four_commands(self):
+    def test_parser_covers_every_command(self):
         parser = build_parser()
         assert parser.parse_args(["list"]).command == "list"
         assert parser.parse_args(["run", "E1"]).experiment == "E1"
         assert parser.parse_args(["run-all", "--scale", "small"]).scale == "small"
         query_args = parser.parse_args(["query", "--n", "64", "--seed", "2", "--repeat", "1"])
         assert (query_args.command, query_args.n, query_args.repeat) == ("query", 64, 1)
+        sweep_args = parser.parse_args(
+            ["sweep", "--jobs", "4", "--resume", "--only", "E3,E14", "--scale", "medium"]
+        )
+        assert (sweep_args.command, sweep_args.jobs, sweep_args.resume) == ("sweep", 4, True)
+        assert sweep_args.only == "E3,E14"
+        regress_args = parser.parse_args(
+            ["regress", "--baseline", "benchmarks/BENCH_baseline.json", "--wall-tolerance", "0.5"]
+        )
+        assert (regress_args.command, regress_args.wall_tolerance) == ("regress", 0.5)
+        assert regress_args.current == "BENCH_core.json"
+
+    def test_sweep_command_runs_resumes_and_writes_report(self, tmp_path, capsys):
+        store = tmp_path / "artifacts"
+        output = tmp_path / "report.md"
+        argv = [
+            "sweep", "--only", "E6", "--scale", "small", "--jobs", "1",
+            "--artifacts", str(store), "--output", str(output),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 shard(s)" in first and "0 skipped" in first
+        assert (store / "manifest.json").exists()
+        assert "### E6" in output.read_text()
+        # Second run with --resume skips everything but still renders the report.
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 shard(s) executed, 2 skipped" in second
+
+    def test_sweep_rejects_unknown_experiment_and_bad_jobs(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["sweep", "--only", "E99", "--artifacts", store]) == 2
+        assert main(["sweep", "--only", "E6", "--jobs", "0", "--artifacts", store]) == 2
+
+    def test_sweep_deduplicates_only_list(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["sweep", "--only", "E6,e6,E6", "--artifacts", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) across 1 experiment(s)" in out
+
+    def test_regress_command_gates_on_violations(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        report_path = tmp_path / "report.json"
+        records = [{"name": "b", "wall_time_seconds": 1.0, "measured_rounds": 10}]
+        baseline.write_text(json.dumps(records))
+        current.write_text(json.dumps(records))
+        argv = ["regress", "--baseline", str(baseline), "--current", str(current)]
+        assert main(argv + ["--report", str(report_path)]) == 0
+        assert json.loads(report_path.read_text())["status"] == "pass"
+        capsys.readouterr()
+        # A round-count deviation must fail the gate.
+        bad = [{"name": "b", "wall_time_seconds": 1.0, "measured_rounds": 11}]
+        current.write_text(json.dumps(bad))
+        assert main(argv) == 1
+        assert "round-count" in capsys.readouterr().out
+        # Unreadable baseline is a usage error, not a crash.
+        assert main(["regress", "--baseline", str(tmp_path / "missing.json")]) == 2
 
     def test_query_command_serves_a_session(self, capsys):
         assert main(["query", "--n", "48", "--seed", "2", "--repeat", "2"]) == 0

@@ -1,6 +1,5 @@
 """Unit tests for the weighted graph kernel (repro.graphs.graph)."""
 
-import math
 
 import pytest
 

@@ -146,7 +146,10 @@ class TestHybridNetwork:
     def test_run_global_exchange_unlimited_receivers_optional(self, network):
         outboxes = {sender: [(0, sender)] for sender in range(1, 20)}
         network.run_global_exchange(outboxes, receiver_limited=False)
-        assert network.metrics.max_received_per_round > network.receive_cap or network.receive_cap >= 19
+        assert (
+            network.metrics.max_received_per_round > network.receive_cap
+            or network.receive_cap >= 19
+        )
 
     def test_cut_watcher_counts_crossing_bits(self, network):
         network.add_cut_watcher("half", set(range(network.n // 2)))

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.clique import (
-    BroadcastBellmanFordSSSP,
-    BroadcastKSourceBellmanFord,
-    GatherShortestPaths,
-)
+from repro.clique import BroadcastKSourceBellmanFord, GatherShortestPaths
 from repro.core.kssp import predicted_framework_rounds, shortest_paths_via_clique
 from repro.core.sssp import sssp_exact
 from repro.graphs import generators, reference
@@ -15,7 +11,9 @@ from repro.util.rand import RandomSource
 
 
 def make_network(seed, n=42, weighted=True, max_weight=7):
-    graph = generators.connected_workload(n, RandomSource(seed), weighted=weighted, max_weight=max_weight)
+    graph = generators.connected_workload(
+        n, RandomSource(seed), weighted=weighted, max_weight=max_weight
+    )
     return graph, HybridNetwork(graph, ModelConfig(rng_seed=seed, skeleton_xi=1.0))
 
 
@@ -116,7 +114,6 @@ class TestSSSP:
         assert result.distance(11) == 0.0
 
     def test_rejects_inexact_clique_algorithm(self):
-        from repro.clique import EccentricityDiameter  # wrong spec on purpose
         from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueShortestPathAlgorithm
 
         class SloppySSSP(CliqueShortestPathAlgorithm):

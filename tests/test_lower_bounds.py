@@ -68,7 +68,9 @@ class TestKSSPGadget:
         with pytest.raises(ValueError):
             build_kssp_gadget(path_hops=10, source_count=1, rng=RandomSource(7))
         with pytest.raises(ValueError):
-            build_kssp_gadget(path_hops=5, source_count=100, rng=RandomSource(7), bottleneck_distance=10)
+            build_kssp_gadget(
+                path_hops=5, source_count=100, rng=RandomSource(7), bottleneck_distance=10
+            )
 
 
 class TestGammaGadget:
@@ -112,7 +114,8 @@ class TestGammaGadget:
         gadget = self.make(disjoint=True, weight=5, path_hops=6)
         rounds = gadget.path_hops // 2
         for r in range(rounds):
-            assert set(gadget.alice_nodes(r)) | set(gadget.bob_nodes(r)) == set(range(gadget.node_count))
+            covered = set(gadget.alice_nodes(r)) | set(gadget.bob_nodes(r))
+            assert covered == set(range(gadget.node_count))
 
     def test_simulation_partition_property(self):
         gadget = self.make(disjoint=False, weight=7, path_hops=6)
@@ -140,7 +143,8 @@ class TestSetDisjointnessAccounting:
 
     def test_cut_capacity_formula(self):
         config = ModelConfig()
-        assert per_round_cut_capacity_bits(64, config) == 64 * config.send_cap(64) * config.message_bits
+        expected = 64 * config.send_cap(64) * config.message_bits
+        assert per_round_cut_capacity_bits(64, config) == expected
 
     def test_implied_lower_bound_bounded_by_half_path(self):
         a, b = random_disjointness_instance(3, RandomSource(5), disjoint=True)

@@ -158,7 +158,9 @@ class TestSaturatedReceiverProgress:
     @pytest.mark.parametrize("plane", ["scalar", "vectorized"])
     def test_exact_drain_rate(self, plane):
         n = 20
-        network = HybridNetwork(generators.cycle_graph(n), ModelConfig(rng_seed=0, global_plane=plane))
+        network = HybridNetwork(
+            generators.cycle_graph(n), ModelConfig(rng_seed=0, global_plane=plane)
+        )
         per_sender = 3
         pairs = [(sender, 0) for sender in range(1, n) for _ in range(per_sender)]
         total = len(pairs)

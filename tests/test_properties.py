@@ -9,7 +9,6 @@ from repro.analysis import fit_power_law
 from repro.core.helper_sets import helper_parameter
 from repro.core.skeleton import framework_exponent, framework_sampling_probability
 from repro.core.token_routing import make_tokens
-from repro.graphs.graph import WeightedGraph
 from repro.graphs import generators
 from repro.hybrid import HybridNetwork, ModelConfig
 from repro.util.hashing import KWiseHashFamily

@@ -70,7 +70,8 @@ class TestComparisonHelpers:
         assert matrix[0][5] == pytest.approx(all_pairs[0][5])
 
     def test_max_absolute_error(self):
-        assert reference.max_absolute_error({1: 5.0, 2: 3.0}, {1: 5.5, 2: 3.0}) == pytest.approx(0.5)
+        error = reference.max_absolute_error({1: 5.0, 2: 3.0}, {1: 5.5, 2: 3.0})
+        assert error == pytest.approx(0.5)
 
     def test_max_absolute_error_infinite_mismatch(self):
         assert reference.max_absolute_error({1: 5.0}, {}) == INFINITY

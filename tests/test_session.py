@@ -252,7 +252,10 @@ class TestSessionReuse:
         session = HybridSession(graph, ModelConfig(rng_seed=26))
         rng = RandomSource(9)
         tokens = make_tokens(
-            {s: [(rng.randrange(graph.node_count), ("q", s, i)) for i in range(3)] for s in [0, 8, 16]}
+            {
+                s: [(rng.randrange(graph.node_count), ("q", s, i)) for i in range(3)]
+                for s in [0, 8, 16]
+            }
         )
         warm = session.route_tokens(tokens)
         cold_network = HybridNetwork(graph, ModelConfig(rng_seed=26))
