@@ -63,7 +63,13 @@ from repro.core import (
     sssp_exact,
 )
 from repro.graphs import WeightedGraph, generators, reference
-from repro.hybrid import HybridNetwork, ModelConfig, RoundMetrics
+from repro.hybrid import (
+    FaultModel,
+    FaultToleranceExceededError,
+    HybridNetwork,
+    ModelConfig,
+    RoundMetrics,
+)
 from repro.localnet import disseminate_tokens
 from repro.session import HybridSession, QueryRecord
 from repro.util.rand import RandomSource
@@ -78,6 +84,8 @@ __all__ = [
     "QueryRecord",
     "ModelConfig",
     "RoundMetrics",
+    "FaultModel",
+    "FaultToleranceExceededError",
     "WeightedGraph",
     "RandomSource",
     "generators",

@@ -40,6 +40,27 @@ def format_key_values(values: Mapping[str, object], title: str | None = None) ->
     return "\n".join(lines)
 
 
+def summarize_robustness(
+    rows: Iterable[Sequence[object]], rate_index: int, overhead_index: int
+) -> str:
+    """One-line mean round overhead per drop rate (the E15 finalizer's note).
+
+    ``rows`` are table rows; ``rate_index`` / ``overhead_index`` locate the
+    drop-rate and overhead-factor columns.  Rows whose overhead is not a
+    number (a run the fault schedule beat entirely) are skipped.
+    """
+    by_rate: dict = {}
+    for row in rows:
+        overhead = row[overhead_index]
+        if isinstance(overhead, (int, float)):
+            by_rate.setdefault(row[rate_index], []).append(float(overhead))
+    parts = [
+        f"{rate:g} -> {sum(values) / len(values):.2f}x"
+        for rate, values in sorted(by_rate.items())
+    ]
+    return "mean round overhead by drop rate: " + ", ".join(parts)
+
+
 def summarize_comparison(
     label_a: str, rounds_a: float, label_b: str, rounds_b: float
 ) -> str:

@@ -29,12 +29,12 @@ def local_only_shortest_paths(
     network: HybridNetwork, sources: Sequence[int], phase: str = "local-only"
 ) -> LocalOnlyResult:
     """Exact k-SSP using only the local network (``Θ(D)`` rounds)."""
-    diameter = network.graph.hop_diameter()
+    diameter = network.local_graph.hop_diameter()
     if diameter == float("inf"):
         raise ValueError("graph must be connected")
     rounds = int(diameter)
     network.charge_local_rounds(rounds, phase)
-    per_source = reference.multi_source_distances(network.graph, list(sources))
+    per_source = reference.multi_source_distances(network.local_graph, list(sources))
     estimates: List[Dict[int, float]] = [dict() for _ in range(network.n)]
     for source, distances in per_source.items():
         for node, value in distances.items():
@@ -46,7 +46,7 @@ def local_only_diameter(
     network: HybridNetwork, phase: str = "local-only-diameter"
 ) -> LocalOnlyResult:
     """Exact diameter using only the local network (``Θ(D)`` rounds)."""
-    diameter = network.graph.hop_diameter()
+    diameter = network.local_graph.hop_diameter()
     if diameter == float("inf"):
         raise ValueError("graph must be connected")
     rounds = int(diameter)

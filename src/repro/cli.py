@@ -14,7 +14,11 @@ registered experiment serially (the content recorded in EXPERIMENTS.md).
 ``sweep`` is the scalable path: it decomposes the selected experiments into
 independent shards, executes them across a process pool, persists each shard
 to a resumable artifact store and assembles the same tables from the stored
-payloads.  ``regress`` diffs a fresh ``BENCH_core.json`` (or sweep manifest)
+payloads -- including the E15 robustness sweep (``--only E15``), which runs
+the loss-tolerant protocols under seeded
+:class:`~repro.hybrid.faults.FaultModel` drop schedules and reports round
+overhead and accuracy per drop rate and graph family.
+``regress`` diffs a fresh ``BENCH_core.json`` (or sweep manifest)
 against a committed baseline and exits non-zero on tolerance violations --
 the CI regression gate.  ``query`` serves a mixed SSSP/diameter/APSP workload
 from one :class:`~repro.session.HybridSession` and prints the per-query

@@ -110,7 +110,7 @@ def approximate_diameter(
     # observed hop distance h_v is one batched bounded-eccentricity kernel call.
     exploration_depth = int(math.ceil(spec.eta * skeleton.hop_length)) + 1
     network.charge_local_rounds(exploration_depth, phase + ":local-horizon")
-    eccentricities = network.graph.hop_eccentricities(max_hops=exploration_depth)
+    eccentricities = network.local_graph.hop_eccentricities(max_hops=exploration_depth)
     local_max = {node: float(eccentricities[node]) for node in range(n)}
 
     # Step 4: aggregate ĥ = max_v h_v over the global network (Lemma B.2).

@@ -69,7 +69,7 @@ class HelperSets:
         """Largest hop distance between a member and one of its helpers (property (2))."""
         worst = 0
         members = [member for member, helper_nodes in self.helpers.items() if helper_nodes]
-        all_hops = network.graph.bfs_hops_many(members)
+        all_hops = network.local_graph.bfs_hops_many(members)
         for member, hops in zip(members, all_hops):
             for helper in self.helpers[member]:
                 worst = max(worst, int(hops.get(helper, network.n)))

@@ -186,7 +186,7 @@ def _combine_estimates(
     estimates: List[Dict[int, float]] = [dict() for _ in range(n)]
 
     # The ηh-limited distances d_{ηh}(v, s), one row per source (symmetric).
-    local_limited = network.graph.hop_limited_distance_matrix(sources, exploration_depth)
+    local_limited = network.local_graph.hop_limited_distance_matrix(sources, exploration_depth)
 
     # near[v, i] = d_h(v, skeleton node i), shared by every source.
     if skeleton.knowledge_matrix is not None and n_s:

@@ -70,7 +70,7 @@ def compute_representatives(
         if closest is None:
             # w.h.p. impossible for h = ξ x ln n (Lemma C.1); fall back to the
             # true closest skeleton node to keep small simulations correct.
-            exact = network.graph.dijkstra(source, targets=list(skeleton.nodes))
+            exact = network.local_graph.dijkstra(source, targets=list(skeleton.nodes))
             candidates = [(exact[s], s) for s in skeleton.nodes if s in exact]
             if not candidates:
                 raise ValueError("graph must be connected")

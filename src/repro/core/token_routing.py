@@ -318,23 +318,28 @@ class TokenRouter:
         # The three phases ship their traffic as MessageBatch columns built
         # straight from the token/helper/intermediate arrays (one message per
         # token and phase), so the engine schedules and accounts them with
-        # whole-array operations.  The exchange always delivers every queued
-        # message, so the request an intermediate receives for a label and
-        # the token it stores for that label both follow from the same array
-        # row -- phase C's outboxes are derived from it directly instead of
-        # re-keying a per-intermediate store off the phase B inboxes.
+        # whole-array operations.  Each phase runs as a *reliable* exchange:
+        # on the ideal model that is plain run_global_exchange (bit-identical
+        # rounds), under an active FaultModel it retransmits unacknowledged
+        # messages within the retry budget and raises
+        # FaultToleranceExceededError when beaten -- so a completed exchange
+        # always delivered every queued message, and the request an
+        # intermediate receives for a label and the token it stores for that
+        # label both follow from the same array row: phase C's outboxes are
+        # derived from it directly instead of re-keying a per-intermediate
+        # store off the phase B inboxes.
         # Phase A: sender-helpers push tokens to their intermediate nodes.
-        network.run_global_exchange(
+        network.run_reliable_exchange(
             MessageBatch(sender_helper_of, intermediates, routable), self.phase + ":push"
         )
         # Phase B: receiver-helpers request their labels from the
         # intermediates (the payload stands for ``(label, requester)``).
-        network.run_global_exchange(
+        network.run_reliable_exchange(
             MessageBatch(receiver_helper_of, intermediates, routable),
             self.phase + ":request",
         )
         # Phase C: intermediates answer every request with the stored token.
-        response_inboxes, _ = network.run_global_exchange(
+        response_inboxes, _ = network.run_reliable_exchange(
             MessageBatch(intermediates, receiver_helper_of, routable),
             self.phase + ":respond",
         )

@@ -7,7 +7,13 @@ engine's exception types.
 
 from repro.hybrid.batch import MessageBatch
 from repro.hybrid.config import ModelConfig
-from repro.hybrid.errors import CapacityExceededError, HybridModelError, ProtocolError
+from repro.hybrid.errors import (
+    CapacityExceededError,
+    FaultToleranceExceededError,
+    HybridModelError,
+    ProtocolError,
+)
+from repro.hybrid.faults import FaultModel
 from repro.hybrid.metrics import PhaseBreakdown, RoundMetrics
 from repro.hybrid.network import HybridNetwork, Inboxes, Outboxes
 
@@ -17,7 +23,9 @@ __all__ = [
     "MessageBatch",
     "RoundMetrics",
     "PhaseBreakdown",
+    "FaultModel",
     "CapacityExceededError",
+    "FaultToleranceExceededError",
     "HybridModelError",
     "ProtocolError",
     "Inboxes",

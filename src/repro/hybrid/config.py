@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hybrid.faults import FaultModel
 
 
 @dataclass
@@ -64,6 +67,13 @@ class ModelConfig:
         admission decisions and record identical metrics; benchmarks pin each
         to measure the speedup).  Dict-form outboxes always take the scalar
         path.
+    faults:
+        Optional :class:`~repro.hybrid.faults.FaultModel` describing an
+        unreliable network (seeded message drops, bursts, node crash /
+        omission sets, local-edge outages).  ``None`` (the default) -- or a
+        model whose :attr:`~repro.hybrid.faults.FaultModel.enabled` is False
+        -- keeps the ideal engine paths, bit-identical to earlier releases
+        (pinned by tests/test_faults.py).
     rng_seed:
         Root seed for all randomness of a simulation run.
     """
@@ -78,6 +88,7 @@ class ModelConfig:
     hash_independence_factor: int = 3
     cap_local_at_diameter: bool = True
     global_plane: str = "auto"
+    faults: Optional[FaultModel] = None
     rng_seed: int = 0
     extra: dict = field(default_factory=dict)
 

@@ -15,3 +15,12 @@ class CapacityExceededError(HybridModelError):
 class ProtocolError(HybridModelError):
     """A protocol implementation violated one of its own preconditions
     (e.g. a receiver was asked for a token it never announced)."""
+
+
+class FaultToleranceExceededError(HybridModelError):
+    """A reliable exchange exhausted its retransmission budget with messages
+    still undelivered (the injected faults beat the configured
+    :attr:`~repro.hybrid.faults.FaultModel.max_attempts`).  Protocols raise
+    this instead of silently returning partial results, so a caller can
+    distinguish "the w.h.p. guarantee failed under this fault schedule" from
+    a wrong answer."""

@@ -82,6 +82,12 @@ class RoundMetrics:
     max_sent_per_round: int = 0
     max_received_per_round: int = 0
     receive_cap_violations: int = 0
+    #: Global messages lost to an active :class:`~repro.hybrid.faults.FaultModel`
+    #: (sent -- they consume bandwidth and count in ``global_messages`` -- but
+    #: never delivered) and messages re-sent by reliable exchanges to recover
+    #: from those losses.  Both stay 0 on the ideal fault-free paths.
+    global_dropped: int = 0
+    global_retried: int = 0
     phases: Dict[str, PhaseBreakdown] = field(default_factory=lambda: defaultdict(PhaseBreakdown))
     cut_bits: Dict[str, int] = field(default_factory=dict)
     _scopes: List["RoundMetrics"] = field(default_factory=list, repr=False, compare=False)
@@ -164,6 +170,15 @@ class RoundMetrics:
         for scope in self._scopes:
             scope.record_global_traffic(messages, bits, max_sent, max_received, receive_cap)
 
+    def record_fault_losses(self, dropped: int = 0, retried: int = 0) -> None:
+        """Tally fault-injected message losses and the retransmissions that
+        answer them.  Only called with non-zero counts, and only by the
+        faulty engine paths, so fault-free metrics never even see the call."""
+        self.global_dropped += dropped
+        self.global_retried += retried
+        for scope in self._scopes:
+            scope.record_fault_losses(dropped, retried)
+
     def record_cut_bits(self, cut_name: str, bits: int) -> None:
         """Accumulate global bits that crossed a named cut (lower-bound experiments)."""
         self.cut_bits[cut_name] = self.cut_bits.get(cut_name, 0) + bits
@@ -181,6 +196,8 @@ class RoundMetrics:
         self.max_sent_per_round = max(self.max_sent_per_round, other.max_sent_per_round)
         self.max_received_per_round = max(self.max_received_per_round, other.max_received_per_round)
         self.receive_cap_violations += other.receive_cap_violations
+        self.global_dropped += other.global_dropped
+        self.global_retried += other.global_retried
         for phase, breakdown in other.phases.items():
             self.phases[phase].local_rounds += breakdown.local_rounds
             self.phases[phase].global_rounds += breakdown.global_rounds
@@ -219,4 +236,6 @@ class RoundMetrics:
             "max_sent_per_round": self.max_sent_per_round,
             "max_received_per_round": self.max_received_per_round,
             "receive_cap_violations": self.receive_cap_violations,
+            "global_dropped": self.global_dropped,
+            "global_retried": self.global_retried,
         }

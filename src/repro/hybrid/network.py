@@ -33,7 +33,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.graphs.graph import WeightedGraph
 from repro.hybrid.batch import MessageBatch
 from repro.hybrid.config import ModelConfig
-from repro.hybrid.errors import CapacityExceededError
+from repro.hybrid.errors import CapacityExceededError, FaultToleranceExceededError
+from repro.hybrid.faults import FaultState
 from repro.hybrid.metrics import RoundMetrics
 from repro.util.rand import RandomSource
 
@@ -138,6 +139,18 @@ class HybridNetwork:
         # re-zeroed, so accounting cost scales with the round's traffic
         # rather than with n.
         self._receive_counts: List[int] = [0] * self.n
+        # Fault injection (DESIGN.md §8).  A disabled/absent FaultModel keeps
+        # every engine path on the ideal branch -- `_fault_state is None` is
+        # the single check the hot loops make.
+        faults = self.config.faults
+        self.faults = faults if faults is not None and faults.enabled else None
+        self._fault_state = (
+            FaultState(self.faults)
+            if self.faults is not None and self.faults.affects_global
+            else None
+        )
+        self._outage_graph: Optional[WeightedGraph] = None
+        self._outage_version: Optional[int] = None
 
     # ------------------------------------------------------------------ state
     def state(self, node: int) -> Dict[str, object]:
@@ -157,23 +170,54 @@ class HybridNetwork:
         self._states = [dict() for _ in range(self.n)]
 
     def reset_metrics(self) -> None:
-        """Zero all counters (e.g. between benchmark repetitions)."""
+        """Zero all counters (e.g. between benchmark repetitions).
+
+        An active fault schedule restarts with the counters: the fault clock
+        is part of the run being measured, so every repetition replays the
+        same seeded drops.
+        """
         self.metrics = RoundMetrics()
         self.metrics.attach_ambient_observers()
+        if self._fault_state is not None:
+            self._fault_state = FaultState(self.faults)
 
     def fork_rng(self, label: str) -> RandomSource:
         """A child random source for one protocol phase (reproducible per label)."""
         return self.rng.fork(label)
 
     # ------------------------------------------------------------- local mode
+    @property
+    def local_graph(self) -> WeightedGraph:
+        """The graph the LOCAL mode computes on.
+
+        Identical to :attr:`graph` unless the fault model declares local-edge
+        outages, in which case it is the graph minus the outage edges
+        (rebuilt lazily when the underlying graph mutates).  The global plane
+        is unaffected -- NCC messages travel point to point by node ID.
+        """
+        if self.faults is None or not self.faults.edge_outages:
+            return self.graph
+        if self._outage_graph is None or self._outage_version != self.graph.version:
+            survivor = WeightedGraph(self.n, backend=self.graph.backend)
+            outages = set(self.faults.edge_outages)
+            for u, v, weight in self.graph.edges():
+                if (min(u, v), max(u, v)) not in outages:
+                    survivor.add_edge(u, v, weight)
+            self._outage_graph = survivor
+            self._outage_version = self.graph.version
+        return self._outage_graph
+
     def hop_diameter(self) -> int:
         """The hop diameter ``D(G)``, with infinity clamped to ``n``.
 
         Delegates to the graph's own mutation-invalidated cache, so a session
         that mutates the graph between queries never charges local rounds
-        against a stale diameter cap.
+        against a stale diameter cap.  Under local-edge outages the diameter
+        of the surviving graph applies (a disconnected survivor clamps to
+        ``n``): the paper's ``min(D, ·)`` shortcut only holds for edges that
+        actually carry messages.
         """
-        diameter = self.graph.hop_diameter()
+        diameter = self.local_graph.hop_diameter()
         return self.n if diameter == float("inf") else int(diameter)
 
     def charge_local_rounds(self, rounds: int, phase: str = "local") -> None:
@@ -231,15 +275,33 @@ class HybridNetwork:
             inboxes; a :class:`MessageBatch` yields the delivered messages as
             a :class:`MessageBatch` (accounting done with whole-array
             operations when the vectorized plane is active).  Both planes
-            record identical metrics for the same messages.
+            record identical metrics for the same messages.  With an active
+            :class:`~repro.hybrid.faults.FaultModel`, messages it drops are
+            excluded from the returned inboxes (both planes drop the same
+            messages) and tallied in ``metrics.global_dropped``.
         """
+        # No traffic means no use of the global mode: an empty round charges
+        # zero global rounds on either plane and in either input form
+        # (regression tests in tests/test_message_plane.py, next to the n=1
+        # cases), and leaves the fault clock untouched.
         if isinstance(outboxes, MessageBatch):
+            if len(outboxes) == 0:
+                return MessageBatch.empty()
             if self.vectorized_plane:
-                self._account_batched_round(outboxes.senders, outboxes.targets, phase)
-                return outboxes
+                keep = self._account_batched_round(outboxes.senders, outboxes.targets, phase)
+                if keep is None:
+                    return outboxes
+                payloads = outboxes.payloads
+                return MessageBatch(
+                    outboxes.senders[keep],
+                    outboxes.targets[keep],
+                    [payloads[i] for i in _np.flatnonzero(keep).tolist()],
+                )
             return MessageBatch.from_inboxes(
                 self._global_round_scalar(outboxes.to_outboxes(), phase)
             )
+        if not any(outboxes.values()):
+            return {}
         return self._global_round_scalar(outboxes, phase)
 
     def _global_round_scalar(
@@ -249,8 +311,15 @@ class HybridNetwork:
         inboxes: Inboxes = {}
         total_messages = 0
         max_sent = 0
+        dropped = 0
         watchers = self._cut_watchers
         cut_crossings = {name: 0 for name, _, _ in watchers}
+        fault_state = self._fault_state
+        if fault_state is not None:
+            fault_round = fault_state.next_round()
+            drop_threshold = fault_state.drop_threshold(fault_round)
+            faulty_nodes = fault_state.faulty_nodes(fault_round)
+            occurrences: Dict[Tuple[int, int], int] = {}
         # Accounting is batched: receive counts accumulate in a reusable
         # per-node counter array and are folded into the totals/maximum once
         # per touched receiver, instead of dict lookups per message.  The
@@ -280,6 +349,20 @@ class HybridNetwork:
                 for target, payload in messages:
                     if not 0 <= target < n:
                         raise ValueError(f"target {target} outside the network")
+                    if fault_state is not None:
+                        # The occurrence index makes the fate of the k-th
+                        # message between a (sender, target) pair this round a
+                        # stable per-message coin, independent of iteration
+                        # order -- the vectorized plane recovers the same
+                        # index with a stable sort (FaultState.keep_mask).
+                        pair = (sender, target)
+                        occurrence = occurrences.get(pair, 0)
+                        occurrences[pair] = occurrence + 1
+                        if fault_state.drops(
+                            fault_round, sender, target, occurrence, drop_threshold, faulty_nodes
+                        ):
+                            dropped += 1
+                            continue
                     bucket = inboxes.get(target)
                     if bucket is None:
                         bucket = inboxes[target] = []
@@ -317,23 +400,37 @@ class HybridNetwork:
             max_received=max_received,
             receive_cap=self.receive_cap,
         )
+        if dropped:
+            self.metrics.record_fault_losses(dropped=dropped)
         for name, crossings in cut_crossings.items():
             if crossings:
                 self.metrics.record_cut_bits(name, crossings * self.config.message_bits)
         return inboxes
 
-    def _account_batched_round(self, senders, targets, phase: str) -> None:
+    def _account_batched_round(self, senders, targets, phase: str):
         """Validate and account one global round given as sender/target arrays.
 
         Whole-array replacement for the scalar round bookkeeping: per-sender
         counts for the send-cap check, ``np.bincount`` receive accounting, and
         mask comparisons for cut crossings.  Produces exactly the values the
         scalar plane records for the same messages.
+
+        Returns the boolean keep mask of the messages the fault model let
+        through, or ``None`` when every message was delivered (in particular
+        always ``None`` on the ideal fault-free path).  Sends -- message and
+        bit totals, the send-cap check -- count all attempted messages;
+        receives (inboxes, maxima, cumulative totals, cut crossings) only the
+        delivered ones, matching the scalar plane.
         """
         n = self.n
         count = int(senders.size)
         max_sent = 0
         max_received = 0
+        keep = None
+        dropped = 0
+        # The fault clock ticks once per round, before any validation, exactly
+        # like the scalar plane's tick at function entry.
+        fault_round = self._fault_state.next_round() if self._fault_state is not None else None
         if count:
             if int(senders.min()) < 0 or int(senders.max()) >= n:
                 bad = senders[(senders < 0) | (senders >= n)][0]
@@ -349,14 +446,23 @@ class HybridNetwork:
                     f"node {offender} tried to send {max_sent} global messages in one "
                     f"round (cap {self.send_cap})"
                 )
-            receive_counts = _np.bincount(targets, minlength=n)
-            max_received = int(receive_counts.max())
-            if max_received > self.receive_cap and self.config.strict_receive:
-                raise CapacityExceededError(
-                    f"a node received {max_received} global messages in one round "
-                    f"(cap {self.receive_cap})"
-                )
-            self.received_totals += receive_counts
+            delivered_targets = targets
+            delivered_senders = senders
+            if fault_round is not None:
+                keep = self._fault_state.keep_mask(senders, targets, fault_round, n)
+                if keep is not None:
+                    delivered_senders = senders[keep]
+                    delivered_targets = targets[keep]
+                    dropped = count - int(delivered_targets.size)
+            if delivered_targets.size:
+                receive_counts = _np.bincount(delivered_targets, minlength=n)
+                max_received = int(receive_counts.max())
+                if max_received > self.receive_cap and self.config.strict_receive:
+                    raise CapacityExceededError(
+                        f"a node received {max_received} global messages in one round "
+                        f"(cap {self.receive_cap})"
+                    )
+                self.received_totals += receive_counts
         self.metrics.charge_global(1, phase)
         self.metrics.record_global_traffic(
             messages=count,
@@ -365,11 +471,16 @@ class HybridNetwork:
             max_received=max_received,
             receive_cap=self.receive_cap,
         )
-        if count:
+        if dropped:
+            self.metrics.record_fault_losses(dropped=dropped)
+        if count and delivered_targets.size:
             for name, _, mask in self._cut_watchers:
-                crossings = int(_np.count_nonzero(mask[senders] != mask[targets]))
+                crossings = int(
+                    _np.count_nonzero(mask[delivered_senders] != mask[delivered_targets])
+                )
                 if crossings:
                     self.metrics.record_cut_bits(name, crossings * self.config.message_bits)
+        return keep
 
     def run_global_exchange(
         self,
@@ -524,7 +635,12 @@ class HybridNetwork:
             # Deliveries are recorded in scan order (what the scalar plane's
             # per-round inbox building produces).
             in_round = admitted_at[_np.argsort(scan_positions[admitted_at])]
-            self._account_batched_round(senders[in_round], targets[in_round], phase)
+            keep = self._account_batched_round(senders[in_round], targets[in_round], phase)
+            if keep is not None:
+                # Fault-dropped messages consumed their sender's budget this
+                # round but never arrived; they are simply not delivered (the
+                # engine does not retry -- see run_reliable_exchange).
+                in_round = in_round[keep]
             delivered_senders.append(senders[in_round])
             delivered_targets.append(targets[in_round])
             delivered_indices.append(indices[in_round])
@@ -542,23 +658,107 @@ class HybridNetwork:
         )
         return inbox, rounds
 
+    def run_reliable_exchange(
+        self,
+        batch: MessageBatch,
+        phase: str = "global",
+        receiver_limited: bool = True,
+    ) -> Tuple[MessageBatch, int]:
+        """Deliver *every* message of ``batch`` despite an unreliable network.
+
+        Without active global faults this is exactly
+        :meth:`run_global_exchange` -- same rounds, same phases, same metrics
+        -- so loss-tolerant protocols cost nothing on the ideal model (the
+        bit-identity tests pin this).  With faults, the exchange runs the
+        acknowledged-retransmission scheme the paper's w.h.p. analyses
+        license: after each delivery attempt every receiver returns one ACK
+        per arrived message (ACKs cross the same lossy global plane), and
+        senders re-send everything unacknowledged.  Each attempt succeeds
+        per message with constant probability, so
+        ``max_attempts = Θ(log n)`` amplifies delivery to w.h.p. -- the
+        classic success-amplification argument.  Duplicates caused by lost
+        ACKs are absorbed here (receivers deduplicate by message identity),
+        so callers keep exactly-once semantics.
+
+        Returns the delivered messages (in the order of ``batch``, which is
+        what full delivery means) and the total global rounds consumed,
+        ACK rounds included.  Raises
+        :class:`~repro.hybrid.errors.FaultToleranceExceededError` if messages
+        remain undelivered when the model's ``max_attempts`` budget runs out
+        -- the injected faults beat the configured amplification, and a
+        partial result must not masquerade as a correct one.
+        """
+        if self._fault_state is None:
+            return self.run_global_exchange(batch, phase, receiver_limited)
+        total = len(batch)
+        if total == 0:
+            return MessageBatch.empty(), 0
+        senders = batch.senders
+        targets = batch.targets
+        payloads = batch.payloads
+        pending = list(range(total))
+        rounds = 0
+        max_attempts = self.faults.max_attempts
+        for attempt in range(max_attempts):
+            if attempt:
+                self.metrics.record_fault_losses(retried=len(pending))
+            attempt_phase = phase if attempt == 0 else phase + ":retry"
+            # Payloads ride with their original batch index so receivers can
+            # acknowledge (and deduplicate) by message identity.
+            sub_batch = MessageBatch(
+                [int(senders[i]) for i in pending],
+                [int(targets[i]) for i in pending],
+                [(i, payloads[i]) for i in pending],
+            )
+            inbox, attempt_rounds = self.run_global_exchange(
+                sub_batch, attempt_phase, receiver_limited
+            )
+            rounds += attempt_rounds
+            arrived = [identity for identity, _ in inbox.payloads]
+            acked: set = set()
+            if arrived:
+                # One ACK per arrival, back over the same faulty plane.
+                ack_inbox, ack_rounds = self.run_global_exchange(
+                    MessageBatch(inbox.targets, inbox.senders, arrived),
+                    phase + ":ack",
+                    receiver_limited,
+                )
+                rounds += ack_rounds
+                acked = set(ack_inbox.payloads)
+            if acked:
+                pending = [i for i in pending if i not in acked]
+            if not pending:
+                break
+        if pending:
+            raise FaultToleranceExceededError(
+                f"{len(pending)} of {total} messages undelivered after "
+                f"{max_attempts} attempts in phase {phase!r}"
+            )
+        # Everything arrived (possibly more than once; duplicates are
+        # dropped), so the delivered set is the original batch itself.
+        return MessageBatch(senders, targets, list(payloads)), rounds
+
     # ------------------------------------------------------------- shortcuts
     def max_total_received(self) -> int:
         """Largest cumulative global receive count of any node over the run."""
         return int(max(self.received_totals)) if self.n else 0
 
     def local_ball(self, node: int, radius: int) -> List[int]:
-        """The ``radius``-hop neighbourhood of ``node`` (no rounds charged)."""
-        return self.graph.ball(node, radius)
+        """The ``radius``-hop neighbourhood of ``node`` (no rounds charged).
+
+        Computed on :attr:`local_graph`, so local-edge outages shrink the
+        ball exactly as they would shrink real flooding.
+        """
+        return self.local_graph.ball(node, radius)
 
     def local_hop_limited_distances(self, node: int, hop_limit: int) -> Dict[int, float]:
         """``d_h(node, ·)`` for the node's local exploration (no rounds charged).
 
         Callers must separately charge the exploration depth via
         :meth:`charge_local_rounds`; splitting the two keeps phase accounting
-        explicit in the protocol code.
+        explicit in the protocol code.  Computed on :attr:`local_graph`.
         """
-        return self.graph.hop_limited_distances(node, hop_limit)
+        return self.local_graph.hop_limited_distances(node, hop_limit)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -115,7 +115,12 @@ def aggregate_sum(
     Sums are not idempotent, so instead of ring doubling we aggregate up an
     implicit binary tree over node IDs (child ``2i+1, 2i+2`` -> parent ``i``)
     and then broadcast the root's total back down; both directions take
-    ``O(log n)`` rounds and one message per node per round.
+    ``O(log n)`` rounds and one message per node per round.  Because a lost
+    partial sum is unrecoverable (unlike the idempotent ring primitives,
+    where every input keeps folding), the convergecast levels travel as
+    *reliable* exchanges: on the ideal model that is exactly one global
+    round per level, under an active fault model dropped subtree totals
+    retransmit -- so the returned sum is exact or the exchange raises.
 
     The convergecast starts at the deepest *occupied* level
     ``⌊log2 n⌋`` (node ``i`` lives at level ``⌊log2(i+1)⌋``, so that is the
@@ -139,7 +144,9 @@ def aggregate_sum(
         else:
             targets = [(node - 1) // 2 for node in senders]
         payloads = [totals[node] for node in range(low, high)]
-        delivered = network.global_round(MessageBatch(senders, targets, payloads), phase)
+        delivered, _ = network.run_reliable_exchange(
+            MessageBatch(senders, targets, payloads), phase
+        )
         for parent, value in zip(delivered.targets, delivered.payloads):
             totals[int(parent)] += value
     total = totals[0]

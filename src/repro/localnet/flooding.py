@@ -32,7 +32,7 @@ def explore_hop_distances(
     ``other -> hop(node, other)`` restricted to the ``depth``-hop ball.
     """
     network.charge_local_rounds(depth, phase)
-    return network.graph.bfs_hops_many(range(network.n), depth)
+    return network.local_graph.bfs_hops_many(range(network.n), depth)
 
 
 def explore_limited_distances(
@@ -61,7 +61,7 @@ def explore_limited_distances(
             stacklevel=2,
         )
     network.charge_local_rounds(depth, phase)
-    return network.graph.hop_limited_distances_many(range(network.n), depth)
+    return network.local_graph.hop_limited_distances_many(range(network.n), depth)
 
 
 def explore_limited_distance_matrix(
@@ -74,7 +74,7 @@ def explore_limited_distance_matrix(
     combine the exploration with other matrices (skeleton construction, APSP).
     """
     network.charge_local_rounds(depth, phase)
-    return network.graph.hop_limited_distance_matrix(range(network.n), depth)
+    return network.local_graph.hop_limited_distance_matrix(range(network.n), depth)
 
 
 def flood_values(
@@ -92,7 +92,7 @@ def flood_values(
     network.charge_local_rounds(depth, phase)
     result: List[Dict[int, T]] = [dict() for _ in range(network.n)]
     origins = list(initial)
-    balls = network.graph.balls_many(origins, depth)
+    balls = network.local_graph.balls_many(origins, depth)
     for origin, ball in zip(origins, balls):
         value = initial[origin]
         for reached in ball:
@@ -115,7 +115,7 @@ def flood_token_sets(
     network.charge_local_rounds(depth, phase)
     result: List[List[T]] = [list() for _ in range(network.n)]
     origins = [origin for origin, tokens in initial.items() if tokens]
-    balls = network.graph.balls_many(origins, depth)
+    balls = network.local_graph.balls_many(origins, depth)
     for origin, ball in zip(origins, balls):
         tokens = initial[origin]
         for reached in ball:
@@ -135,6 +135,7 @@ def multi_source_hop_distances(
     charged -- callers charge the surrounding protocol loop themselves.
     This is the "join the cluster of the closest ruler" step of Algorithm 1.
     """
+    graph = network.local_graph  # hoisted: the view cannot change mid-call
     assignment: Dict[int, tuple] = {}
     frontier: List[int] = []
     for source in sorted(sources):
@@ -147,7 +148,7 @@ def multi_source_hop_distances(
         next_frontier: List[int] = []
         for node in frontier:
             _, source = assignment[node]
-            for neighbour in network.graph.neighbors(node):
+            for neighbour in graph.neighbors(node):
                 candidate = (hops, source)
                 if neighbour not in assignment or candidate < assignment[neighbour]:
                     if neighbour not in assignment:
@@ -171,7 +172,7 @@ def converge_cast_max(
     network.charge_local_rounds(depth, phase)
     result: List[float] = [float("-inf")] * network.n
     origins = list(values)
-    balls = network.graph.balls_many(origins, depth)
+    balls = network.local_graph.balls_many(origins, depth)
     for origin, ball in zip(origins, balls):
         value = values[origin]
         for reached in ball:

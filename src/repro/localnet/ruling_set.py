@@ -54,7 +54,7 @@ def compute_ruling_set(
     """
     if mu < 1:
         raise ValueError("mu must be at least 1")
-    graph = network.graph
+    graph = network.local_graph
     separation_radius = 2 * mu
     covered = [False] * network.n
     rulers: List[int] = []

@@ -32,6 +32,14 @@ assignment -- and therefore the measured round count -- is independent of the
 order in which ``tokens_per_node`` was populated.  All three global phases
 build their traffic as :class:`~repro.hybrid.batch.MessageBatch` columns and
 the whole relay batch is hashed with one ``KWiseHashFunction.many`` call.
+
+All three global phases go through
+:meth:`~repro.hybrid.network.HybridNetwork.run_reliable_exchange`: on the
+ideal model that is exactly ``run_global_exchange`` (bit-identical rounds and
+phases), while under an active :class:`~repro.hybrid.faults.FaultModel` each
+phase retransmits unacknowledged messages within the model's retry budget --
+the dissemination either completes exactly or raises
+:class:`~repro.hybrid.errors.FaultToleranceExceededError` (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -156,7 +164,7 @@ def disseminate_tokens(
     hash_function = hash_family_for_network(n, network.fork_rng(phase + ":hash"))
     relays = hash_function.many((_canonical_token_keys(all_tokens), [1] * k))
     relay_batch = MessageBatch(holders, relays, list(all_tokens))
-    relay_inboxes, _ = network.run_global_exchange(relay_batch, phase + ":relay")
+    relay_inboxes, _ = network.run_reliable_exchange(relay_batch, phase + ":relay")
     relay_tokens: Dict[int, List[Token]] = {
         relay: tokens for relay, _, tokens in relay_inboxes.groupby_target()
     }
@@ -190,7 +198,7 @@ def disseminate_tokens(
                 request_senders.extend([member] * len(share))
                 request_targets.extend(share)
                 request_payloads.extend([member] * len(share))
-    request_inboxes, _ = network.run_global_exchange(
+    request_inboxes, _ = network.run_reliable_exchange(
         MessageBatch(request_senders, request_targets, request_payloads),
         phase + ":requests",
     )
@@ -208,7 +216,7 @@ def disseminate_tokens(
         for requester in requesters:
             response_targets.extend([requester] * len(tokens_here))
             response_payloads.extend(tokens_here)
-    response_inboxes, _ = network.run_global_exchange(
+    response_inboxes, _ = network.run_reliable_exchange(
         MessageBatch(response_senders, response_targets, response_payloads),
         phase + ":responses",
     )

@@ -43,6 +43,7 @@ Quick start::
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import zlib
 from contextlib import contextmanager
@@ -59,6 +60,7 @@ from repro.core.sssp import SSSPResult, sssp_exact
 from repro.core.token_routing import RoutingToken, TokenRouter, TokenRoutingResult
 from repro.graphs.graph import WeightedGraph
 from repro.hybrid.config import ModelConfig
+from repro.hybrid.faults import FaultModel
 from repro.hybrid.metrics import RoundMetrics
 from repro.hybrid.network import HybridNetwork
 
@@ -132,6 +134,15 @@ class HybridSession:
     keep_results:
         When True, each :class:`QueryRecord` retains the query's result
         object; off by default so the query log holds only the accounting.
+    fault_model:
+        Optional :class:`~repro.hybrid.faults.FaultModel` the session's
+        network runs under; it overrides ``config.faults``.  With faults
+        active, ``apsp()/sssp()/diameter()`` and the other queries execute
+        the loss-tolerant retransmitting protocols (and raise
+        :class:`~repro.hybrid.errors.FaultToleranceExceededError` when a
+        schedule beats the retry budget); without it -- or with a model whose
+        ``enabled`` is False -- every query is bit-identical to the
+        fault-free path (pinned by tests/test_faults.py).
     """
 
     def __init__(
@@ -141,7 +152,10 @@ class HybridSession:
         *,
         skeleton_probability: Optional[float] = None,
         keep_results: bool = False,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
+        if fault_model is not None:
+            config = dataclasses.replace(config or ModelConfig(), faults=fault_model)
         self.network = HybridNetwork(graph, config)
         if skeleton_probability is None:
             skeleton_probability = min(1.0, 1.0 / math.sqrt(max(1, self.network.n)))

@@ -227,6 +227,52 @@ class TestEngine:
         assert report.executed == [shards[0].key]
         assert sorted(report.skipped) == sorted(s.key for s in shards[1:])
 
+    def test_e15_records_are_jobs_independent(self, tmp_path):
+        # The robustness sweep's shards rebuild graph, fault schedule and
+        # both networks from their own seeds, so records are --jobs
+        # independent (the ISSUE 5 acceptance pin).
+        shards = plan_shards(["E15"], scale="small")
+        assert len(shards) >= 4
+        serial_store = ArtifactStore(tmp_path / "serial")
+        parallel_store = ArtifactStore(tmp_path / "parallel")
+        assert ExperimentEngine(serial_store, jobs=1).run(shards).ok
+        assert ExperimentEngine(parallel_store, jobs=2).run(shards).ok
+        assert serial_store.build_manifest() == parallel_store.build_manifest()
+
+    def test_e15_interrupted_sweep_resumes_to_clean_manifest(self, tmp_path):
+        # Kill-after-k, mirroring the E1-E14 resume test: only the first two
+        # E15 shards finish before the interrupt; the resumed run skips them,
+        # executes the rest and merges to exactly the clean-run manifest.
+        shards = plan_shards(["E15"], scale="small")
+        clean_store = ArtifactStore(tmp_path / "clean")
+        ExperimentEngine(clean_store, jobs=1).run(shards)
+
+        resumed_store = ArtifactStore(tmp_path / "resumed")
+        partial = ExperimentEngine(resumed_store, jobs=1).run(shards[:2])
+        assert sorted(partial.executed) == sorted(s.key for s in shards[:2])
+        resumed = ExperimentEngine(resumed_store, jobs=1, resume=True).run(shards)
+        assert sorted(resumed.skipped) == sorted(s.key for s in shards[:2])
+        assert sorted(resumed.executed) == sorted(s.key for s in shards[2:])
+        assert resumed_store.build_manifest() == clean_store.build_manifest()
+        # The tables assembled from the resumed store match a direct run.
+        table = assemble_tables(resumed_store, shards)[0]
+        expected = run_experiment("E15", scale="small")
+        assert [list(row) for row in table.rows] == [list(row) for row in expected.rows]
+
+    def test_e15_corrupted_artifact_re_runs(self, tmp_path):
+        shards = plan_shards(["E15"], scale="small")
+        store = ArtifactStore(tmp_path / "store")
+        ExperimentEngine(store, jobs=1).run(shards)
+        # A truncated shard file (killed mid-write without the atomic rename)
+        # and a spec-tampered one must both re-execute on resume.
+        store.shard_path(shards[0]).write_text("{truncated")
+        tampered = json.loads(store.shard_path(shards[1]).read_text())
+        tampered["spec"]["seed"] += 1
+        store.shard_path(shards[1]).write_text(json.dumps(tampered))
+        report = ExperimentEngine(store, jobs=1, resume=True).run(shards)
+        assert sorted(report.executed) == sorted(s.key for s in shards[:2])
+        assert sorted(report.skipped) == sorted(s.key for s in shards[2:])
+
     def test_without_resume_everything_re_executes(self, tmp_path):
         shards = plan_shards(["E6"], scale="small")
         store = ArtifactStore(tmp_path / "store")

@@ -40,6 +40,13 @@ class TestExamples:
         assert "[Theorem 2.2] token routing" in output
         assert "global messages moved" in output
 
+    def test_unreliable_network(self, monkeypatch, capsys):
+        run_example("unreliable_network.py", monkeypatch)
+        output = capsys.readouterr().out
+        assert "[fault injection]" in output
+        assert "False" not in output  # every completed run stays exact
+        assert "FaultToleranceExceededError" in output
+
     def test_lower_bound_gadgets(self, monkeypatch, capsys):
         run_example("lower_bound_gadgets.py", monkeypatch)
         output = capsys.readouterr().out

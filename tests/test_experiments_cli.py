@@ -26,6 +26,7 @@ class TestRegistry:
             "E12",
             "E13",
             "E14",
+            "E15",
         ]
 
     def test_unknown_experiment_raises(self):
@@ -60,7 +61,7 @@ class TestExperimentTables:
         assert "| 3 | 4 |" in markdown
         assert "- note" in markdown
 
-    @pytest.mark.parametrize("experiment_id", ["E1", "E9", "E10", "E12", "E13", "E14"])
+    @pytest.mark.parametrize("experiment_id", ["E1", "E9", "E10", "E12", "E13", "E14", "E15"])
     def test_small_scale_experiments_run(self, experiment_id):
         table = run_experiment(experiment_id, scale="small")
         assert table.experiment_id == experiment_id
@@ -86,6 +87,23 @@ class TestExperimentTables:
         scenarios = {row[0] for row in table.rows}
         assert {"power-law", "grid+highways", "hierarchical-isp"} <= scenarios
         assert all(row[exact] for row in table.rows)
+
+    def test_robustness_sweep_stays_exact_and_pins_fault_free_rows(self):
+        table = run_experiment("E15", scale="small")
+        exact = table.headers.index("exact")
+        delivered = table.headers.index("delivered")
+        rate = table.headers.index("drop rate")
+        overhead = table.headers.index("overhead")
+        dropped = table.headers.index("dropped")
+        assert all(row[exact] and row[delivered] for row in table.rows)
+        # drop_rate=0 rows are the pinned fault-free identity: overhead
+        # exactly 1 and not a single message dropped.
+        zero_rows = [row for row in table.rows if row[rate] == 0.0]
+        assert zero_rows
+        assert all(row[overhead] == 1.0 and row[dropped] == 0 for row in zero_rows)
+        # Lossy rows really injected faults.
+        lossy = [row for row in table.rows if row[rate] > 0.0]
+        assert lossy and all(row[dropped] > 0 for row in lossy)
 
     def test_session_amortization_agrees_and_amortizes(self):
         table = run_experiment("E14", scale="small")

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 numpy = pytest.importorskip("numpy")
 
 from repro.core.clique_simulation import HybridCliqueTransport
+from repro.hybrid.network import _admit_scan
 from repro.core.skeleton import compute_skeleton
 from repro.core.token_routing import make_tokens, route_tokens
 from repro.graphs import generators
@@ -134,11 +135,25 @@ class TestBatchedGlobalRound:
         with pytest.raises(ValueError):
             network.global_round(MessageBatch([-1], [0], ["x"]))
 
-    def test_empty_batch_still_charges_a_round(self):
-        network = self.make()
-        network.global_round(MessageBatch.empty())
-        assert network.metrics.global_rounds == 1
+    @pytest.mark.parametrize("plane", ["scalar", "vectorized"])
+    def test_empty_batch_charges_no_round_on_either_plane(self, plane):
+        # Regression (alongside the n=1 aggregation cases): a round with no
+        # traffic does not use the global mode at all, so an empty
+        # MessageBatch must charge zero global rounds on both planes.
+        network = self.make(plane=plane)
+        delivered = network.global_round(MessageBatch.empty())
+        assert isinstance(delivered, MessageBatch) and len(delivered) == 0
+        assert network.metrics.global_rounds == 0
         assert network.metrics.global_messages == 0
+        assert network.metrics.phases == {}
+        # The dict form of the same no-traffic round is round-free too (even
+        # with senders present but holding empty queues).
+        assert network.global_round({}) == {}
+        assert network.global_round({3: []}) == {}
+        assert network.metrics.global_rounds == 0
+        # The exchange path was already round-free for empty batches.
+        _, rounds = network.run_global_exchange(MessageBatch.empty())
+        assert rounds == 0 and network.metrics.global_rounds == 0
 
     def test_batched_exchange_respects_caps(self):
         network = self.make()
@@ -148,6 +163,91 @@ class TestBatchedGlobalRound:
         assert rounds >= math.ceil(35 / network.receive_cap)
         assert network.metrics.max_sent_per_round <= network.send_cap
         assert network.metrics.max_received_per_round <= network.receive_cap
+
+
+class TestAdmitScan:
+    """Direct unit tests for ``_admit_scan`` (previously only covered through
+    ``run_global_exchange``): the Jacobi prefix-sum admission must equal the
+    scalar scheduler's sequential scan for every input."""
+
+    @staticmethod
+    def prepare(pairs, offset_runs=0):
+        """Canonicalize (sender, target) pairs the way the batched exchange
+        does: stable-sorted by sender, with the rotated scan-rank array."""
+        senders = numpy.array([sender for sender, _ in pairs], dtype=numpy.int64)
+        targets = numpy.array([target for _, target in pairs], dtype=numpy.int64)
+        order = numpy.argsort(senders, kind="stable")
+        senders, targets = senders[order], targets[order]
+        length = senders.size
+        run_bounds = numpy.empty(length, dtype=bool)
+        run_bounds[0] = True
+        numpy.not_equal(senders[1:], senders[:-1], out=run_bounds[1:])
+        run_starts = numpy.flatnonzero(run_bounds)
+        split = int(run_starts[offset_runs % run_starts.size])
+        scan_positions = (numpy.arange(length) - split) % length
+        return senders, targets, scan_positions
+
+    @staticmethod
+    def sequential_reference(senders, targets, scan_positions, send_cap, receive_cap):
+        """The scalar scheduler's per-message scan, spelled out sequentially."""
+        admitted = numpy.zeros(senders.size, dtype=bool)
+        sent = {}
+        received = {}
+        for index in numpy.argsort(scan_positions):
+            sender, target = int(senders[index]), int(targets[index])
+            if sent.get(sender, 0) < send_cap and received.get(target, 0) < receive_cap:
+                admitted[index] = True
+                sent[sender] = sent.get(sender, 0) + 1
+                received[target] = received.get(target, 0) + 1
+        return admitted
+
+    def check(self, pairs, send_cap, receive_cap, offset_runs=0):
+        senders, targets, scan_positions = self.prepare(pairs, offset_runs)
+        got = _admit_scan(senders, targets, scan_positions, send_cap, receive_cap)
+        expected = self.sequential_reference(
+            senders, targets, scan_positions, send_cap, receive_cap
+        )
+        assert got.tolist() == expected.tolist()
+        return got
+
+    def test_send_cap_boundary(self):
+        # Exactly at the cap every message goes; one past the cap waits.
+        at_cap = [(0, target) for target in range(4)]
+        assert self.check(at_cap, send_cap=4, receive_cap=10).all()
+        over = self.check(at_cap + [(0, 4)], send_cap=4, receive_cap=10)
+        assert int(over.sum()) == 4 and not over[-1]
+
+    def test_receive_cap_boundary(self):
+        pairs = [(sender, 9) for sender in range(5)]
+        assert self.check(pairs, send_cap=3, receive_cap=5).all()
+        clipped = self.check(pairs, send_cap=3, receive_cap=4)
+        assert int(clipped.sum()) == 4
+
+    def test_zero_caps_admit_nothing(self):
+        pairs = [(0, 1), (1, 2), (2, 0)]
+        assert not self.check(pairs, send_cap=0, receive_cap=5).any()
+        assert not self.check(pairs, send_cap=5, receive_cap=0).any()
+
+    def test_all_to_one_saturation_follows_scan_order(self):
+        # 12 senders, one message each, all to node 0, receive_cap 5: the five
+        # senders earliest in the rotated scan order win, everyone else waits.
+        pairs = [(sender, 0) for sender in range(12)]
+        for offset in (0, 3, 11):
+            senders, targets, scan_positions = self.prepare(pairs, offset_runs=offset)
+            admitted = _admit_scan(senders, targets, scan_positions, 2, 5)
+            assert int(admitted.sum()) == 5
+            winners = scan_positions[admitted]
+            assert sorted(winners.tolist()) == [0, 1, 2, 3, 4]
+
+    @common_settings
+    @given(
+        message_lists.filter(bool),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=19),
+    )
+    def test_matches_sequential_scan(self, pairs, send_cap, receive_cap, offset_runs):
+        self.check(pairs, send_cap, receive_cap, offset_runs)
 
 
 class TestSaturatedReceiverProgress:
