@@ -91,7 +91,7 @@ def test_apsp_scaling_exponent(benchmark):
     )
 
 
-@pytest.mark.parametrize("backend", ["dict", "csr"])
+@pytest.mark.parametrize("backend", ["dict", "csr", "csr-njit"])
 def test_apsp_backend_speedup(benchmark, backend):
     """Dict vs CSR traversal backend at n = 512 on the weighted general case.
 

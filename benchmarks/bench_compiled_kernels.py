@@ -1,0 +1,133 @@
+"""Compiled kernel plane vs the numpy oracle at n = 4096 (DESIGN.md §9).
+
+Each benchmark runs one hot graph kernel -- multi-source SSSP distances, the
+APSP slice, BFS-level dissemination, hop-limited ``d_h`` -- through the numpy
+CSR plane (:mod:`repro.graphs.csr`) and through the compiled plane
+(:mod:`repro.graphs.compiled`, njit when numba is importable, else the
+scipy.sparse.csgraph formulation) on the identical frozen CSR arrays.  The
+outputs are bit-identical (pinned property-style in
+tests/test_compiled_plane.py); the wall-time ratio between the paired records
+in BENCH_core.json is the measured speedup of the compiled plane -- the
+record behind the "scaling past n = 4096" section of the README.
+
+The ``implementation`` field records which kernel actually ran (njit / scipy /
+numpy), so records from machines with different accelerators installed are
+comparable.  Under ``REPRO_BENCH_SCALE=smoke`` the workload shrinks to a CI
+smoke test and never rewrites the committed record.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach, random_workload, run_repeated, smoke_scaled
+from repro.graphs import compiled as compiled_plane
+from repro.graphs import csr as numpy_plane
+
+#: The scale the acceptance record is measured at; smoke keeps CI fast.
+KERNEL_N = smoke_scaled(4096, 96)
+
+PLANES = {"numpy": numpy_plane, "compiled": compiled_plane}
+
+
+def _implementation(plane: str, kernel: str) -> str:
+    if plane == "numpy":
+        return "numpy"
+    return str(compiled_plane.kernel_report()[kernel])
+
+
+def _frozen_workload(weighted: bool):
+    graph = random_workload(KERNEL_N, seed=KERNEL_N, weighted=weighted)
+    return graph.csr()
+
+
+def _bench_kernel(benchmark, plane, run, kernel, sources, extra):
+    # Warm-up outside timing: njit compilation and the cached sparse view are
+    # one-time costs, not per-call kernel work.
+    run()
+    run_repeated(benchmark, run, rounds=3)
+    attach(
+        benchmark,
+        {
+            "experiment": "compiled-kernel",
+            "kernel": kernel,
+            "n": KERNEL_N,
+            "sources": sources,
+            "plane": plane,
+            "implementation": _implementation(plane, kernel),
+            **extra,
+        },
+    )
+
+
+@pytest.mark.parametrize("plane", list(PLANES))
+def test_compiled_sssp_kernel(benchmark, plane):
+    """Multi-source weighted SSSP: the inner kernel of every skeleton query."""
+    csr = _frozen_workload(weighted=True)
+    sources = list(range(smoke_scaled(64, 8)))
+    kernels = PLANES[plane]
+    _bench_kernel(
+        benchmark,
+        plane,
+        lambda: kernels.distance_matrix(csr, sources),
+        "distance_matrix",
+        len(sources),
+        {"workload": "sssp", "weighted": True},
+    )
+
+
+@pytest.mark.parametrize("plane", list(PLANES))
+def test_compiled_apsp_slice_kernel(benchmark, plane):
+    """A 256-source APSP slice: the per-chunk unit of the full n x n solve."""
+    csr = _frozen_workload(weighted=True)
+    sources = list(range(smoke_scaled(256, 16)))
+    kernels = PLANES[plane]
+    _bench_kernel(
+        benchmark,
+        plane,
+        lambda: kernels.distance_matrix(csr, sources),
+        "distance_matrix",
+        len(sources),
+        {"workload": "apsp-slice", "weighted": True},
+    )
+
+
+@pytest.mark.parametrize("plane", list(PLANES))
+def test_compiled_dissemination_kernel(benchmark, plane):
+    """BFS levels from many sources: the hop-dissemination / eccentricity kernel.
+
+    Measured on a barbell (two cliques joined by a long path): its Θ(n) hop
+    diameter makes level-synchronous numpy BFS pay interpreter dispatch for
+    thousands of levels while the clique ends keep the frontiers wide -- the
+    regime the compiled plane exists for (a low-diameter random graph
+    finishes in a handful of levels either way).
+    """
+    from repro.graphs import generators
+
+    clique = smoke_scaled(256, 16)
+    csr = generators.barbell_graph(clique, KERNEL_N - 2 * clique).csr()
+    sources = list(range(smoke_scaled(256, 16)))
+    kernels = PLANES[plane]
+    _bench_kernel(
+        benchmark,
+        plane,
+        lambda: kernels.bfs_level_matrix(csr, sources),
+        "bfs_level_matrix",
+        len(sources),
+        {"workload": "dissemination", "weighted": False},
+    )
+
+
+@pytest.mark.parametrize("plane", list(PLANES))
+def test_compiled_hop_limited_kernel(benchmark, plane):
+    """Weighted ``d_h``: njit-only acceleration (numpy fallback without numba)."""
+    csr = _frozen_workload(weighted=True)
+    sources = list(range(smoke_scaled(128, 8)))
+    hop_limit = max(1, KERNEL_N.bit_length())
+    kernels = PLANES[plane]
+    _bench_kernel(
+        benchmark,
+        plane,
+        lambda: kernels.hop_limited_matrix(csr, sources, hop_limit),
+        "hop_limited_matrix",
+        len(sources),
+        {"workload": "hop-limited", "weighted": True, "hop_limit": hop_limit},
+    )

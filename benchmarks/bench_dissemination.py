@@ -71,7 +71,7 @@ def test_aggregation_rounds(benchmark):
     )
 
 
-@pytest.mark.parametrize("plane", ["scalar", "vectorized"])
+@pytest.mark.parametrize("plane", ["scalar", "vectorized", "compiled"])
 def test_dissemination_plane_speedup(benchmark, plane):
     """Scalar vs vectorized message plane on a token-heavy dissemination.
 

@@ -65,7 +65,7 @@ def test_sssp_on_barbell(benchmark):
     )
 
 
-@pytest.mark.parametrize("backend", ["dict", "csr"])
+@pytest.mark.parametrize("backend", ["dict", "csr", "csr-njit"])
 def test_sssp_backend_speedup(benchmark, backend):
     """Dict vs CSR traversal backend at n = 512 on the weighted general case.
 

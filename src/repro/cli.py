@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli sweep [--jobs 4] [--resume] [--only E3,E14] [--scale medium]
     python -m repro.cli regress --baseline benchmarks/BENCH_baseline.json
     python -m repro.cli query [--n 200] [--seed 1] [--repeat 2]
+    python -m repro.cli bench [--n 4096] [--profile]
 
 ``run`` prints one experiment's markdown table; ``run-all`` renders every
 registered experiment serially (the content recorded in EXPERIMENTS.md).
@@ -22,7 +23,10 @@ overhead and accuracy per drop rate and graph family.
 against a committed baseline and exits non-zero on tolerance violations --
 the CI regression gate.  ``query`` serves a mixed SSSP/diameter/APSP workload
 from one :class:`~repro.session.HybridSession` and prints the per-query
-amortized vs cold-equivalent accounting.
+amortized vs cold-equivalent accounting.  ``bench`` times the hot graph
+kernels on the numpy plane vs the compiled plane of
+:mod:`repro.graphs.compiled` (bit-identity checked), with ``--profile``
+adding a cProfile per-kernel breakdown.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments import SCALES, available_experiments, run_all, run_experiment
 
@@ -145,6 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--seed", type=int, default=1, help="graph and model seed")
     query_parser.add_argument(
         "--repeat", type=int, default=2, help="how many times to repeat the workload"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time the hot graph kernels on the numpy vs compiled plane",
+    )
+    bench_parser.add_argument("--n", type=int, default=1024, help="graph size")
+    bench_parser.add_argument("--seed", type=int, default=3, help="graph seed")
+    bench_parser.add_argument(
+        "--sources", type=int, default=64, help="number of traversal sources per kernel"
+    )
+    bench_parser.add_argument(
+        "--max-weight",
+        type=int,
+        default=8,
+        help="edge weights drawn from [1, max-weight]; 1 = unit weights",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each kernel run and print the hottest functions",
+    )
+    bench_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows of the per-kernel profile breakdown (with --profile)",
     )
     return parser
 
@@ -305,6 +336,107 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
     return 0
 
 
+def run_bench_command(args) -> int:
+    """Time the hot graph kernels on the numpy plane vs the compiled plane.
+
+    Runs multi-source exact distances, BFS levels and hop-limited ``d_h`` on
+    one random connected graph through both :mod:`repro.graphs.csr` (the
+    numpy oracle) and :mod:`repro.graphs.compiled`, verifies the outputs are
+    bit-identical, and prints wall clock plus speedup per kernel.  With
+    ``--profile`` each plane's run happens under :mod:`cProfile` and the
+    hottest functions are printed per kernel -- the quickest way to see where
+    a slow configuration actually spends its time.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    import numpy as np
+
+    from repro.graphs import compiled as compiled_plane
+    from repro.graphs import csr as numpy_plane
+    from repro.graphs import generators
+    from repro.util.rand import RandomSource
+
+    if args.n < 2:
+        print("--n must be at least 2", file=sys.stderr)
+        return 2
+    if args.sources < 1:
+        print("--sources must be at least 1", file=sys.stderr)
+        return 2
+    graph = generators.random_connected_graph(
+        args.n, 4.0, RandomSource(args.seed), max_weight=max(1, args.max_weight)
+    )
+    csr = graph.csr()
+    sources = list(range(min(args.sources, args.n)))
+    hop_limit = max(1, int(args.n).bit_length())
+    report = compiled_plane.kernel_report()
+    print(
+        f"bench: n={args.n}, m={graph.edge_count}, sources={len(sources)}, "
+        f"hop_limit={hop_limit}, unit_weights={csr.unit_weights}"
+    )
+    print(
+        f"compiled plane: numba={'yes' if report['numba'] else 'no'}, "
+        f"scipy={'yes' if report['scipy'] else 'no'} "
+        f"(distance={report['distance_matrix']}, bfs={report['bfs_level_matrix']}, "
+        f"hop-limited={report['hop_limited_matrix']})"
+    )
+    kernels = [
+        ("distance_matrix", lambda plane: plane.distance_matrix(csr, sources)),
+        ("bfs_level_matrix", lambda plane: plane.bfs_level_matrix(csr, sources)),
+        ("hop_limited_matrix", lambda plane: plane.hop_limited_matrix(csr, sources, hop_limit)),
+    ]
+    profiles: List[Tuple[str, pstats.Stats]] = []
+
+    def timed(plane, kernel, label):
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+        started = time.perf_counter()
+        result = kernel(plane)
+        elapsed = time.perf_counter() - started
+        if args.profile:
+            profiler.disable()
+            profiles.append((label, pstats.Stats(profiler)))
+        return result, elapsed
+
+    header = (
+        f"{'kernel':>20s} {'numpy s':>9s} {'compiled s':>11s} {'speedup':>8s} {'identical':>9s}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    mismatched = False
+    for name, kernel in kernels:
+        # Warm-up run so one-time costs (njit compilation, the cached sparse
+        # view) are not billed to the measured pass.
+        kernel(compiled_plane)
+        baseline, baseline_s = timed(numpy_plane, kernel, f"{name} [numpy]")
+        candidate, candidate_s = timed(compiled_plane, kernel, f"{name} [compiled]")
+        identical = bool(np.array_equal(baseline, candidate))
+        mismatched = mismatched or not identical
+        speedup = baseline_s / candidate_s if candidate_s > 0 else float("inf")
+        print(
+            f"{name:>20s} {baseline_s:>9.4f} {candidate_s:>11.4f} {speedup:>7.2f}x "
+            f"{'yes' if identical else 'NO':>9s}"
+        )
+    if args.profile:
+        for label, stats in profiles:
+            buffer = io.StringIO()
+            stats.stream = buffer
+            stats.sort_stats("cumulative").print_stats(args.top)
+            print(f"\n=== profile: {label} (top {args.top} by cumulative time) ===")
+            # Drop the pstats preamble (ordering banner etc.) down to the table.
+            lines = buffer.getvalue().splitlines()
+            for line in lines:
+                if line.strip():
+                    print(line)
+    if mismatched:
+        print("\nbench: compiled plane DIVERGED from the numpy oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -332,6 +464,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "query":
         return serve_query_workload(args.n, args.seed, args.repeat)
+
+    if args.command == "bench":
+        return run_bench_command(args)
 
     if args.command == "run-all":
         sections = [table.to_markdown() for table in run_all(scale=args.scale)]

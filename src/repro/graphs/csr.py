@@ -28,14 +28,22 @@ possible.  :class:`~repro.graphs.graph.WeightedGraph` freezes a
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-#: Cap on the number of matrix cells a kernel materialises per chunk; sources
-#: are processed ``chunk`` at a time so a batched call over all ``n`` sources
-#: never allocates more than a few (chunk x n) float64 scratch matrices.
-_CHUNK_CELLS = 1 << 22
+#: Default per-chunk memory budget in bytes.  Sources are processed ``chunk``
+#: at a time so a batched call over all ``n`` sources never allocates more
+#: than roughly this much scratch at once; ``REPRO_KERNEL_CHUNK_BYTES``
+#: overrides it (larger budgets = fewer, bigger chunks).
+_DEFAULT_CHUNK_BYTES = 128 * 1024 * 1024
+
+#: A relaxation round materialises a few same-shaped float64 scratch arrays
+#: (candidates, keys, the chunk matrix itself); the budget is divided by this
+#: factor so peak allocation stays near the budget rather than several times
+#: over it.
+_SCRATCH_FACTOR = 4
 
 
 class CSRAdjacency:
@@ -47,13 +55,17 @@ class CSRAdjacency:
     in-adjacency, which is what the relaxation kernels rely on.
     """
 
-    __slots__ = ("n", "indptr", "indices", "weights", "unit_weights")
+    __slots__ = ("n", "indptr", "indices", "weights", "unit_weights", "sparse_view")
 
     def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray):
         self.n = n
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
+        # Lazily built scipy.sparse.csr_matrix over these same arrays, cached
+        # by the compiled plane (repro.graphs.compiled); the adjacency is
+        # frozen, so the view can never go stale.
+        self.sparse_view = None
         # With unit weights d_h degenerates to BFS levels, which the weighted
         # kernels exploit as a fast path.
         self.unit_weights = bool((weights == 1.0).all()) if weights.size else True
@@ -229,10 +241,40 @@ def distance_matrix(csr: CSRAdjacency, sources: Sequence[int]) -> np.ndarray:
     return _relax_rounds(csr, sources, None)
 
 
-def chunked_sources(n: int, sources: Sequence[int]) -> List[Sequence[int]]:
-    """Split a source list so each chunk's matrix stays within the memory cap."""
+def chunk_byte_budget() -> int:
+    """The per-chunk scratch budget in bytes (env-overridable).
+
+    ``REPRO_KERNEL_CHUNK_BYTES`` overrides the default; non-numeric or
+    non-positive values fall back to the default rather than erroring, so a
+    stray environment variable can never break a run.
+    """
+    raw = os.environ.get("REPRO_KERNEL_CHUNK_BYTES")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 0
+        if value > 0:
+            return value
+    return _DEFAULT_CHUNK_BYTES
+
+
+def chunked_sources(
+    n: int, sources: Sequence[int], byte_budget: Optional[int] = None
+) -> List[Sequence[int]]:
+    """Split a source list so each chunk's scratch stays within a byte budget.
+
+    The chunk size is derived from the budget rather than a fixed cell count:
+    ``chunk x n`` float64 cells times the scratch factor must fit in
+    ``byte_budget`` (default :func:`chunk_byte_budget`), so an n = 4096+
+    distance-matrix call peaks near the budget instead of materialising a
+    multi-GB dense intermediate.  Chunking never changes results -- chunk
+    matrices are concatenated -- only the peak allocation.
+    """
     sources = list(sources)
-    chunk = max(1, _CHUNK_CELLS // max(1, n))
+    budget = chunk_byte_budget() if byte_budget is None else byte_budget
+    cells = max(1, budget // (8 * _SCRATCH_FACTOR))
+    chunk = max(1, cells // max(1, n))
     if len(sources) <= chunk:
         return [sources]
     return [sources[i : i + chunk] for i in range(0, len(sources), chunk)]

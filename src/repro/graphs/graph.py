@@ -14,21 +14,26 @@ Nodes are always the integers ``0 .. n-1``; the paper identifies nodes with IDs
 ``[n]`` and several protocols (hashing to intermediate nodes, implicit
 aggregation trees) rely on the ID space being exactly ``[0, n)``.
 
-Two storage/traversal backends are available (see DESIGN.md §4):
+Three storage/traversal backends are available (see DESIGN.md §4 and §9):
 
 * ``"dict"`` -- the original dependency-free dict-of-dicts adjacency with
-  pure-Python traversals; and
+  pure-Python traversals;
 * ``"csr"`` -- the same mutable adjacency plus a frozen numpy CSR view
   (:mod:`repro.graphs.csr`) built lazily on the first *batched* traversal and
   invalidated by ``add_edge`` / ``remove_edge``.  The batched multi-source
   kernels (``bfs_hops_many``, ``hop_limited_distances_many``,
   ``dijkstra_many``, the matrix variants, ``hop_eccentricities``) run as
-  vectorised synchronous rounds over all sources at once.
+  vectorised synchronous rounds over all sources at once; and
+* ``"csr-njit"`` -- the same CSR view with the batched kernels executed on
+  the compiled plane (:mod:`repro.graphs.compiled`): numba ``@njit`` ports
+  when numba is importable, ``scipy.sparse.csgraph`` formulations when scipy
+  is, per-kernel fallback to the numpy kernels otherwise.
 
-The default ``"auto"`` picks CSR whenever numpy is importable.  Both backends
-return bit-identical results for every method (weights are positive integers,
-so all float distances are exact sums), which tests/test_backends.py asserts
-property-style.
+The default ``"auto"`` prefers the compiled plane when an accelerator is
+importable, then CSR whenever numpy is.  All backends return bit-identical
+results for every method (weights are positive integers, so all float
+distances are exact sums), which tests/test_backends.py and
+tests/test_compiled_plane.py assert property-style.
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ except ImportError:  # pragma: no cover - exercised only in stripped environment
 
 INFINITY = float("inf")
 
-_BACKENDS = ("auto", "dict", "csr")
+_BACKENDS = ("auto", "dict", "csr", "csr-njit")
 
 
 class WeightedGraph:
@@ -66,8 +71,8 @@ class WeightedGraph:
             raise ValueError("a graph needs at least one node")
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
-        if backend == "csr" and not _HAS_NUMPY:
-            raise ValueError("the 'csr' backend requires numpy")
+        if backend in ("csr", "csr-njit") and not _HAS_NUMPY:
+            raise ValueError(f"the {backend!r} backend requires numpy")
         self._n = n
         self._adjacency: List[Dict[int, int]] = [dict() for _ in range(n)]
         self._edge_count = 0
@@ -79,9 +84,20 @@ class WeightedGraph:
     # ------------------------------------------------------------------ basic
     @property
     def backend(self) -> str:
-        """The resolved traversal backend (``"dict"`` or ``"csr"``)."""
+        """The resolved traversal backend (``"dict"``, ``"csr"`` or ``"csr-njit"``).
+
+        ``"auto"`` prefers the compiled plane whenever one of its accelerators
+        (numba or scipy) is importable, then CSR whenever numpy is.  An
+        explicit ``"csr-njit"`` resolves to itself even with no accelerator
+        present: the compiled plane then degrades per kernel to the numpy
+        implementations, so the choice is always safe.
+        """
         if self._backend_choice == "auto":
-            return "csr" if _HAS_NUMPY else "dict"
+            if not _HAS_NUMPY:
+                return "dict"
+            from repro.graphs import compiled
+
+            return "csr-njit" if compiled.available() else "csr"
         return self._backend_choice
 
     @property
@@ -229,12 +245,23 @@ class WeightedGraph:
     #
     # The *_many methods advance every source together, one synchronous round
     # per iteration; under the CSR backend each round is a handful of numpy
-    # gathers/reductions (see repro.graphs.csr), under the dict backend they
-    # fall back to one pure-Python traversal per source.  Results are
-    # bit-identical across backends.
+    # gathers/reductions (see repro.graphs.csr), under the csr-njit backend
+    # the matrix kernels run on the compiled plane (repro.graphs.compiled),
+    # and under the dict backend they fall back to one pure-Python traversal
+    # per source.  Results are bit-identical across all three.
 
     def _use_csr(self) -> bool:
-        return self.backend == "csr"
+        return self.backend != "dict"
+
+    def _kernel_plane(self):
+        """The module implementing the three matrix kernels for this backend."""
+        if self.backend == "csr-njit":
+            from repro.graphs import compiled
+
+            return compiled
+        from repro.graphs import csr as csr_backend
+
+        return csr_backend
 
     def bfs_hops_many(
         self, sources: Sequence[int], max_hops: Optional[int] = None
@@ -247,10 +274,11 @@ class WeightedGraph:
             return [self.bfs_hops(source, max_hops) for source in sources]
         from repro.graphs import csr as csr_backend
 
+        kernels = self._kernel_plane()
         view = self.csr()
         result: List[Dict[int, int]] = []
         for chunk in csr_backend.chunked_sources(self._n, sources):
-            levels = csr_backend.bfs_level_matrix(view, chunk, max_hops)
+            levels = kernels.bfs_level_matrix(view, chunk, max_hops)
             result.extend(csr_backend.rows_to_dicts(levels, int))
         return result
 
@@ -286,9 +314,10 @@ class WeightedGraph:
         if self._use_csr():
             from repro.graphs import csr as csr_backend
 
+            kernels = self._kernel_plane()
             view = self.csr()
             chunks = [
-                csr_backend.hop_limited_matrix(view, chunk, hop_limit)
+                kernels.hop_limited_matrix(view, chunk, hop_limit)
                 for chunk in csr_backend.chunked_sources(self._n, sources)
             ]
             return chunks[0] if len(chunks) == 1 else _np.concatenate(chunks, axis=0)
@@ -322,9 +351,10 @@ class WeightedGraph:
         if self._use_csr():
             from repro.graphs import csr as csr_backend
 
+            kernels = self._kernel_plane()
             view = self.csr()
             chunks = [
-                csr_backend.distance_matrix(view, chunk)
+                kernels.distance_matrix(view, chunk)
                 for chunk in csr_backend.chunked_sources(self._n, sources)
             ]
             return chunks[0] if len(chunks) == 1 else _np.concatenate(chunks, axis=0)
@@ -355,10 +385,11 @@ class WeightedGraph:
             return result
         from repro.graphs import csr as csr_backend
 
+        kernels = self._kernel_plane()
         view = self.csr()
         result: List[float] = []
         for chunk in csr_backend.chunked_sources(self._n, sources):
-            levels = csr_backend.bfs_level_matrix(view, chunk, max_hops)
+            levels = kernels.bfs_level_matrix(view, chunk, max_hops)
             if max_hops is None:
                 reached_all = (levels >= 0).all(axis=1)
                 maxima = levels.max(axis=1)

@@ -61,12 +61,16 @@ class ModelConfig:
         per phase and keeps the accounting honest on small-diameter graphs.
     global_plane:
         How :class:`~repro.hybrid.batch.MessageBatch` traffic is executed:
-        ``"auto"`` (default) uses the vectorized whole-array scheduler when
-        numpy is importable, ``"vectorized"`` requires it, ``"scalar"`` forces
-        the per-message reference path (the two planes make identical
-        admission decisions and record identical metrics; benchmarks pin each
-        to measure the speedup).  Dict-form outboxes always take the scalar
-        path.
+        ``"auto"`` (default) uses the compiled njit kernels when numba is
+        importable, else the vectorized whole-array scheduler when numpy is;
+        ``"compiled"`` opts into the njit admission scan and fault hashing of
+        :mod:`repro.hybrid.compiled` (requires numpy; degrades per kernel to
+        the vectorized implementations when numba is absent);
+        ``"vectorized"`` pins the numpy scheduler; ``"scalar"`` forces the
+        per-message reference path.  All planes make identical admission
+        decisions and record identical metrics (DESIGN.md §9); benchmarks pin
+        each to measure the speedup.  Dict-form outboxes always take the
+        scalar path.
     faults:
         Optional :class:`~repro.hybrid.faults.FaultModel` describing an
         unreliable network (seeded message drops, bursts, node crash /

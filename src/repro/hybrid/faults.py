@@ -80,6 +80,20 @@ def fault_hash(seed: int, *lanes: int) -> int:
     return state
 
 
+def fault_hash_from_prefix(prefix: int, *lanes: int) -> int:
+    """Fold further lanes into an already-computed :func:`fault_hash` prefix.
+
+    ``fault_hash_from_prefix(fault_hash(s, a, b), c) == fault_hash(s, a, b, c)``
+    by construction -- the hash is a left fold, so the shared lanes (seed,
+    domain tag, round index) can be mixed once per round and only the
+    per-message lanes folded per message.
+    """
+    state = prefix & _MASK64
+    for lane in lanes:
+        state = _mix64(state ^ ((lane * _PHI) & _MASK64))
+    return state
+
+
 def _mix64_array(values):
     """The splitmix64 finalizer on a ``uint64`` array (wrapping arithmetic)."""
     values = values ^ (values >> _np.uint64(30))
@@ -101,6 +115,28 @@ def fault_hash_array(prefix: int, *columns):
     for column in columns:
         state = _mix64_array(state ^ (column.astype(_np.uint64) * _np.uint64(_PHI)))
     return state
+
+
+#: Sentinel distinguishing "not yet resolved" from "resolved to None".
+_COMPILED_UNRESOLVED = object()
+_compiled_hash_columns = _COMPILED_UNRESOLVED
+
+
+def _compiled_hasher():
+    """The njit column hasher from :mod:`repro.hybrid.compiled`, if importable.
+
+    Resolved lazily (that module imports this one's constants) and memoized;
+    ``None`` means no compiled kernel, i.e. keep :func:`fault_hash_array`.
+    """
+    global _compiled_hash_columns
+    if _compiled_hash_columns is _COMPILED_UNRESOLVED:
+        try:
+            from repro.hybrid.compiled import fault_hash_columns
+
+            _compiled_hash_columns = fault_hash_columns
+        except ImportError:  # pragma: no cover - defensive; the module always imports
+            _compiled_hash_columns = None
+    return _compiled_hash_columns
 
 
 def _drop_threshold(rate: float) -> int:
@@ -250,6 +286,11 @@ class FaultState:
         self._iid_threshold = _drop_threshold(model.drop_rate)
         self._burst_threshold = _drop_threshold(model.burst_drop_rate)
         self._burst_start_threshold = _drop_threshold(model.burst_rate)
+        # Memoized per-round context (see round_context): one entry suffices
+        # because both planes consume a round's decisions before the clock
+        # advances.
+        self._context_round = -1
+        self._context: Tuple[int, FrozenSet[int], int] = (0, frozenset(), 0)
 
     def next_round(self) -> int:
         """Advance the global-round clock; returns the round just started."""
@@ -285,6 +326,25 @@ class FaultState:
             crashed |= omitted
         return frozenset(crashed)
 
+    def round_context(self, round_index: int) -> Tuple[int, FrozenSet[int], int]:
+        """``(drop threshold, faulty node set, message-hash prefix)`` for a round.
+
+        All three are pure functions of the round index, so they are computed
+        once per global round and memoized rather than re-derived per message
+        (the burst check alone re-hashes ``burst_length`` lanes): the scalar
+        plane folds per-message lanes onto the returned prefix via
+        :func:`fault_hash_from_prefix`, the vectorized/compiled planes via
+        :func:`fault_hash_array` or its njit port.
+        """
+        if round_index != self._context_round:
+            self._context = (
+                self.drop_threshold(round_index),
+                self.faulty_nodes(round_index),
+                fault_hash(self.model.seed, MESSAGE_LANE, round_index),
+            )
+            self._context_round = round_index
+        return self._context
+
     # ------------------------------------------------------- per-message fate
     def drops(
         self,
@@ -300,7 +360,10 @@ class FaultState:
             return True
         if threshold <= 0:
             return False
-        coin = fault_hash(self.model.seed, MESSAGE_LANE, round_index, sender, target, occurrence)
+        # Fold only the per-message lanes onto the round's memoized prefix;
+        # identical to hashing the full (seed, lane, round, ...) chain.
+        prefix = self.round_context(round_index)[2]
+        coin = fault_hash_from_prefix(prefix, sender, target, occurrence)
         return coin < threshold
 
     def keep_mask(self, senders, targets, round_index: int, n: int):
@@ -314,8 +377,7 @@ class FaultState:
         count = int(senders.size)
         if count == 0:
             return None
-        threshold = self.drop_threshold(round_index)
-        faulty = self.faulty_nodes(round_index)
+        threshold, faulty, prefix = self.round_context(round_index)
         drop = None
         if threshold >= (1 << 64):
             drop = _np.ones(count, dtype=bool)
@@ -330,8 +392,11 @@ class FaultState:
             starts = _np.maximum.accumulate(_np.where(change, positions, 0))
             occurrences = _np.empty(count, dtype=_np.int64)
             occurrences[order] = positions - starts
-            prefix = fault_hash(self.model.seed, MESSAGE_LANE, round_index)
-            hashes = fault_hash_array(prefix, senders, targets, occurrences)
+            hasher = _compiled_hasher()
+            if hasher is not None:
+                hashes = hasher(prefix, senders, targets, occurrences)
+            else:
+                hashes = fault_hash_array(prefix, senders, targets, occurrences)
             drop = hashes < _np.uint64(threshold)
         if faulty:
             faulty_column = _np.fromiter(faulty, dtype=_np.int64, count=len(faulty))

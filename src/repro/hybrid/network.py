@@ -19,8 +19,11 @@ protocol implementations exactly the two communication modes of the model:
   outboxes/inboxes, simulated message by message, or an array-backed
   :class:`~repro.hybrid.batch.MessageBatch`, scheduled and accounted with
   whole-array numpy operations (``ModelConfig.global_plane`` selects the
-  plane; both produce identical :class:`RoundMetrics` by construction, see
-  tests/test_message_plane.py).
+  plane; all planes produce identical :class:`RoundMetrics` by construction,
+  see tests/test_message_plane.py).  The ``"compiled"`` plane is the
+  vectorized plane with its admission scan and fault hashing swapped for the
+  njit kernels of :mod:`repro.hybrid.compiled` when numba is importable
+  (DESIGN.md §9).
 
 All counters live in :class:`~repro.hybrid.metrics.RoundMetrics`; the sum of
 local and global rounds is the quantity the paper's theorems are about.
@@ -31,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.graphs.graph import WeightedGraph
+from repro.hybrid import compiled as _compiled
 from repro.hybrid.batch import MessageBatch
 from repro.hybrid.config import ModelConfig
 from repro.hybrid.errors import CapacityExceededError, FaultToleranceExceededError
@@ -122,11 +126,21 @@ class HybridNetwork:
         # (name, node_set, membership mask or None) per registered cut.
         self._cut_watchers: List[Tuple[str, Set[int], object]] = []
         plane = self.config.global_plane
-        if plane not in ("auto", "scalar", "vectorized"):
+        if plane not in ("auto", "scalar", "vectorized", "compiled"):
             raise ValueError(f"unknown global_plane {plane!r}")
-        if plane == "vectorized" and not _HAS_NUMPY:
-            raise ValueError("global_plane='vectorized' requires numpy")
-        self.vectorized_plane = plane == "vectorized" or (plane == "auto" and _HAS_NUMPY)
+        if plane in ("vectorized", "compiled") and not _HAS_NUMPY:
+            raise ValueError(f"global_plane={plane!r} requires numpy")
+        self.vectorized_plane = plane in ("vectorized", "compiled") or (
+            plane == "auto" and _HAS_NUMPY
+        )
+        # The compiled plane is the vectorized plane with its admission scan
+        # and fault hashing swapped for the njit kernels of
+        # repro.hybrid.compiled.  "compiled" opts in even without numba
+        # (degrading per kernel to the numpy implementations -- same results,
+        # see DESIGN.md §9); "auto" takes it only when numba is importable.
+        self.compiled_plane = self.vectorized_plane and (
+            plane == "compiled" or (plane == "auto" and _compiled.HAS_NUMBA)
+        )
         # Cumulative global messages received per node over the whole run;
         # the busiest node's total is the bandwidth bottleneck the paper's
         # trade-offs are about.
@@ -317,8 +331,10 @@ class HybridNetwork:
         fault_state = self._fault_state
         if fault_state is not None:
             fault_round = fault_state.next_round()
-            drop_threshold = fault_state.drop_threshold(fault_round)
-            faulty_nodes = fault_state.faulty_nodes(fault_round)
+            # Threshold, faulty set and hash prefix are memoized per round
+            # (FaultState.round_context); drops() folds per-message lanes
+            # onto the same prefix.
+            drop_threshold, faulty_nodes, _ = fault_state.round_context(fault_round)
             occurrences: Dict[Tuple[int, int], int] = {}
         # Accounting is batched: receive counts accumulate in a reusable
         # per-node counter array and are folded into the totals/maximum once
@@ -625,7 +641,14 @@ class HybridNetwork:
             scan_positions = positions - split
             scan_positions[scan_positions < 0] += length
             if receiver_limited:
-                admitted = _admit_scan(senders, targets, scan_positions, send_cap, self.receive_cap)
+                if self.compiled_plane and _compiled.admit_scan is not None:
+                    admitted = _compiled.admit_scan(
+                        senders, targets, scan_positions, send_cap, self.receive_cap, self.n
+                    )
+                else:
+                    admitted = _admit_scan(
+                        senders, targets, scan_positions, send_cap, self.receive_cap
+                    )
             else:
                 admitted = (positions - _group_starts(senders)) < send_cap
             # Progress invariant (mirrors the scalar scheduler's assertion).

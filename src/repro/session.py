@@ -193,6 +193,29 @@ class HybridSession:
         """Total rounds spent on shared preprocessing so far."""
         return self.preprocessing.total_rounds
 
+    def acceleration(self) -> Dict[str, object]:
+        """Which execution planes this session resolved to (diagnostics).
+
+        Combines the graph backend (``dict`` / ``csr`` / ``csr-njit``), the
+        per-kernel implementation report of :mod:`repro.graphs.compiled`, and
+        the message plane of the network (``scalar`` / ``vectorized`` /
+        ``compiled``), so experiment logs can record exactly what ran --
+        results are plane-independent (DESIGN.md §9), wall-clock is not.
+        """
+        from repro.graphs import compiled as graph_compiled
+
+        if self.network.compiled_plane:
+            message_plane = "compiled"
+        elif self.network.vectorized_plane:
+            message_plane = "vectorized"
+        else:
+            message_plane = "scalar"
+        return {
+            "graph_backend": self.graph.backend,
+            "message_plane": message_plane,
+            "kernels": graph_compiled.kernel_report(),
+        }
+
     # ------------------------------------------------------------ invalidation
     def invalidate(self) -> None:
         """Drop every cached context and router (forced cold restart)."""

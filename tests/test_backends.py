@@ -40,12 +40,16 @@ def backend_pair(draw):
 
 
 class TestBackendSelection:
-    def test_auto_resolves_to_csr_with_numpy(self):
-        assert WeightedGraph(3).backend == "csr"
+    def test_auto_prefers_compiled_then_csr(self):
+        from repro.graphs import compiled
+
+        expected = "csr-njit" if compiled.available() else "csr"
+        assert WeightedGraph(3).backend == expected
 
     def test_explicit_backends(self):
         assert WeightedGraph(3, backend="dict").backend == "dict"
         assert WeightedGraph(3, backend="csr").backend == "csr"
+        assert WeightedGraph(3, backend="csr-njit").backend == "csr-njit"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,376 @@
+"""The compiled execution plane: bit-identity to the pinned pure-plane oracles.
+
+DESIGN.md §9: the numpy CSR kernels and the scalar message plane stay pinned
+as differential-testing oracles, and the compiled plane (njit / scipy.sparse,
+``backend="csr-njit"`` / ``global_plane="compiled"``) must be a pure
+performance substitution -- bit-identical distances, levels, RoundMetrics and
+fault fates on every seed.  These tests drive all planes with the same
+hypothesis-generated inputs and pin that contract, plus the graceful
+degradation to pure numpy when no accelerator is importable, the per-round
+fault-context memoization, memory-aware source chunking, and the ``bench``
+CLI entry point.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+numpy = pytest.importorskip("numpy")
+
+from repro.cli import main as cli_main
+from repro.core.sssp import sssp_exact
+from repro.graphs import compiled as graph_compiled
+from repro.graphs import csr as numpy_plane
+from repro.graphs import generators
+from repro.graphs.csr import chunk_byte_budget, chunked_sources
+from repro.graphs.graph import WeightedGraph
+from repro.hybrid import HybridNetwork, MessageBatch, ModelConfig
+from repro.hybrid.faults import FaultModel, FaultState, fault_hash, fault_hash_from_prefix
+from repro.session import HybridSession
+from repro.util.rand import RandomSource
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def random_csr(draw):
+    """A random connected graph's frozen CSR plus a hop limit."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    max_weight = draw(st.sampled_from([1, 1, 5, 12]))
+    degree = draw(st.sampled_from([1.5, 3.0, 5.0]))
+    graph = generators.random_connected_graph(
+        n, degree, RandomSource(seed), max_weight=max_weight
+    )
+    hop_limit = draw(st.integers(min_value=0, max_value=n))
+    return graph.csr(), hop_limit
+
+
+class TestPlaneSelection:
+    def test_kernel_report_shape(self):
+        report = graph_compiled.kernel_report()
+        assert set(report) == {
+            "available",
+            "numba",
+            "scipy",
+            "distance_matrix",
+            "bfs_level_matrix",
+            "hop_limited_matrix",
+        }
+        assert report["available"] == (report["numba"] or report["scipy"])
+
+    def test_compiled_message_plane_accepted(self):
+        graph = generators.cycle_graph(8)
+        network = HybridNetwork(graph, ModelConfig(global_plane="compiled"))
+        assert network.vectorized_plane
+        # Without numba the compiled plane degrades to the vectorized kernels
+        # but stays selected; with numba the flag arms the njit admission scan.
+        assert network.compiled_plane
+
+    def test_auto_arms_compiled_only_with_numba(self):
+        from repro.hybrid import compiled as hybrid_compiled
+
+        graph = generators.cycle_graph(8)
+        network = HybridNetwork(graph, ModelConfig(global_plane="auto"))
+        assert network.compiled_plane == hybrid_compiled.HAS_NUMBA
+
+    def test_session_reports_acceleration(self):
+        graph = generators.cycle_graph(8)
+        session = HybridSession(graph, ModelConfig(global_plane="compiled"))
+        report = session.acceleration()
+        assert report["message_plane"] == "compiled"
+        assert report["graph_backend"] in ("dict", "csr", "csr-njit")
+        assert report["kernels"] == graph_compiled.kernel_report()
+
+
+class TestGraphKernelIdentity:
+    """Compiled graph kernels are bit-identical to the numpy oracle."""
+
+    @common_settings
+    @given(random_csr())
+    def test_distance_matrix_identical(self, case):
+        csr, _ = case
+        sources = list(range(csr.n))
+        oracle = numpy_plane.distance_matrix(csr, sources)
+        candidate = graph_compiled.distance_matrix(csr, sources)
+        assert numpy.array_equal(oracle, candidate)
+
+    @common_settings
+    @given(random_csr())
+    def test_bfs_levels_identical(self, case):
+        csr, hop_limit = case
+        sources = list(range(csr.n))
+        for max_hops in (None, 0, 1, hop_limit):
+            oracle = numpy_plane.bfs_level_matrix(csr, sources, max_hops)
+            candidate = graph_compiled.bfs_level_matrix(csr, sources, max_hops)
+            assert numpy.array_equal(oracle, candidate)
+
+    @common_settings
+    @given(random_csr())
+    def test_hop_limited_identical(self, case):
+        csr, hop_limit = case
+        sources = list(range(csr.n))
+        oracle = numpy_plane.hop_limited_matrix(csr, sources, hop_limit)
+        candidate = graph_compiled.hop_limited_matrix(csr, sources, hop_limit)
+        assert numpy.array_equal(oracle, candidate)
+
+    def test_empty_sources(self):
+        csr = generators.cycle_graph(5).csr()
+        assert graph_compiled.distance_matrix(csr, []).shape == (0, 5)
+        assert graph_compiled.bfs_level_matrix(csr, []).shape == (0, 5)
+        assert graph_compiled.hop_limited_matrix(csr, [], 2).shape == (0, 5)
+
+    def test_disconnected_graph(self):
+        graph = WeightedGraph(6, backend="csr-njit")
+        graph.add_edge(0, 1, 3)
+        graph.add_edge(2, 3, 1)
+        reference = WeightedGraph.from_edges(6, graph.edges(), backend="csr")
+        assert (graph.distance_matrix() == reference.distance_matrix()).all()
+        assert graph.hop_diameter() == float("inf")
+
+    @common_settings
+    @given(random_csr())
+    def test_csr_njit_backend_matches_dict(self, case):
+        csr, hop_limit = case
+        # Rebuild both graphs from the same CSR arrays' edge list.
+        edges = []
+        for u in range(csr.n):
+            for e in range(int(csr.indptr[u]), int(csr.indptr[u + 1])):
+                v = int(csr.indices[e])
+                if u < v:
+                    edges.append((u, v, int(csr.weights[e])))
+        as_dict = WeightedGraph.from_edges(csr.n, edges, backend="dict")
+        as_njit = WeightedGraph.from_edges(csr.n, edges, backend="csr-njit")
+        sources = list(range(csr.n))
+        assert as_dict.bfs_hops_many(sources) == as_njit.bfs_hops_many(sources)
+        assert as_dict.hop_limited_distances_many(
+            sources, hop_limit
+        ) == as_njit.hop_limited_distances_many(sources, hop_limit)
+        assert (as_dict.distance_matrix() == as_njit.distance_matrix()).all()
+        assert as_dict.hop_eccentricities() == as_njit.hop_eccentricities()
+
+
+class TestGracefulDegradation:
+    """With no accelerator importable every kernel is the numpy oracle."""
+
+    @pytest.fixture
+    def bare_plane(self, monkeypatch):
+        monkeypatch.setattr(graph_compiled, "HAS_NUMBA", False)
+        monkeypatch.setattr(graph_compiled, "HAS_SCIPY", False)
+        return graph_compiled
+
+    def test_not_available(self, bare_plane):
+        assert not bare_plane.available()
+        report = bare_plane.kernel_report()
+        assert report["distance_matrix"] == "numpy"
+        assert report["bfs_level_matrix"] == "numpy"
+        assert report["hop_limited_matrix"] == "numpy"
+
+    def test_auto_backend_falls_back_to_csr(self, bare_plane):
+        assert WeightedGraph(4).backend == "csr"
+
+    def test_kernels_fall_through_to_numpy(self, bare_plane):
+        graph = generators.random_connected_graph(24, 3.0, RandomSource(7), max_weight=9)
+        csr = graph.csr()
+        sources = list(range(24))
+        assert numpy.array_equal(
+            bare_plane.distance_matrix(csr, sources),
+            numpy_plane.distance_matrix(csr, sources),
+        )
+        assert numpy.array_equal(
+            bare_plane.bfs_level_matrix(csr, sources, 3),
+            numpy_plane.bfs_level_matrix(csr, sources, 3),
+        )
+        assert numpy.array_equal(
+            bare_plane.hop_limited_matrix(csr, sources, 4),
+            numpy_plane.hop_limited_matrix(csr, sources, 4),
+        )
+
+    def test_explicit_csr_njit_still_works(self, bare_plane):
+        # An explicit opt-in with no accelerator degrades silently: same
+        # results through the numpy kernels, never an import error.
+        graph = WeightedGraph(5, backend="csr-njit")
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 1)
+        assert graph.bfs_hops_many([0])[0] == {0: 0, 1: 1, 2: 2}
+
+    def test_hybrid_compiled_module_importable_without_numba(self):
+        from repro.hybrid import compiled as hybrid_compiled
+
+        if not hybrid_compiled.HAS_NUMBA:
+            assert hybrid_compiled.admit_scan is None
+            assert hybrid_compiled.fault_hash_columns is None
+
+
+@st.composite
+def fault_exchange(draw):
+    """A random message batch plus a lossy fault model."""
+    n = draw(st.integers(min_value=3, max_value=16))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    model = FaultModel(
+        drop_rate=draw(st.sampled_from([0.0, 0.2, 0.5])),
+        burst_rate=draw(st.sampled_from([0.0, 0.3])),
+        burst_length=2,
+        burst_drop_rate=0.9,
+        crash_schedule={0: 3} if draw(st.booleans()) else {},
+        seed=draw(st.integers(min_value=0, max_value=99)),
+        max_attempts=64,
+    )
+    seed = draw(st.integers(min_value=0, max_value=99))
+    return n, pairs, model, seed
+
+
+class TestMessagePlaneIdentity:
+    """scalar / vectorized / compiled planes: identical deliveries and metrics."""
+
+    @staticmethod
+    def _run(plane, n, pairs, model, seed):
+        graph = generators.cycle_graph(n)
+        network = HybridNetwork(
+            graph, ModelConfig(rng_seed=seed, global_plane=plane, faults=model)
+        )
+        batch = MessageBatch(
+            [sender for sender, _ in pairs],
+            [target for _, target in pairs],
+            list(range(len(pairs))),
+        )
+        inbox, rounds = network.run_global_exchange(batch, phase="test")
+        snapshot = network.metrics.as_dict()
+        snapshot["received_totals"] = [int(total) for total in network.received_totals]
+        deliveries = sorted(
+            zip(inbox.senders.tolist(), inbox.targets.tolist(), inbox.payloads)
+        )
+        return deliveries, rounds, snapshot
+
+    @common_settings
+    @given(fault_exchange())
+    def test_exchange_identical_across_planes(self, case):
+        n, pairs, model, seed = case
+        reference = self._run("scalar", n, pairs, model, seed)
+        assert self._run("vectorized", n, pairs, model, seed) == reference
+        assert self._run("compiled", n, pairs, model, seed) == reference
+
+    @pytest.mark.parametrize("plane", ["scalar", "vectorized", "compiled"])
+    def test_sssp_identical_across_planes(self, plane):
+        graph = generators.connected_workload(48, RandomSource(5), weighted=True, max_weight=6)
+        reference_net = HybridNetwork(graph.copy(), ModelConfig(rng_seed=5))
+        reference = sssp_exact(reference_net, source=0)
+        network = HybridNetwork(graph.copy(), ModelConfig(rng_seed=5, global_plane=plane))
+        result = sssp_exact(network, source=0)
+        assert result.distances == reference.distances
+        assert result.rounds == reference.rounds
+        assert network.metrics.as_dict() == reference_net.metrics.as_dict()
+        # Same fork labels => same protocol randomness on every plane.
+        assert network.fork_rng("check").randrange(1 << 30) == reference_net.fork_rng(
+            "check"
+        ).randrange(1 << 30)
+
+
+class TestFaultRoundContext:
+    def test_prefix_folding_matches_full_hash(self):
+        for seed in (0, 1, 77):
+            prefix = fault_hash(seed, 1, 5)
+            for lanes in ((0, 0, 0), (3, 4, 5), (1 << 40, 2, 9)):
+                assert fault_hash_from_prefix(prefix, *lanes) == fault_hash(seed, 1, 5, *lanes)
+
+    def test_round_context_matches_per_round_queries(self):
+        model = FaultModel(
+            drop_rate=0.3,
+            burst_rate=0.4,
+            burst_length=2,
+            burst_drop_rate=0.95,
+            crash_schedule={2: 1},
+            omission_schedule={3: [4]},
+            seed=11,
+        )
+        state = FaultState(model)
+        for round_index in (0, 1, 2, 3, 4, 2, 0):  # revisits hit the memo
+            threshold, faulty, prefix = state.round_context(round_index)
+            assert threshold == state.drop_threshold(round_index)
+            assert faulty == state.faulty_nodes(round_index)
+            assert prefix == fault_hash(model.seed, 1, round_index)
+
+    def test_context_is_memoized(self):
+        state = FaultState(FaultModel(drop_rate=0.5, seed=3))
+        first = state.round_context(7)
+        assert state.round_context(7) is first
+
+    def test_drops_uses_memoized_prefix(self):
+        model = FaultModel(drop_rate=0.5, seed=21)
+        state = FaultState(model)
+        threshold, faulty, _ = state.round_context(4)
+        for sender, target, occurrence in ((0, 1, 0), (5, 5, 2), (9, 0, 1)):
+            expected = (
+                fault_hash(model.seed, 1, 4, sender, target, occurrence) < threshold
+            )
+            assert state.drops(4, sender, target, occurrence, threshold, faulty) == expected
+
+
+class TestChunkedSources:
+    def test_default_budget_preserved(self):
+        # 128 MiB / (8 bytes x scratch factor 4) = the historical 1<<22 cells.
+        assert chunked_sources(1, list(range(10))) == [list(range(10))]
+        chunks = chunked_sources(1 << 21, list(range(8)))
+        assert chunks == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_explicit_budget(self):
+        # budget 8*4*10 bytes => 10 cells => chunk of 2 sources at n=5.
+        chunks = chunked_sources(5, list(range(5)), byte_budget=8 * 4 * 10)
+        assert chunks == [[0, 1], [2, 3], [4]]
+
+    def test_tiny_budget_still_progresses(self):
+        assert chunked_sources(100, [1, 2], byte_budget=1) == [[1], [2]]
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CHUNK_BYTES", str(8 * 4 * 6))
+        assert chunk_byte_budget() == 8 * 4 * 6
+        assert chunked_sources(3, list(range(4))) == [[0, 1], [2, 3]]
+
+    @pytest.mark.parametrize("raw", ["", "not-a-number", "-5", "0"])
+    def test_invalid_env_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_KERNEL_CHUNK_BYTES", raw)
+        assert chunk_byte_budget() == 128 * 1024 * 1024
+
+    def test_chunk_size_never_changes_results(self, monkeypatch):
+        graph = generators.random_connected_graph(40, 3.0, RandomSource(13), max_weight=7)
+        baseline = graph.distance_matrix()
+        eccentricities = graph.hop_eccentricities()
+        monkeypatch.setenv("REPRO_KERNEL_CHUNK_BYTES", str(8 * 4 * 40 * 3))  # 3 sources/chunk
+        rechunked = WeightedGraph.from_edges(40, graph.edges(), backend=graph.backend)
+        assert (rechunked.distance_matrix() == baseline).all()
+        assert rechunked.hop_eccentricities() == eccentricities
+
+
+class TestBenchCLI:
+    def test_bench_runs_and_verifies(self, capsys):
+        assert cli_main(["bench", "--n", "48", "--sources", "8", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "distance_matrix" in output
+        assert "NO" not in output  # every kernel verified identical
+
+    def test_bench_profile_breakdown(self, capsys):
+        assert (
+            cli_main(
+                ["bench", "--n", "32", "--sources", "4", "--profile", "--top", "5"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "profile: distance_matrix [compiled]" in output
+        assert "cumulative" in output
+
+    def test_bench_rejects_bad_arguments(self, capsys):
+        assert cli_main(["bench", "--n", "1"]) == 2
+        assert cli_main(["bench", "--sources", "0"]) == 2
