@@ -11,8 +11,8 @@ additionally fits ``c · x^e · log2(x)`` which is usually the better model.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +46,7 @@ class PowerLawFit:
         return value
 
 
-def _fit_loglog(log_x: np.ndarray, log_y: np.ndarray) -> Tuple[float, float, float]:
+def _fit_loglog(log_x: np.ndarray, log_y: np.ndarray) -> tuple[float, float, float]:
     slope, intercept = np.polyfit(log_x, log_y, 1)
     predicted = slope * log_x + intercept
     residual = np.sum((log_y - predicted) ** 2)
@@ -71,7 +71,7 @@ def fit_power_law_with_log(xs: Sequence[float], ys: Sequence[float]) -> PowerLaw
     """Fit ``y ≈ c · x^e · log2(x)`` (the shape the ``Õ`` notation hides)."""
     if len(xs) != len(ys) or len(xs) < 2:
         raise ValueError("need at least two (x, y) pairs")
-    adjusted = [y / math.log2(max(x, 2.0)) for x, y in zip(xs, ys)]
+    adjusted = [y / math.log2(max(x, 2.0)) for x, y in zip(xs, ys, strict=True)]
     base = fit_power_law(xs, adjusted)
     return PowerLawFit(
         exponent=base.exponent,
@@ -86,7 +86,7 @@ def exponent_gap(measured: PowerLawFit, theoretical_exponent: float) -> float:
     return abs(measured.exponent - theoretical_exponent)
 
 
-def geometric_sweep(start: int, stop: int, points: int) -> List[int]:
+def geometric_sweep(start: int, stop: int, points: int) -> list[int]:
     """Geometrically spaced integer sweep values (inclusive, deduplicated).
 
     The benchmarks use this for their ``n`` / ``k`` sweeps so the log-log fits
@@ -95,7 +95,7 @@ def geometric_sweep(start: int, stop: int, points: int) -> List[int]:
     if start < 1 or stop < start or points < 2:
         raise ValueError("need 1 <= start <= stop and at least two points")
     values = np.geomspace(start, stop, points)
-    result: List[int] = []
+    result: list[int] = []
     for value in values:
         candidate = int(round(value))
         if not result or candidate > result[-1]:

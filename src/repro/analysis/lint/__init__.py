@@ -1,0 +1,62 @@
+"""Static invariant linter for the reproduction (``repro.analysis.lint``).
+
+The repository's correctness rests on invariants that ordinary linters do not
+know about: execution planes must stay bit-identical (DESIGN.md §9), message
+fates and RNG fork labels must be order- and composition-independent, and
+``RoundMetrics`` may only move through the accounting layer.  This package
+enforces them *statically* -- at review time, on every PR -- with an
+AST-based checker framework (:mod:`repro.analysis.lint.framework`), inline
+reviewed waivers that fail the build when they go stale
+(:mod:`repro.analysis.lint.waivers`), and five project-specific rules:
+
+========  ==================================================================
+RL001     nondeterminism sources (``random.*``, wall clocks, ``os.urandom``,
+          global ``numpy.random``, ``id()``-keyed ordering)
+RL002     unordered-iteration hazards (set iteration without ``sorted``)
+RL003     plane parity (compiled kernels mirror the ``PLANE_KERNELS``
+          registries of their oracle modules, matching parameter names)
+RL004     metrics accounting (no direct ``RoundMetrics`` field writes
+          outside the accounting layer)
+RL005     RNG fork-label discipline (literal, canonical ``area:purpose``,
+          globally unique)
+RL090/91  malformed / stale waiver comments
+RL099     unparsable file
+========  ==================================================================
+
+Run it as ``python -m repro.cli lint [--format json] [--select CODES]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.lint.checkers import default_checkers
+from repro.analysis.lint.diagnostics import Diagnostic, LintReport
+from repro.analysis.lint.framework import Checker, SourceFile, iter_source_files, run_lint
+from repro.analysis.lint.waivers import Waiver, collect_waivers
+
+#: The default target of a bare ``repro.cli lint`` invocation.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def lint_paths(
+    paths: Sequence[str] | None = None,
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Run every registered checker (or the ``select`` subset) over ``paths``."""
+    return run_lint(list(paths or DEFAULT_PATHS), default_checkers(), select=select)
+
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "Checker",
+    "Diagnostic",
+    "LintReport",
+    "SourceFile",
+    "Waiver",
+    "collect_waivers",
+    "default_checkers",
+    "iter_source_files",
+    "lint_paths",
+    "run_lint",
+]

@@ -1,0 +1,30 @@
+"""The project-specific invariant checkers (RL001-RL005)."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.checkers.rl001_determinism import DeterminismChecker
+from repro.analysis.lint.checkers.rl002_ordering import OrderingChecker
+from repro.analysis.lint.checkers.rl003_parity import PlaneParityChecker
+from repro.analysis.lint.checkers.rl004_metrics import MetricsAccountingChecker
+from repro.analysis.lint.checkers.rl005_fork_labels import ForkLabelChecker
+
+
+def default_checkers() -> tuple:
+    """Fresh instances of every registered checker, in code order."""
+    return (
+        DeterminismChecker(),
+        OrderingChecker(),
+        PlaneParityChecker(),
+        MetricsAccountingChecker(),
+        ForkLabelChecker(),
+    )
+
+
+__all__ = [
+    "DeterminismChecker",
+    "ForkLabelChecker",
+    "MetricsAccountingChecker",
+    "OrderingChecker",
+    "PlaneParityChecker",
+    "default_checkers",
+]

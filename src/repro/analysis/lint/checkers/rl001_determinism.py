@@ -1,0 +1,270 @@
+"""RL001: nondeterminism sources.
+
+Every simulation result in this repository must be a pure function of the
+configured seeds -- that is what makes ``--jobs N`` bit-identical to serial
+runs, lets the artifact store content-address shards, and keeps the
+differential-testing oracles meaningful.  RL001 flags the library calls that
+smuggle ambient entropy or wall-clock state into that world:
+
+* the stateful module-level ``random.*`` API (``random.random``,
+  ``random.shuffle``, ...), unseeded ``random.Random()`` and
+  ``random.SystemRandom`` -- seeded construction ``random.Random(seed)`` is
+  the sanctioned primitive and stays allowed;
+* the stateful global ``numpy.random.*`` API and unseeded
+  ``numpy.random.default_rng()`` -- explicit ``SeedSequence`` / seeded
+  generators remain allowed;
+* ``os.urandom``, the ``secrets`` module, and ``uuid.uuid4``;
+* wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``time.monotonic``, ``datetime.now`` ...) outside benchmark files --
+  timing *measurement* is legitimate at reporting boundaries, which carry
+  inline waivers, and in ``benchmarks/`` / ``bench_*.py`` files, which are
+  exempt; and
+* ``id()``-keyed ordering or lookup (sort keys, subscript keys, dict-literal
+  keys): CPython object addresses vary run to run, so any ordering derived
+  from them is nondeterministic even under fixed seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+
+#: Stateful module-level ``random`` functions (share one hidden global RNG).
+RANDOM_STATEFUL = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+        "getstate",
+        "setstate",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+#: Stateful module-level ``numpy.random`` functions (hidden global BitGenerator).
+NP_RANDOM_STATEFUL = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "bytes",
+        "get_state",
+        "set_state",
+        "exponential",
+        "poisson",
+        "binomial",
+        "geometric",
+        "random_integers",
+    }
+)
+
+#: Wall-clock reads (flagged outside benchmark files).
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Calls whose result order already ignores input order (safe consumers).
+ORDER_CALLS = frozenset({"sorted", "min", "max"})
+
+
+def module_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted module/function they denote."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to its canonical dotted path, if static."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def is_benchmark_file(source: SourceFile) -> bool:
+    normalized = source.path.replace("\\", "/")
+    return "benchmarks/" in normalized or normalized.rsplit("/", 1)[-1].startswith("bench_")
+
+
+class DeterminismChecker(Checker):
+    code = "RL001"
+    name = "nondeterminism-sources"
+    description = "ambient entropy, wall clocks, and id()-keyed ordering in simulation code"
+
+    def check(self, source: SourceFile) -> Iterable[Diagnostic]:
+        aliases = module_aliases(source.tree)
+        benchmark = is_benchmark_file(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, aliases, benchmark)
+                yield from self._check_id_ordering(source, node)
+            elif isinstance(node, ast.Subscript):
+                yield from self._check_id_subscript(source, node)
+            elif isinstance(node, ast.Dict):
+                yield from self._check_id_dict_keys(source, node)
+
+    # ------------------------------------------------------------- entropy
+    def _check_call(
+        self,
+        source: SourceFile,
+        node: ast.Call,
+        aliases: dict[str, str],
+        benchmark: bool,
+    ) -> Iterator[Diagnostic]:
+        name = dotted_name(node.func, aliases)
+        if name is None:
+            return
+        if name == "os.urandom" or name == "uuid.uuid4" or name.startswith("secrets."):
+            yield self.diagnostic(
+                source, node, f"{name} draws ambient entropy; thread a seeded RandomSource"
+            )
+        elif name.startswith("random."):
+            tail = name.split(".", 1)[1]
+            if tail in RANDOM_STATEFUL:
+                yield self.diagnostic(
+                    source,
+                    node,
+                    f"stateful global random.{tail}(); use a seeded RandomSource "
+                    "(repro.util.rand) so results replay from the configured seed",
+                )
+            elif tail == "SystemRandom":
+                yield self.diagnostic(
+                    source, node, "random.SystemRandom draws OS entropy; seed explicitly"
+                )
+            elif tail == "Random" and not node.args and not node.keywords:
+                yield self.diagnostic(
+                    source, node, "unseeded random.Random(); pass an explicit seed"
+                )
+        elif name.startswith("numpy.random.") or name.startswith("np.random."):
+            tail = name.rsplit(".", 1)[1]
+            if tail in NP_RANDOM_STATEFUL:
+                yield self.diagnostic(
+                    source,
+                    node,
+                    f"stateful global numpy.random.{tail}(); use numpy.random.SeedSequence "
+                    "/ a seeded Generator instead",
+                )
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                yield self.diagnostic(
+                    source, node, "unseeded numpy.random.default_rng(); pass an explicit seed"
+                )
+        elif name in CLOCK_CALLS and not benchmark:
+            yield self.diagnostic(
+                source,
+                node,
+                f"wall-clock read {name}() in simulation code; clocks belong in "
+                "benchmarks or behind a reviewed waiver at a reporting boundary",
+            )
+
+    # ------------------------------------------------------- id() ordering
+    @staticmethod
+    def _contains_id_call(node: ast.AST) -> ast.Call | None:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "id"
+            ):
+                return child
+        return None
+
+    def _check_id_ordering(self, source: SourceFile, node: ast.Call) -> Iterator[Diagnostic]:
+        func = node.func
+        is_order_call = isinstance(func, ast.Name) and func.id in ORDER_CALLS
+        is_sort_method = isinstance(func, ast.Attribute) and func.attr == "sort"
+        if not (is_order_call or is_sort_method):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "key":
+                offender = None
+                if isinstance(keyword.value, ast.Name) and keyword.value.id == "id":
+                    offender = keyword.value
+                else:
+                    offender = self._contains_id_call(keyword.value)
+                if offender is not None:
+                    yield self.diagnostic(
+                        source,
+                        node,
+                        "id()-keyed ordering: object addresses vary per process, "
+                        "so this order is not reproducible",
+                    )
+                return
+
+    def _check_id_subscript(self, source: SourceFile, node: ast.Subscript) -> Iterator[Diagnostic]:
+        offender = self._contains_id_call(node.slice)
+        if offender is not None:
+            yield self.diagnostic(
+                source,
+                offender,
+                "id()-keyed lookup: keying containers by object address is "
+                "address-dependent; key by value or index instead",
+            )
+
+    def _check_id_dict_keys(self, source: SourceFile, node: ast.Dict) -> Iterator[Diagnostic]:
+        for key in node.keys:
+            if key is None:
+                continue
+            offender = self._contains_id_call(key)
+            if offender is not None:
+                yield self.diagnostic(
+                    source,
+                    offender,
+                    "id()-keyed dict literal: object addresses vary per process; "
+                    "key by value or index instead",
+                )

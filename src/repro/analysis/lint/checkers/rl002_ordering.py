@@ -1,0 +1,190 @@
+"""RL002: unordered-iteration hazards.
+
+The PR 2 bug class: a protocol built its outboxes (or derived RNG labels) by
+iterating a ``set``, so round counts depended on hash-table internals --
+deterministic on one interpreter, silently different on another, and
+composition-dependent either way.  Sets (and the other genuinely unordered
+mappings: ``os.environ``, ``vars()``, ``globals()``) must be materialized
+through ``sorted(...)`` before their order can mean anything.
+
+The checker infers set-typed expressions statically -- set literals and
+comprehensions, ``set(...)`` / ``frozenset(...)`` calls, set-operator
+expressions, set-returning methods, and local variables all of whose
+bindings are set-typed -- and flags them in *order-sensitive* iteration
+contexts: ``for`` loops, list/generator comprehensions, ``list()`` /
+``tuple()`` / ``enumerate()`` conversions, and starred expansion into
+sequence literals.  Order-insensitive consumption stays allowed: membership
+tests, ``len``/``min``/``max``/``sum``/``any``/``all``, conversion to
+another set, and -- the sanctioned fix -- ``sorted(...)``.
+
+Python ``dict`` iteration is insertion-ordered and therefore deterministic;
+dicts are exempt here (insertion-order *composition* bugs are what the
+canonical-key disciplines and the differential fuzzer cover).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+SET_OPERATORS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Unordered mapping reads that behave like sets for iteration purposes.
+UNORDERED_CALLS = frozenset({"vars", "globals", "locals"})
+
+#: Consumers for which iteration order cannot influence the result.
+ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+ORDER_SENSITIVE_CONVERTERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every function body (each gets its own inference)."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class _SetInference:
+    """Single-scope, all-bindings-agree inference of set-typed local names."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.bindings: dict[str, list[bool]] = {}
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.bindings.setdefault(target.id, []).append(
+                            self.is_set_expr(node.value)
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self.bindings.setdefault(node.target.id, []).append(
+                        self.is_set_expr(node.value)
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                # ``s |= ...`` neither proves nor disproves set-ness; skip.
+                continue
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    self.bindings.setdefault(target.id, []).append(False)
+
+    def is_set_name(self, name: str) -> bool:
+        votes = self.bindings.get(name, [])
+        return bool(votes) and all(votes)
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self.is_set_name(node.id)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in SET_CONSTRUCTORS:
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in SET_METHODS:
+                return self.is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, SET_OPERATORS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    def describe(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            return f"set-typed variable {node.id!r}"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set literal"
+        return "set-typed expression"
+
+
+def _is_environ(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+class OrderingChecker(Checker):
+    code = "RL002"
+    name = "unordered-iteration"
+    description = "set iteration in order-sensitive contexts without sorted()"
+
+    def check(self, source: SourceFile) -> Iterable[Diagnostic]:
+        seen: set[int] = set()
+        for scope in _scopes(source.tree):
+            inference = _SetInference(scope)
+            for node in walk_scope(scope):
+                for iterable, context in self._iteration_sites(node):
+                    if id(iterable) in seen:
+                        continue
+                    if self._is_unordered(iterable, inference):
+                        seen.add(id(iterable))
+                        yield self.diagnostic(
+                            source,
+                            iterable,
+                            f"iterating {self._describe(iterable, inference)} in {context}; "
+                            "wrap it in sorted(...) to pin a deterministic order",
+                        )
+
+    def _is_unordered(self, node: ast.AST, inference: _SetInference) -> bool:
+        if _is_environ(node):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in UNORDERED_CALLS
+        ):
+            return True
+        return inference.is_set_expr(node)
+
+    @staticmethod
+    def _describe(node: ast.AST, inference: _SetInference) -> str:
+        if _is_environ(node):
+            return "os.environ"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in UNORDERED_CALLS:
+                return f"{node.func.id}()"
+        return inference.describe(node)
+
+    @staticmethod
+    def _iteration_sites(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+        """Yield (iterable expression, context description) pairs under ``node``."""
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, "a for loop"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter, "a comprehension"
+        elif isinstance(node, (ast.SetComp, ast.DictComp)):
+            # Building a set/dict from a set is order-insensitive unless the
+            # *value* depends on position, which static analysis cannot see;
+            # the unordered→unordered case is allowed by design.
+            return
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ORDER_SENSITIVE_CONVERTERS and node.args:
+                yield node.args[0], f"{node.func.id}()"
+        elif isinstance(node, (ast.List, ast.Tuple)):
+            for element in node.elts:
+                if isinstance(element, ast.Starred):
+                    yield element.value, "starred expansion"

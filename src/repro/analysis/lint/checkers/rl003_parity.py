@@ -1,0 +1,207 @@
+"""RL003: execution-plane parity.
+
+The oracle discipline (DESIGN.md §9) only works while every kernel exists on
+every plane: the pure numpy kernels in ``graphs/csr.py`` anchor the compiled
+graph plane in ``graphs/compiled.py``, and the message-plane kernels declared
+in ``hybrid/batch.py`` anchor ``hybrid/compiled.py``.  A compiled kernel that
+is renamed, dropped, or grows a different signature silently unhooks the
+differential tests -- the dispatcher falls back to the oracle and the "three
+planes bit-identical" property is vacuously green.
+
+Each oracle module therefore carries an explicit, literal ``PLANE_KERNELS``
+registry mapping kernel name to its exact parameter-name tuple.  RL003
+statically cross-checks, per (oracle, counterpart) module pair:
+
+* the oracle module defines ``PLANE_KERNELS`` as a literal dict of
+  ``str -> tuple[str, ...]``;
+* every kernel the oracle module itself defines under a registered name has
+  exactly the registered parameter names (the registry cannot go stale);
+* the counterpart module provides, for every registered kernel, either a
+  function definition with exactly the registered parameter names (extra
+  *trailing* parameters are allowed for compiled-plane plumbing) or an
+  explicit ``name = None`` degradation entry.
+
+The pairs are identified by path suffix, so fixture trees exercise the same
+code path as the real modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+
+REGISTRY_NAME = "PLANE_KERNELS"
+
+#: (oracle module suffix, counterpart module suffix) pairs under analysis.
+PLANE_PAIRS = (
+    ("graphs/csr.py", "graphs/compiled.py"),
+    ("hybrid/batch.py", "hybrid/compiled.py"),
+)
+
+
+def _module_level_statements(module: ast.Module) -> Iterator[ast.stmt]:
+    """Module statements, descending through If/Try blocks but not defs."""
+    stack: list[ast.stmt] = list(module.body)
+    while stack:
+        statement = stack.pop()
+        yield statement
+        if isinstance(statement, ast.If):
+            stack.extend(statement.body)
+            stack.extend(statement.orelse)
+        elif isinstance(statement, ast.Try):
+            stack.extend(statement.body)
+            stack.extend(statement.orelse)
+            stack.extend(statement.finalbody)
+            for handler in statement.handlers:
+                stack.extend(handler.body)
+
+
+def _find_registry(source: SourceFile) -> ast.Assign | None:
+    for statement in _module_level_statements(source.tree):
+        if isinstance(statement, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == REGISTRY_NAME
+            for target in statement.targets
+        ):
+            return statement
+    return None
+
+
+def _parse_registry(node: ast.Assign) -> dict[str, tuple[tuple[str, ...], ast.AST]] | None:
+    """Parse a literal ``{name: (param, ...)}`` dict; None when malformed."""
+    if not isinstance(node.value, ast.Dict):
+        return None
+    registry: dict[str, tuple[tuple[str, ...], ast.AST]] = {}
+    for key, value in zip(node.value.keys, node.value.values, strict=True):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        params: list[str] = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            params.append(element.value)
+        registry[key.value] = (tuple(params), key)
+    return registry
+
+
+def _function_params(function: ast.FunctionDef) -> tuple[str, ...]:
+    args = function.args
+    return tuple(arg.arg for arg in [*args.posonlyargs, *args.args])
+
+
+def _collect_definitions(
+    module: ast.Module,
+) -> tuple[dict[str, ast.FunctionDef], dict[str, ast.Assign]]:
+    """Top-level function defs and ``name = None`` degradation assignments."""
+    functions: dict[str, ast.FunctionDef] = {}
+    degradations: dict[str, ast.Assign] = {}
+    for statement in _module_level_statements(module):
+        if isinstance(statement, ast.FunctionDef):
+            functions.setdefault(statement.name, statement)
+        elif isinstance(statement, ast.Assign):
+            is_none = isinstance(statement.value, ast.Constant) and statement.value.value is None
+            if is_none:
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        degradations.setdefault(target.id, statement)
+    return functions, degradations
+
+
+class PlaneParityChecker(Checker):
+    code = "RL003"
+    name = "plane-parity"
+    description = "compiled planes must mirror the registered oracle kernels"
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Diagnostic]:
+        for oracle_suffix, counterpart_suffix in PLANE_PAIRS:
+            oracles = [source for source in sources if source.suffix_matches(oracle_suffix)]
+            counterparts = [
+                source for source in sources if source.suffix_matches(counterpart_suffix)
+            ]
+            for oracle in oracles:
+                counterpart = self._match_counterpart(oracle, counterparts)
+                yield from self._check_pair(oracle, counterpart, counterpart_suffix)
+
+    @staticmethod
+    def _match_counterpart(
+        oracle: SourceFile, counterparts: list[SourceFile]
+    ) -> SourceFile | None:
+        """The counterpart sharing the longest path prefix with the oracle."""
+        oracle_dir = oracle.path.rsplit("/", 2)[0]
+        for counterpart in counterparts:
+            if counterpart.path.startswith(oracle_dir):
+                return counterpart
+        return counterparts[0] if counterparts else None
+
+    def _check_pair(
+        self,
+        oracle: SourceFile,
+        counterpart: SourceFile | None,
+        counterpart_suffix: str,
+    ) -> Iterator[Diagnostic]:
+        registry_node = _find_registry(oracle)
+        if registry_node is None:
+            yield self.diagnostic(
+                oracle,
+                oracle.tree.body[0] if oracle.tree.body else oracle.tree,
+                f"oracle module defines no literal {REGISTRY_NAME} registry; "
+                "every plane-dispatched kernel must be registered for parity checking",
+            )
+            return
+        registry = _parse_registry(registry_node)
+        if registry is None:
+            yield self.diagnostic(
+                oracle,
+                registry_node,
+                f"{REGISTRY_NAME} must be a literal dict of "
+                "{'kernel_name': ('param', ...)} entries",
+            )
+            return
+
+        oracle_functions, _ = _collect_definitions(oracle.tree)
+        for kernel, (params, key_node) in registry.items():
+            local = oracle_functions.get(kernel)
+            if local is not None and _function_params(local) != params:
+                yield self.diagnostic(
+                    oracle,
+                    key_node,
+                    f"registry entry {kernel!r} declares params {params} but the "
+                    f"local definition has {_function_params(local)}; "
+                    "update the registry with the rename",
+                )
+
+        if counterpart is None:
+            yield self.diagnostic(
+                oracle,
+                registry_node,
+                f"counterpart module {counterpart_suffix!r} not found in the linted "
+                "tree; plane parity cannot be verified",
+            )
+            return
+
+        functions, degradations = _collect_definitions(counterpart.tree)
+        for kernel, (params, key_node) in registry.items():
+            function = functions.get(kernel)
+            if function is not None:
+                actual = _function_params(function)
+                if actual[: len(params)] != params:
+                    yield Diagnostic(
+                        counterpart.path,
+                        function.lineno,
+                        function.col_offset + 1,
+                        self.code,
+                        f"compiled kernel {kernel!r} has params {actual}, expected "
+                        f"{params} (extra trailing params allowed) per "
+                        f"{REGISTRY_NAME} in {oracle.path}",
+                    )
+            elif kernel not in degradations:
+                yield self.diagnostic(
+                    oracle,
+                    key_node,
+                    f"registered kernel {kernel!r} has no counterpart def and no "
+                    f"'{kernel} = None' degradation entry in {counterpart.path}",
+                )

@@ -1,0 +1,119 @@
+"""RL005: RNG fork-label discipline.
+
+``RandomSource.fork(label)`` derives a child seed from ``sha256(seed:label)``
+-- which means the *label strings* are the real schema of the simulation's
+randomness.  Two phases that accidentally share a label share a stream (a
+statistical-independence bug that no test crashes on); a label built from
+runtime state (an f-string over a counter, a joined list) can silently vary
+between the cold and warm paths, breaking the replayability that the
+bit-identity pins rely on.
+
+RL005 therefore requires every ``fork`` / ``fork_rng`` label argument to be
+statically resolvable, in exactly one of two sanctioned shapes:
+
+* a **string literal** in canonical ``area:purpose`` form (lowercase
+  ``[a-z0-9_-]`` segments joined by ``:``, at least two segments).  Literal
+  labels are additionally checked for **global uniqueness** across the
+  linted tree -- the "same label, same stream" property makes an accidental
+  collision a correctness bug, not a style issue; or
+* a **phase-suffix concatenation** ``<expr> + ":purpose"`` whose right
+  operand is a literal ``:``-led suffix in canonical form (the established
+  ``network.fork_rng(phase + ":sampling")`` idiom, where the phase prefix is
+  itself threaded from a caller's literal).
+
+Anything else -- a bare variable, an f-string, ``str.format``, ``%`` -- is
+flagged: the label cannot be audited from the source text.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+
+#: ``area:purpose`` (two or more lowercase segments).
+LABEL_RE = re.compile(r"^[a-z0-9][a-z0-9_-]*(:[a-z0-9][a-z0-9_-]*)+$")
+
+#: A ``:``-led literal suffix appended to a phase expression.
+SUFFIX_RE = re.compile(r"^(:[a-z0-9][a-z0-9_-]*)+$")
+
+FORK_NAMES = frozenset({"fork", "fork_rng"})
+
+
+class ForkLabelChecker(Checker):
+    code = "RL005"
+    name = "fork-label-discipline"
+    description = "RNG fork labels must be literal, canonical, and globally unique"
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Diagnostic]:
+        literal_sites: dict[str, list[tuple[SourceFile, ast.Call]]] = {}
+        for source in sources:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call) or not self._is_fork_call(node):
+                    continue
+                label = node.args[0] if node.args else None
+                if label is None:
+                    yield self.diagnostic(source, node, "fork call without a label argument")
+                    continue
+                diagnostic = self._check_label(source, node, label, literal_sites)
+                if diagnostic is not None:
+                    yield diagnostic
+        for label, sites in sorted(literal_sites.items()):
+            if len(sites) > 1:
+                for source, node in sites[1:]:
+                    first = sites[0]
+                    yield self.diagnostic(
+                        source,
+                        node,
+                        f"fork label {label!r} reused (first at "
+                        f"{first[0].path}:{first[1].lineno}); labels with the same "
+                        "text share one RNG stream, so every literal label must be "
+                        "globally unique",
+                    )
+
+    @staticmethod
+    def _is_fork_call(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in FORK_NAMES
+        if isinstance(func, ast.Attribute):
+            return func.attr in FORK_NAMES
+        return False
+
+    def _check_label(
+        self,
+        source: SourceFile,
+        call: ast.Call,
+        label: ast.AST,
+        literal_sites: dict[str, list[tuple[SourceFile, ast.Call]]],
+    ) -> Diagnostic | None:
+        if isinstance(label, ast.Constant) and isinstance(label.value, str):
+            if not LABEL_RE.match(label.value):
+                return self.diagnostic(
+                    source,
+                    call,
+                    f"fork label {label.value!r} is not in canonical 'area:purpose' "
+                    "form (lowercase [a-z0-9_-] segments joined by ':')",
+                )
+            literal_sites.setdefault(label.value, []).append((source, call))
+            return None
+        if isinstance(label, ast.BinOp) and isinstance(label.op, ast.Add):
+            right = label.right
+            if isinstance(right, ast.Constant) and isinstance(right.value, str):
+                if SUFFIX_RE.match(right.value):
+                    return None
+                return self.diagnostic(
+                    source,
+                    call,
+                    f"fork label suffix {right.value!r} must be a ':'-led canonical "
+                    "segment (e.g. phase + ':sampling')",
+                )
+        return self.diagnostic(
+            source,
+            call,
+            "fork label is not statically auditable; use a literal 'area:purpose' "
+            "string or the phase + ':purpose' concatenation idiom",
+        )

@@ -1,0 +1,103 @@
+"""Diagnostic records and report assembly for the invariant linter.
+
+A diagnostic is one finding at one source location, formatted the way every
+other compiler-shaped tool prints them -- ``path:line:col CODE message`` -- so
+editors and CI annotations can parse the output without custom glue.  The
+:class:`LintReport` gathers every diagnostic of a run (including the waived
+ones: a waiver hides a finding from the exit code, not from the record) plus
+the run's inputs, and renders either the human text format or the JSON
+document the nightly workflow uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one checker at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    waived: bool = False
+    waiver_reason: str | None = None
+
+    def format(self) -> str:
+        """The canonical one-line rendering (``path:line:col CODE message``)."""
+        suffix = f"  [waived: {self.waiver_reason}]" if self.waived else ""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}{suffix}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (schema asserted by tests/test_lint.py)."""
+        record: dict = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "waived": self.waived,
+        }
+        if self.waived:
+            record["waiver_reason"] = self.waiver_reason
+        return record
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, in deterministic order."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    selected: tuple[str, ...] = ()
+    files_checked: int = 0
+
+    @property
+    def active(self) -> list[Diagnostic]:
+        """Findings that fail the run (not suppressed by a waiver)."""
+        return [diagnostic for diagnostic in self.diagnostics if not diagnostic.waived]
+
+    @property
+    def waived(self) -> list[Diagnostic]:
+        """Findings suppressed by an inline waiver (still recorded)."""
+        return [diagnostic for diagnostic in self.diagnostics if diagnostic.waived]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0."""
+        return not self.active
+
+    def finalize(self) -> "LintReport":
+        """Sort diagnostics into the canonical (path, line, col, code) order."""
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
+
+    def format_text(self, show_waived: bool = False) -> str:
+        """Human-readable report: active findings, then a one-line summary."""
+        lines = [diagnostic.format() for diagnostic in self.active]
+        if show_waived:
+            lines.extend(diagnostic.format() for diagnostic in self.waived)
+        lines.append(
+            f"lint: {self.files_checked} file(s), {len(self.active)} finding(s), "
+            f"{len(self.waived)} waived"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """The JSON artifact schema (``version`` guards future changes)."""
+        return {
+            "version": 1,
+            "selected": list(self.selected),
+            "files_checked": self.files_checked,
+            "summary": {
+                "active": len(self.active),
+                "waived": len(self.waived),
+                "ok": self.ok,
+            },
+            "diagnostics": [diagnostic.as_dict() for diagnostic in self.diagnostics],
+        }

@@ -34,9 +34,9 @@ from __future__ import annotations
 
 import json
 import statistics
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
 
 #: Metric keys ignored entirely (identity / free-form, not measurements).
 _IDENTITY_KEYS = {"name", "group", "note", "notes"}
@@ -63,7 +63,7 @@ class Violation:
     current: object = None
     message: str = ""
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "record": self.record,
             "metric": self.metric,
@@ -79,19 +79,19 @@ class RegressionReport:
     """Machine-readable pass/fail verdict of one baseline comparison."""
 
     kind: str  # "benchmarks" | "manifest"
-    violations: List[Violation] = field(default_factory=list)
-    notes: List[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
     checked_records: int = 0
     checked_metrics: int = 0
     wall_tolerance: float = 0.25
     min_wall_seconds: float = 0.05
-    speed_factor: Optional[float] = None
+    speed_factor: float | None = None
 
     @property
     def status(self) -> str:
         return "fail" if self.violations else "pass"
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "status": self.status,
             "kind": self.kind,
@@ -125,15 +125,15 @@ class RegressionReport:
         return "\n".join(lines)
 
 
-def _numeric(value: object) -> Optional[float]:
+def _numeric(value: object) -> float | None:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return None
     return float(value)
 
 
 def compare_benchmarks(
-    baseline_records: Sequence[Dict[str, object]],
-    current_records: Sequence[Dict[str, object]],
+    baseline_records: Sequence[dict[str, object]],
+    current_records: Sequence[dict[str, object]],
     wall_tolerance: float = 0.25,
     normalize: bool = True,
     min_wall_seconds: float = 0.05,
@@ -219,7 +219,7 @@ def compare_benchmarks(
 
 
 def compare_manifests(
-    baseline_manifest: Dict[str, object], current_manifest: Dict[str, object]
+    baseline_manifest: dict[str, object], current_manifest: dict[str, object]
 ) -> RegressionReport:
     """Diff two sweep-engine manifests: exact on per-shard payload hashes."""
     report = RegressionReport(kind="manifest", wall_tolerance=0.0)

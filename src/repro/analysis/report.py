@@ -8,7 +8,7 @@ output can be pasted directly into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 
 def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -32,7 +32,7 @@ def _format_cell(cell: object) -> str:
 
 def format_key_values(values: Mapping[str, object], title: str | None = None) -> str:
     """Render a mapping as an indented, human-readable block."""
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     for key, value in values.items():

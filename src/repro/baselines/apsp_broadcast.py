@@ -16,7 +16,6 @@ crossover in measured rounds can be compared with the analytic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,7 +47,7 @@ class BaselineAPSPResult:
 def apsp_broadcast_baseline(
     network: HybridNetwork,
     phase: str = "apsp-baseline",
-    context: Optional[SkeletonContext] = None,
+    context: SkeletonContext | None = None,
 ) -> BaselineAPSPResult:
     """Exact APSP with the label-broadcast strategy of Augustine et al. SODA'20.
 
@@ -77,7 +76,7 @@ def apsp_broadcast_baseline(
     skeleton_distances = context.published_skeleton_distances(phase + ":publish-skeleton")
 
     # The baseline's bottleneck: broadcast every d_h(v, s) label to everyone.
-    label_tokens: Dict[int, List[Tuple[int, int, float]]] = {}
+    label_tokens: dict[int, list[tuple[int, int, float]]] = {}
     for v in range(n):
         labels = [
             (v, skeleton_node, distance)

@@ -9,8 +9,8 @@ the spectrum in the benchmark plots.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from repro.graphs import reference
 from repro.hybrid.network import HybridNetwork
@@ -21,7 +21,7 @@ class LocalOnlyResult:
     """Result of a pure-LOCAL computation: exact answers after ``D`` rounds."""
 
     rounds: int
-    distances: List[Dict[int, float]]
+    distances: list[dict[int, float]]
     diameter: float
 
 
@@ -35,7 +35,7 @@ def local_only_shortest_paths(
     rounds = int(diameter)
     network.charge_local_rounds(rounds, phase)
     per_source = reference.multi_source_distances(network.local_graph, list(sources))
-    estimates: List[Dict[int, float]] = [dict() for _ in range(network.n)]
+    estimates: list[dict[int, float]] = [dict() for _ in range(network.n)]
     for source, distances in per_source.items():
         for node, value in distances.items():
             estimates[node][source] = value

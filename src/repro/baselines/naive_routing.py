@@ -10,8 +10,8 @@ gap (it is also the natural ablation of the helper-set machinery).
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from repro.core.token_routing import RoutingToken
 from repro.hybrid.network import HybridNetwork
@@ -22,7 +22,7 @@ from repro.localnet.token_dissemination import disseminate_tokens
 class NaiveRoutingResult:
     """Outcome of solving a token-routing instance by global broadcast."""
 
-    delivered: Dict[int, List[RoutingToken]]
+    delivered: dict[int, list[RoutingToken]]
     rounds: int
     token_count: int
 
@@ -39,12 +39,12 @@ def route_tokens_by_broadcast(
     instead of Theorem 2.2's ``Õ(K/n + √k_S + √k_R)``.
     """
     rounds_before = network.metrics.total_rounds
-    per_sender: Dict[int, List[RoutingToken]] = {}
+    per_sender: dict[int, list[RoutingToken]] = {}
     for token in tokens:
         per_sender.setdefault(token.sender, []).append(token)
     disseminate_tokens(network, per_sender, phase=phase + ":broadcast")
 
-    delivered: Dict[int, List[RoutingToken]] = {}
+    delivered: dict[int, list[RoutingToken]] = {}
     for token in tokens:
         delivered.setdefault(token.receiver, []).append(token)
     rounds = network.metrics.total_rounds - rounds_before

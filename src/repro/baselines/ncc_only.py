@@ -11,8 +11,8 @@ not cleverness.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 from repro.graphs import reference
 from repro.hybrid.network import HybridNetwork
@@ -23,7 +23,7 @@ class NCCOnlyResult:
     """Result of the global-only gather/solve/scatter baseline."""
 
     rounds: int
-    distances: List[Dict[int, float]]
+    distances: list[dict[int, float]]
 
 
 def ncc_only_shortest_paths(
@@ -39,18 +39,18 @@ def ncc_only_shortest_paths(
     rounds_before = network.metrics.total_rounds
     graph = network.graph
 
-    gather_outboxes: Dict[int, List[Tuple[int, object]]] = {}
+    gather_outboxes: dict[int, list[tuple[int, object]]] = {}
     for u, v, w in graph.edges():
         gather_outboxes.setdefault(u, []).append((0, ("edge", u, v, w)))
     network.run_global_exchange(gather_outboxes, phase + ":gather")
 
     per_source = reference.multi_source_distances(graph, list(sources))
-    estimates: List[Dict[int, float]] = [dict() for _ in range(network.n)]
+    estimates: list[dict[int, float]] = [dict() for _ in range(network.n)]
     for source, distances in per_source.items():
         for node, value in distances.items():
             estimates[node][source] = value
 
-    scatter_outboxes: Dict[int, List[Tuple[int, object]]] = {0: []}
+    scatter_outboxes: dict[int, list[tuple[int, object]]] = {0: []}
     for node in range(network.n):
         for source in sources:
             value = estimates[node].get(source)

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli regress --baseline benchmarks/BENCH_baseline.json
     python -m repro.cli query [--n 200] [--seed 1] [--repeat 2]
     python -m repro.cli bench [--n 4096] [--profile]
+    python -m repro.cli lint [--format json] [--select RL001,RL003]
 
 ``run`` prints one experiment's markdown table; ``run-all`` renders every
 registered experiment serially (the content recorded in EXPERIMENTS.md).
@@ -26,16 +27,21 @@ from one :class:`~repro.session.HybridSession` and prints the per-query
 amortized vs cold-equivalent accounting.  ``bench`` times the hot graph
 kernels on the numpy plane vs the compiled plane of
 :mod:`repro.graphs.compiled` (bit-identity checked), with ``--profile``
-adding a cProfile per-kernel breakdown.
+adding a cProfile per-kernel breakdown.  ``lint`` runs the static invariant
+linter (:mod:`repro.analysis.lint`): AST-level checks RL001-RL005 for
+nondeterminism sources, unordered iteration, plane parity, metrics-accounting
+discipline and RNG fork labels, honouring inline
+``# repro-lint: waive[CODE] -- reason`` comments and exiting non-zero on any
+unwaived finding or stale waiver -- the CI invariant gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import List, Optional, Tuple
 
 from repro.experiments import SCALES, available_experiments, run_all, run_experiment
 
@@ -177,7 +183,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="rows of the per-kernel profile breakdown (with --profile)",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the static invariant linter (RL001-RL005) over the source tree",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is the nightly artifact schema)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated checker codes to run (default: all), e.g. RL001,RL003",
+    )
+    lint_parser.add_argument(
+        "--show-waived",
+        action="store_true",
+        help="also print waived findings in text format",
+    )
     return parser
+
+
+def run_lint_command(args) -> int:
+    """Run the invariant linter; exit 0 only with zero unwaived findings."""
+    from repro.analysis.lint import lint_paths
+
+    select = None
+    if args.select:
+        select = [token for token in args.select.split(",") if token.strip()]
+    try:
+        report = lint_paths(args.paths or None, select=select)
+    except ValueError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.format_text(show_waived=args.show_waived))
+    return 0 if report.ok else 1
 
 
 def run_sweep_command(args) -> int:
@@ -313,6 +365,7 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
             ("apsp", None),
         ]
         for kind, argument in workload:
+            # repro-lint: waive[RL001] -- wall-clock display only; never feeds simulation state
             started = time.perf_counter()
             if kind == "sssp":
                 session.sssp(argument)
@@ -320,6 +373,7 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
                 session.diameter()
             else:
                 session.apsp()
+            # repro-lint: waive[RL001] -- wall-clock display only; never feeds simulation state
             elapsed_ms = (time.perf_counter() - started) * 1e3
             record = session.last_query
             label = kind if argument is None else f"{kind}({argument})"
@@ -386,14 +440,16 @@ def run_bench_command(args) -> int:
         ("bfs_level_matrix", lambda plane: plane.bfs_level_matrix(csr, sources)),
         ("hop_limited_matrix", lambda plane: plane.hop_limited_matrix(csr, sources, hop_limit)),
     ]
-    profiles: List[Tuple[str, pstats.Stats]] = []
+    profiles: list[tuple[str, pstats.Stats]] = []
 
     def timed(plane, kernel, label):
         if args.profile:
             profiler = cProfile.Profile()
             profiler.enable()
+        # repro-lint: waive[RL001] -- kernel timing harness; measures, never decides
         started = time.perf_counter()
         result = kernel(plane)
+        # repro-lint: waive[RL001] -- kernel timing harness; measures, never decides
         elapsed = time.perf_counter() - started
         if args.profile:
             profiler.disable()
@@ -437,7 +493,7 @@ def run_bench_command(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -468,6 +524,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return run_bench_command(args)
 
+    if args.command == "lint":
+        return run_lint_command(args)
+
     if args.command == "run-all":
         sections = [table.to_markdown() for table in run_all(scale=args.scale)]
         report = (
@@ -489,4 +548,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # e.g. `repro.cli lint | head`: the reader closed the pipe; suppress
+        # the traceback and exit with the conventional SIGPIPE status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 128 + 13
+    raise SystemExit(code)

@@ -20,8 +20,8 @@ interface and honest round accounting in the simulated CLIQUE:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
 
+from collections.abc import Sequence
 from repro.clique.interfaces import (
     CliqueAlgorithmSpec,
     CliqueShortestPathAlgorithm,
@@ -31,7 +31,7 @@ from repro.graphs.graph import INFINITY, WeightedGraph
 
 
 def _gather_graph(
-    transport: CliqueTransport, incident_edges: Sequence[Dict[int, int]]
+    transport: CliqueTransport, incident_edges: Sequence[dict[int, int]]
 ) -> WeightedGraph:
     """Make the whole graph known to every node; return it (identical everywhere).
 
@@ -40,14 +40,14 @@ def _gather_graph(
     an edgeless instance costs a round).
     """
     size = transport.size
-    edge_lists: List[List[Tuple[int, int, int]]] = [
+    edge_lists: list[list[tuple[int, int, int]]] = [
         sorted((node, neighbour, weight) for neighbour, weight in edges.items())
         for node, edges in enumerate(incident_edges)
     ]
     rounds = max(1, max((len(edges) for edges in edge_lists), default=1))
-    known: List[Tuple[int, int, int]] = []
+    known: list[tuple[int, int, int]] = []
     for r in range(rounds):
-        outboxes: Dict[int, List[Tuple[int, object]]] = {}
+        outboxes: dict[int, list[tuple[int, object]]] = {}
         for node, edges in enumerate(edge_lists):
             if r < len(edges):
                 outboxes[node] = [(target, edges[r]) for target in range(size)]
@@ -76,11 +76,11 @@ class GatherShortestPaths(CliqueShortestPathAlgorithm):
     def run(
         self,
         transport: CliqueTransport,
-        incident_edges: Sequence[Dict[int, int]],
+        incident_edges: Sequence[dict[int, int]],
         sources: Sequence[int],
-    ) -> List[Dict[int, float]]:
+    ) -> list[dict[int, float]]:
         graph = _gather_graph(transport, incident_edges)
-        estimates: List[Dict[int, float]] = [dict() for _ in range(transport.size)]
+        estimates: list[dict[int, float]] = [dict() for _ in range(transport.size)]
         for source in sources:
             distances = graph.dijkstra(source)
             for node in range(transport.size):
@@ -105,11 +105,11 @@ class BroadcastKSourceBellmanFord(CliqueShortestPathAlgorithm):
     def run(
         self,
         transport: CliqueTransport,
-        incident_edges: Sequence[Dict[int, int]],
+        incident_edges: Sequence[dict[int, int]],
         sources: Sequence[int],
-    ) -> List[Dict[int, float]]:
+    ) -> list[dict[int, float]]:
         size = transport.size
-        estimates: List[Dict[int, float]] = [dict() for _ in range(size)]
+        estimates: list[dict[int, float]] = [dict() for _ in range(size)]
         for source in sources:
             distances = _bellman_ford_phase(transport, incident_edges, source)
             for node in range(size):
@@ -119,15 +119,15 @@ class BroadcastKSourceBellmanFord(CliqueShortestPathAlgorithm):
 
 def _bellman_ford_phase(
     transport: CliqueTransport,
-    incident_edges: Sequence[Dict[int, int]],
+    incident_edges: Sequence[dict[int, int]],
     source: int,
-) -> List[float]:
+) -> list[float]:
     """One broadcast-based Bellman-Ford run from ``source``; returns all distances."""
     size = transport.size
-    distances: List[float] = [INFINITY] * size
+    distances: list[float] = [INFINITY] * size
     distances[source] = 0.0
     for _ in range(size):
-        outboxes: Dict[int, List[Tuple[int, object]]] = {}
+        outboxes: dict[int, list[tuple[int, object]]] = {}
         for node in range(size):
             if distances[node] < INFINITY:
                 outboxes[node] = [(target, (node, distances[node])) for target in range(size)]

@@ -14,8 +14,8 @@ DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
 
+from collections.abc import Sequence
 from repro.clique.apsp import _bellman_ford_phase, _gather_graph
 from repro.clique.interfaces import (
     CliqueAlgorithmSpec,
@@ -34,7 +34,7 @@ class GatherDiameter(CliqueDiameterAlgorithm):
         )
 
     def run(
-        self, transport: CliqueTransport, incident_edges: Sequence[Dict[int, int]]
+        self, transport: CliqueTransport, incident_edges: Sequence[dict[int, int]]
     ) -> float:
         graph = _gather_graph(transport, incident_edges)
         worst = 0.0
@@ -55,7 +55,7 @@ class EccentricityDiameter(CliqueDiameterAlgorithm):
         )
 
     def run(
-        self, transport: CliqueTransport, incident_edges: Sequence[Dict[int, int]]
+        self, transport: CliqueTransport, incident_edges: Sequence[dict[int, int]]
     ) -> float:
         distances = _bellman_ford_phase(transport, incident_edges, source=0)
         finite = [d for d in distances if d < INFINITY]

@@ -19,8 +19,9 @@ Corollary 4.1 (:mod:`repro.core.clique_simulation`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -36,8 +37,8 @@ class CliqueTransport(Protocol):
     size: int
 
     def exchange(
-        self, outboxes: Dict[int, List[Tuple[int, object]]]
-    ) -> Dict[int, List[Tuple[int, object]]]:
+        self, outboxes: dict[int, list[tuple[int, object]]]
+    ) -> dict[int, list[tuple[int, object]]]:
         """Run one CLIQUE round; returns ``receiver -> [(sender, payload), ...]``."""
         ...
 
@@ -89,9 +90,9 @@ class CliqueShortestPathAlgorithm(ABC):
     def run(
         self,
         transport: CliqueTransport,
-        incident_edges: Sequence[Dict[int, int]],
+        incident_edges: Sequence[dict[int, int]],
         sources: Sequence[int],
-    ) -> List[Dict[int, float]]:
+    ) -> list[dict[int, float]]:
         """Execute the algorithm.
 
         Parameters
@@ -121,6 +122,6 @@ class CliqueDiameterAlgorithm(ABC):
     def run(
         self,
         transport: CliqueTransport,
-        incident_edges: Sequence[Dict[int, int]],
+        incident_edges: Sequence[dict[int, int]],
     ) -> float:
         """Return a diameter estimate ``D̃`` with ``D <= D̃ <= α D + β``."""

@@ -13,7 +13,6 @@ inside a HYBRID network via Corollary 4.1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from repro.hybrid.errors import CapacityExceededError
 
@@ -40,16 +39,16 @@ class CliqueNetwork:
         return self._messages
 
     def exchange(
-        self, outboxes: Dict[int, List[Tuple[int, object]]]
-    ) -> Dict[int, List[Tuple[int, object]]]:
+        self, outboxes: dict[int, list[tuple[int, object]]]
+    ) -> dict[int, list[tuple[int, object]]]:
         """Execute one CLIQUE round.
 
         Each node may send at most ``size`` messages (Lenzen routing) and, in
         strict mode, receive at most ``size`` messages.  Violations raise
         :class:`~repro.hybrid.errors.CapacityExceededError`.
         """
-        inboxes: Dict[int, List[Tuple[int, object]]] = {}
-        received: Dict[int, int] = {}
+        inboxes: dict[int, list[tuple[int, object]]] = {}
+        received: dict[int, int] = {}
         for sender, messages in outboxes.items():
             if not 0 <= sender < self.size:
                 raise ValueError(f"sender {sender} outside the clique")

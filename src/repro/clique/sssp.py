@@ -11,8 +11,8 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
 
+from collections.abc import Sequence
 from repro.clique.apsp import _bellman_ford_phase
 from repro.clique.interfaces import (
     CliqueAlgorithmSpec,
@@ -36,9 +36,9 @@ class BroadcastBellmanFordSSSP(CliqueShortestPathAlgorithm):
     def run(
         self,
         transport: CliqueTransport,
-        incident_edges: Sequence[Dict[int, int]],
+        incident_edges: Sequence[dict[int, int]],
         sources: Sequence[int],
-    ) -> List[Dict[int, float]]:
+    ) -> list[dict[int, float]]:
         if len(sources) != 1:
             raise ValueError("an SSSP algorithm expects exactly one source")
         source = sources[0]

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +64,7 @@ class APSPResult:
         """The computed distance ``d(u, v)``."""
         return float(self.matrix[u, v])
 
-    def distances_from(self, u: int) -> Dict[int, float]:
+    def distances_from(self, u: int) -> dict[int, float]:
         """Node ``u``'s output as a dict (omitting unreachable nodes)."""
         row = self.matrix[u]
         return {v: float(row[v]) for v in range(row.shape[0]) if np.isfinite(row[v])}
@@ -74,7 +73,7 @@ class APSPResult:
 def apsp_exact(
     network: HybridNetwork,
     phase: str = "apsp",
-    context: Optional[SkeletonContext] = None,
+    context: SkeletonContext | None = None,
 ) -> APSPResult:
     """Solve APSP exactly in the HYBRID model (Theorem 1.1).
 
@@ -109,7 +108,7 @@ def apsp_exact(
     dist_to_skeleton, connector = _distances_to_skeleton(near_matrix, skeleton_distances)
 
     # Step 4: token routing of the connector labels (the Theorem 1.1 step).
-    tokens: List[RoutingToken] = []
+    tokens: list[RoutingToken] = []
     for v in range(n):
         for s_index in range(n_s):
             receiver = skeleton.original_id(s_index)
@@ -170,7 +169,7 @@ def _near_skeleton_matrix(network: HybridNetwork, skeleton: Skeleton) -> np.ndar
 
 def _distances_to_skeleton(
     near_matrix: np.ndarray, skeleton_distances: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Min-plus product giving ``d(v, s)`` plus the connector achieving it."""
     n, n_s = near_matrix.shape
     best = np.full((n, n_s), np.inf)

@@ -16,7 +16,6 @@ with senders = receivers = ``S`` and ``k_S = k_R = |S|``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
 
 from repro.core.skeleton import Skeleton
 from repro.core.token_routing import RoutingToken, TokenRouter
@@ -85,8 +84,8 @@ class HybridCliqueTransport:
         return self._rounds
 
     def exchange(
-        self, outboxes: Dict[int, List[Tuple[int, object]]]
-    ) -> Dict[int, List[Tuple[int, object]]]:
+        self, outboxes: dict[int, list[tuple[int, object]]]
+    ) -> dict[int, list[tuple[int, object]]]:
         """Simulate one CLIQUE round among the skeleton nodes.
 
         ``outboxes`` use *skeleton indices* (``0..|S|-1``), as do the returned
@@ -96,7 +95,7 @@ class HybridCliqueTransport:
         and receiver of exactly ``|S|`` messages and therefore knows the label
         set it expects.
         """
-        payloads: Dict[Tuple[int, int], List[object]] = {}
+        payloads: dict[tuple[int, int], list[object]] = {}
         for sender_index, messages in outboxes.items():
             if not 0 <= sender_index < self.size:
                 raise ValueError(f"sender index {sender_index} outside the skeleton")
@@ -106,7 +105,7 @@ class HybridCliqueTransport:
                 payloads.setdefault((sender_index, target_index), []).append(payload)
 
         original_ids = self._original_ids
-        tokens: List[RoutingToken] = self._padding_tokens
+        tokens: list[RoutingToken] = self._padding_tokens
         plan = self._padding_plan
         if payloads:
             tokens = list(tokens)
@@ -130,7 +129,7 @@ class HybridCliqueTransport:
         result = self.router.route(tokens, plan=plan)
         self._rounds += 1
 
-        inboxes: Dict[int, List[Tuple[int, object]]] = {}
+        inboxes: dict[int, list[tuple[int, object]]] = {}
         for receiver, delivered in result.delivered.items():
             receiver_index = self.skeleton.index_of[receiver]
             for token in delivered:

@@ -22,8 +22,8 @@ front of this module.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -79,10 +79,10 @@ class SkeletonContext:
     #: contexts after their cache key so preparation phases are independent
     #: of which query arrives first.
     label: str = "skeleton-context"
-    _skeleton_distances: Optional[np.ndarray] = field(default=None, repr=False)
-    _transport: Optional[HybridCliqueTransport] = field(default=None, repr=False)
-    _apsp_router: Optional[TokenRouter] = field(default=None, repr=False)
-    _extensions: Dict[FrozenSet[int], "SkeletonContext"] = field(
+    _skeleton_distances: np.ndarray | None = field(default=None, repr=False)
+    _transport: HybridCliqueTransport | None = field(default=None, repr=False)
+    _apsp_router: TokenRouter | None = field(default=None, repr=False)
+    _extensions: dict[frozenset[int], "SkeletonContext"] = field(
         default_factory=dict, repr=False
     )
 
@@ -123,7 +123,7 @@ class SkeletonContext:
         if self._skeleton_distances is None:
             rounds_before = self.network.metrics.total_rounds
             skeleton = self.skeleton
-            edge_tokens: Dict[int, List[Tuple[int, int, int]]] = {}
+            edge_tokens: dict[int, list[tuple[int, int, int]]] = {}
             for u, v, w in skeleton.graph.edges():
                 holder = skeleton.original_id(u)
                 edge_tokens.setdefault(holder, []).append(
@@ -171,7 +171,7 @@ class SkeletonContext:
         return self._apsp_router
 
     # -------------------------------------------------------------- extension
-    def extended(self, members: Sequence[int]) -> Optional["SkeletonContext"]:
+    def extended(self, members: Sequence[int]) -> "SkeletonContext" | None:
         """A derived context whose skeleton additionally contains ``members``.
 
         Algorithm 6 adds a query's source to the skeleton deterministically
@@ -237,7 +237,7 @@ def prepare_skeleton_context(
     phase: str = "skeleton",
     ensure_connected: bool = True,
     keep_local_knowledge: bool = True,
-    label: Optional[str] = None,
+    label: str | None = None,
 ) -> SkeletonContext:
     """Run the shared preprocessing prologue: one skeleton, wrapped for reuse.
 

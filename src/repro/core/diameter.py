@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.clique.interfaces import CliqueAlgorithmSpec, CliqueDiameterAlgorithm
 from repro.core.context import SkeletonContext, prepare_skeleton_context
@@ -75,7 +74,7 @@ def approximate_diameter(
     network: HybridNetwork,
     algorithm: CliqueDiameterAlgorithm,
     phase: str = "diameter",
-    context: Optional[SkeletonContext] = None,
+    context: SkeletonContext | None = None,
 ) -> DiameterResult:
     """Run Algorithm 9 (``Diam-Simulation``) with the given CLIQUE algorithm.
 

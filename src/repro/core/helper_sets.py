@@ -17,8 +17,8 @@ probability ``q = min(2µ/|C|, 1)``.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.clustering import Clustering, cluster_around_rulers
@@ -45,9 +45,9 @@ class HelperSets:
         Rounds consumed by Algorithm 1 (ruling set + the exploration loops).
     """
 
-    members: List[int]
+    members: list[int]
     mu: int
-    helpers: Dict[int, List[int]]
+    helpers: dict[int, list[int]]
     clustering: Clustering
     rounds_charged: int
 
@@ -59,7 +59,7 @@ class HelperSets:
 
     def max_membership_load(self) -> int:
         """Largest number of helper sets any single node belongs to (property (3))."""
-        load: Dict[int, int] = {}
+        load: dict[int, int] = {}
         for helper_nodes in self.helpers.values():
             for node in helper_nodes:
                 load[node] = load.get(node, 0) + 1
@@ -70,7 +70,7 @@ class HelperSets:
         worst = 0
         members = [member for member, helper_nodes in self.helpers.items() if helper_nodes]
         all_hops = network.local_graph.bfs_hops_many(members)
-        for member, hops in zip(members, all_hops):
+        for member, hops in zip(members, all_hops, strict=True):
             for helper in self.helpers[member]:
                 worst = max(worst, int(hops.get(helper, network.n)))
         return worst
@@ -118,7 +118,7 @@ def compute_helper_sets(
     clustering = cluster_around_rulers(network, ruling.rulers, mu, phase=phase + ":clustering")
 
     member_set = set(member_list)
-    helpers: Dict[int, List[int]] = {member: [] for member in member_list}
+    helpers: dict[int, list[int]] = {member: [] for member in member_list}
     for cluster_members in clustering.members.values():
         cluster_size = len(cluster_members)
         local_members = [node for node in cluster_members if node in member_set]

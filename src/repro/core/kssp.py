@@ -24,8 +24,8 @@ on unweighted graphs, and no loss at all for a single source (``α + β/T_B``).
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -65,8 +65,8 @@ class ShortestPathsResult:
         the approximation bound).
     """
 
-    sources: List[int]
-    estimates: List[Dict[int, float]]
+    sources: list[int]
+    estimates: list[dict[int, float]]
     rounds: int
     skeleton_size: int
     hop_length: int
@@ -97,7 +97,7 @@ def shortest_paths_via_clique(
     sources: Sequence[int],
     algorithm: CliqueShortestPathAlgorithm,
     phase: str = "kssp",
-    context: Optional[SkeletonContext] = None,
+    context: SkeletonContext | None = None,
 ) -> ShortestPathsResult:
     """Run Algorithm 5 (``SP-Simulation``) with the given CLIQUE algorithm.
 
@@ -168,10 +168,10 @@ def _combine_estimates(
     network: HybridNetwork,
     skeleton: Skeleton,
     representatives: Representatives,
-    skeleton_estimates: Sequence[Dict[int, float]],
+    skeleton_estimates: Sequence[dict[int, float]],
     sources: Sequence[int],
     exploration_depth: int,
-) -> List[Dict[int, float]]:
+) -> list[dict[int, float]]:
     """Equation (1): combine local exact distances with skeleton estimates.
 
     ``d̃(v, s) = min( d_{ηh}(v, s),
@@ -183,7 +183,7 @@ def _combine_estimates(
     """
     n = network.n
     n_s = skeleton.size
-    estimates: List[Dict[int, float]] = [dict() for _ in range(n)]
+    estimates: list[dict[int, float]] = [dict() for _ in range(n)]
 
     # The ηh-limited distances d_{ηh}(v, s), one row per source (symmetric).
     local_limited = network.local_graph.hop_limited_distance_matrix(sources, exploration_depth)

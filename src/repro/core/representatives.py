@@ -10,8 +10,8 @@ representative into a distance estimate to the original source.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 from repro.core.skeleton import Skeleton
 from repro.hybrid.network import HybridNetwork
@@ -36,9 +36,9 @@ class Representatives:
         Rounds consumed (dominated by the token dissemination, ``Õ(√k)``).
     """
 
-    representative: Dict[int, int]
-    distance_to_representative: Dict[int, float]
-    skeleton_sources: List[int]
+    representative: dict[int, int]
+    distance_to_representative: dict[int, float]
+    skeleton_sources: list[int]
     rounds: int
 
 
@@ -58,8 +58,8 @@ def compute_representatives(
     fallback fired via the returned distances.
     """
     rounds_before = network.metrics.total_rounds
-    representative: Dict[int, int] = {}
-    distance: Dict[int, float] = {}
+    representative: dict[int, int] = {}
+    distance: dict[int, float] = {}
 
     for source in sources:
         if skeleton.contains(source):
@@ -82,7 +82,7 @@ def compute_representatives(
             distance[source] = skeleton.local_distances[source][closest]
 
     # Make ⟨d_h(s, r_s), s, r_s⟩ public knowledge (token dissemination, Õ(√k)).
-    tokens: Dict[int, List[Tuple[float, int, int]]] = {}
+    tokens: dict[int, list[tuple[float, int, int]]] = {}
     for source in sources:
         tokens.setdefault(source, []).append(
             (distance[source], source, representative[source])

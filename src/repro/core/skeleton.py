@@ -15,8 +15,8 @@ nodes (which is all later phases need from it).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,28 +60,28 @@ class Skeleton:
     from ``knowledge_matrix`` on first access.
     """
 
-    nodes: List[int]
-    index_of: Dict[int, int]
+    nodes: list[int]
+    index_of: dict[int, int]
     graph: WeightedGraph
     hop_length: int
     sampling_probability: float
-    local_distances: List[Dict[int, float]]
+    local_distances: list[dict[int, float]]
     rounds_charged: int
-    knowledge_matrix: Optional[np.ndarray] = None
-    _knowledge_dicts: Optional[List[Dict[int, float]]] = field(
+    knowledge_matrix: np.ndarray | None = None
+    _knowledge_dicts: list[dict[int, float]] | None = field(
         default=None, repr=False, compare=False
     )
 
     @property
-    def local_knowledge(self) -> Optional[List[Dict[int, float]]]:
+    def local_knowledge(self) -> list[dict[int, float]] | None:
         """Dict view of the depth-``h`` exploration (None unless kept)."""
         if self.knowledge_matrix is None:
             return None
         if self._knowledge_dicts is None:
-            dicts: List[Dict[int, float]] = []
+            dicts: list[dict[int, float]] = []
             for row in self.knowledge_matrix:
                 reached = np.flatnonzero(np.isfinite(row))
-                dicts.append(dict(zip(reached.tolist(), row[reached].tolist())))
+                dicts.append(dict(zip(reached.tolist(), row[reached].tolist(), strict=True)))
             self._knowledge_dicts = dicts
         return self._knowledge_dicts
 
@@ -98,19 +98,19 @@ class Skeleton:
         """The original graph ID of skeleton index ``index``."""
         return self.nodes[index]
 
-    def incident_edges(self) -> List[Dict[int, int]]:
+    def incident_edges(self) -> list[dict[int, int]]:
         """Per skeleton index, its incident skeleton edges ``{neighbour_index: weight}``.
 
         This is the *local input* each skeleton node feeds into a simulated
         CLIQUE algorithm (it knows only its own incident edges, Fact 4.3).
         """
-        edges: List[Dict[int, int]] = [dict() for _ in range(self.graph.node_count)]
+        edges: list[dict[int, int]] = [dict() for _ in range(self.graph.node_count)]
         for u, v, w in self.graph.edges():
             edges[u][v] = w
             edges[v][u] = w
         return edges
 
-    def closest_skeleton_node(self, node: int) -> Optional[int]:
+    def closest_skeleton_node(self, node: int) -> int | None:
         """The skeleton node minimising ``d_h(node, ·)`` (None if none within ``h`` hops)."""
         known = self.local_distances[node]
         if not known:
@@ -123,7 +123,7 @@ def compute_skeleton(
     sampling_probability: float,
     forced_members: Sequence[int] = (),
     phase: str = "skeleton",
-    rng: Optional[RandomSource] = None,
+    rng: RandomSource | None = None,
     ensure_nonempty: bool = True,
     ensure_connected: bool = False,
     keep_local_knowledge: bool = False,
@@ -215,21 +215,22 @@ def skeleton_graph_from_limited(limited: np.ndarray, nodes: Sequence[int]) -> We
         pairwise = limited[np.ix_(node_array, node_array)]
         edge_u, edge_v = np.nonzero(np.isfinite(pairwise))
         edge_w = pairwise[edge_u, edge_v]
-        for u, v, distance in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
+        for u, v, distance in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist(), strict=True):
             if u < v:
                 skeleton_graph.add_edge(u, v, max(1, int(round(distance))))
     return skeleton_graph
 
 
-def local_distance_maps(limited: np.ndarray, nodes: Sequence[int]) -> List[Dict[int, float]]:
+def local_distance_maps(limited: np.ndarray, nodes: Sequence[int]) -> list[dict[int, float]]:
     """Per node, the ``d_h`` map restricted to the skeleton nodes ``nodes``."""
     node_array = np.asarray(nodes, dtype=np.int64)
     near = limited[:, node_array] if len(nodes) else limited[:, :0]
-    local_distances: List[Dict[int, float]] = []
+    local_distances: list[dict[int, float]] = []
     for row in near:
         reached = np.flatnonzero(np.isfinite(row))
+        values = row[reached]
         local_distances.append(
-            {nodes[i]: float(value) for i, value in zip(reached.tolist(), row[reached].tolist())}
+            {nodes[i]: float(value) for i, value in zip(reached.tolist(), values.tolist(), strict=True)}
         )
     return local_distances
 

@@ -18,7 +18,6 @@ second on the CSR backend (see benchmarks/BENCH_core.json).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.clique.interfaces import CliqueShortestPathAlgorithm
 from repro.clique.sssp import BroadcastBellmanFordSSSP
@@ -40,7 +39,7 @@ class SSSPResult:
     """
 
     source: int
-    distances: Dict[int, float]
+    distances: dict[int, float]
     rounds: int
     skeleton_size: int
     hop_length: int
@@ -57,9 +56,9 @@ class SSSPResult:
 def sssp_exact(
     network: HybridNetwork,
     source: int,
-    algorithm: Optional[CliqueShortestPathAlgorithm] = None,
+    algorithm: CliqueShortestPathAlgorithm | None = None,
     phase: str = "sssp",
-    context: Optional[SkeletonContext] = None,
+    context: SkeletonContext | None = None,
 ) -> SSSPResult:
     """Solve SSSP exactly in the HYBRID model (Theorem 1.3).
 

@@ -25,8 +25,8 @@ The protocol (Algorithms 2-4):
 from __future__ import annotations
 
 import math
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.helper_sets import HelperSets, compute_helper_sets, helper_parameter
 from repro.hybrid.batch import MessageBatch
@@ -44,7 +44,7 @@ except ImportError:  # pragma: no cover - exercised only in stripped environment
     _HAS_NUMPY = False
 
 
-def _assign_round_robin(endpoints: Sequence[int], helper_lists: Dict[int, List[int]], role: str):
+def _assign_round_robin(endpoints: Sequence[int], helper_lists: dict[int, list[int]], role: str):
     """Per token, the helper its endpoint deals it to (``c % helper_count``).
 
     ``endpoints[i]`` is token ``i``'s sender (or receiver); token number ``c``
@@ -53,8 +53,8 @@ def _assign_round_robin(endpoints: Sequence[int], helper_lists: Dict[int, List[i
     per endpoint instead of dict lookups per token.
     """
     if not _HAS_NUMPY or len(endpoints) < 64:
-        result: List[int] = [0] * len(endpoints)
-        counters: Dict[int, int] = {}
+        result: list[int] = [0] * len(endpoints)
+        counters: dict[int, int] = {}
         for position, endpoint in enumerate(endpoints):
             helpers = helper_lists.get(endpoint)
             if helpers is None:
@@ -71,7 +71,7 @@ def _assign_round_robin(endpoints: Sequence[int], helper_lists: Dict[int, List[i
     )
     bounds = _np.concatenate((starts, [order.size]))
     result_arr = _np.empty(arr.size, dtype=_np.int64)
-    for begin, end in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+    for begin, end in zip(bounds[:-1].tolist(), bounds[1:].tolist(), strict=True):
         endpoint = int(sorted_endpoints[begin])
         helpers = helper_lists.get(endpoint)
         if helpers is None:
@@ -93,19 +93,19 @@ class RoutingToken:
     payload: Hashable = None
 
     @property
-    def label(self) -> Tuple[int, int, int]:
+    def label(self) -> tuple[int, int, int]:
         """The token's unique label ``(s, r, i)`` used for hashing and requests."""
         return (self.sender, self.receiver, self.index)
 
 
-def make_tokens(assignments: Dict[int, Sequence[Tuple[int, Hashable]]]) -> List[RoutingToken]:
+def make_tokens(assignments: dict[int, Sequence[tuple[int, Hashable]]]) -> list[RoutingToken]:
     """Build labelled tokens from ``sender -> [(receiver, payload), ...]``.
 
     Indices enumerate the tokens of each (sender, receiver) pair, matching the
     labelling convention of Section 2.2.
     """
-    tokens: List[RoutingToken] = []
-    counters: Dict[Tuple[int, int], int] = {}
+    tokens: list[RoutingToken] = []
+    counters: dict[tuple[int, int], int] = {}
     for sender, items in assignments.items():
         for receiver, payload in items:
             key = (sender, receiver)
@@ -127,11 +127,11 @@ class RoutingPlan:
     """
 
     tokens: Sequence[RoutingToken]
-    routable: List[RoutingToken]
+    routable: list[RoutingToken]
     intermediates: Sequence[int]
     sender_helper_of: Sequence[int]
     receiver_helper_of: Sequence[int]
-    delivered_by_receiver: Dict[int, List[RoutingToken]]
+    delivered_by_receiver: dict[int, list[RoutingToken]]
 
     @property
     def token_count(self) -> int:
@@ -156,12 +156,12 @@ class TokenRoutingResult:
         The helper families (for property auditing in tests and benchmarks).
     """
 
-    delivered: Dict[int, List[RoutingToken]]
+    delivered: dict[int, list[RoutingToken]]
     rounds: int
     mu_senders: int
     mu_receivers: int
-    sender_helpers: Optional[HelperSets] = None
-    receiver_helpers: Optional[HelperSets] = None
+    sender_helpers: HelperSets | None = None
+    receiver_helpers: HelperSets | None = None
     token_count: int = 0
 
 
@@ -222,8 +222,8 @@ class TokenRouter:
         once and passes it to :meth:`route`, exactly like the paper evaluates
         the shared hash per label once.
         """
-        direct: Dict[int, List[RoutingToken]] = {}
-        routable: List[RoutingToken] = []
+        direct: dict[int, list[RoutingToken]] = {}
+        routable: list[RoutingToken] = []
         for token in tokens:
             if token.sender == token.receiver:
                 direct.setdefault(token.receiver, []).append(token)
@@ -253,7 +253,7 @@ class TokenRouter:
         # The final per-receiver token lists are label-determined as well
         # (everything queued is delivered), so the grouping is part of the
         # plan; route() hands out fresh copies.
-        delivered_by_receiver: Dict[int, List[RoutingToken]] = {
+        delivered_by_receiver: dict[int, list[RoutingToken]] = {
             receiver: list(items) for receiver, items in direct.items()
         }
         for receiver, _, items in MessageBatch(
@@ -270,7 +270,7 @@ class TokenRouter:
         )
 
     def route(
-        self, tokens: Sequence[RoutingToken], plan: Optional["RoutingPlan"] = None
+        self, tokens: Sequence[RoutingToken], plan: "RoutingPlan" | None = None
     ) -> TokenRoutingResult:
         """Execute Routing-Preparation + Routing-Scheme for the given tokens.
 
@@ -356,7 +356,7 @@ class TokenRouter:
                 f"token routing delivered {len(response_inboxes)} of "
                 f"{len(routable)} routed tokens"
             )
-        delivered: Dict[int, List[RoutingToken]] = {
+        delivered: dict[int, list[RoutingToken]] = {
             receiver: list(items) for receiver, items in plan.delivered_by_receiver.items()
         }
 
@@ -393,8 +393,8 @@ def route_tokens(
         return TokenRoutingResult(
             delivered={}, rounds=0, mu_senders=1, mu_receivers=1, token_count=0
         )
-    per_sender: Dict[int, int] = {}
-    per_receiver: Dict[int, int] = {}
+    per_sender: dict[int, int] = {}
+    per_receiver: dict[int, int] = {}
     for token in tokens:
         per_sender[token.sender] = per_sender.get(token.sender, 0) + 1
         per_receiver[token.receiver] = per_receiver.get(token.receiver, 0) + 1

@@ -6,6 +6,16 @@ rebuilds the whole evaluation.  The process-parallel, resumable path is
 ``ArtifactStore``).  The command-line entry point is ``python -m repro.cli``.
 """
 
+from repro.experiments import sweeps  # noqa: F401  (imports register the experiments)
+from repro.experiments.engine import (
+    ArtifactStore,
+    EngineReport,
+    ExperimentEngine,
+    Shard,
+    assemble_tables,
+    execute_shard,
+    plan_shards,
+)
 from repro.experiments.runner import (
     SCALES,
     ExperimentTable,
@@ -17,16 +27,6 @@ from repro.experiments.runner import (
     register_sweep,
     run_all,
     run_experiment,
-)
-from repro.experiments import sweeps  # noqa: F401  (imports register the experiments)
-from repro.experiments.engine import (
-    ArtifactStore,
-    EngineReport,
-    ExperimentEngine,
-    Shard,
-    assemble_tables,
-    execute_shard,
-    plan_shards,
 )
 
 __all__ = [

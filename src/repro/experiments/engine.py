@@ -29,9 +29,9 @@ import hashlib
 import json
 import os
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,7 +95,7 @@ class Shard:
     family: str
     seed: int
     trial: int
-    params: Tuple[Tuple[str, object], ...] = ()
+    params: tuple[tuple[str, object], ...] = ()
 
     @staticmethod
     def make(
@@ -104,13 +104,13 @@ class Shard:
         family: str,
         seed: int,
         trial: int,
-        params: Optional[Dict[str, object]] = None,
+        params: dict[str, object] | None = None,
     ) -> "Shard":
         items = tuple(sorted((params or {}).items()))
         return Shard(experiment, scale, family, seed, trial, items)
 
     @staticmethod
-    def from_spec(spec: Dict[str, object]) -> "Shard":
+    def from_spec(spec: dict[str, object]) -> "Shard":
         return Shard.make(
             spec["experiment"],
             spec["scale"],
@@ -120,7 +120,7 @@ class Shard:
             dict(spec.get("params", {})),
         )
 
-    def spec(self) -> Dict[str, object]:
+    def spec(self) -> dict[str, object]:
         """The full, JSON-serialisable shard identity."""
         return {
             "experiment": self.experiment,
@@ -161,7 +161,7 @@ def _trial_seed_lane(
 
 def replica_seeds(
     root_seed: int, experiment: str, scale: str, family: str, trials: int
-) -> List[int]:
+) -> list[int]:
     """Deterministic seeds for trials ``1 .. trials-1`` of one shard family."""
     if trials <= 1:
         return []
@@ -170,11 +170,11 @@ def replica_seeds(
 
 
 def plan_shards(
-    experiment_ids: Optional[Sequence[str]] = None,
+    experiment_ids: Sequence[str] | None = None,
     scale: str = "small",
     trials: int = 1,
     root_seed: int = DEFAULT_ROOT_SEED,
-) -> List[Shard]:
+) -> list[Shard]:
     """Decompose the requested experiments into their executable shards.
 
     ``trials > 1`` appends replica shards (with spawned seeds) for every
@@ -184,7 +184,7 @@ def plan_shards(
     if trials < 1:
         raise ValueError("trials must be at least 1")
     ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
-    shards: List[Shard] = []
+    shards: list[Shard] = []
     for experiment_id in ids:
         sweep = get_sweep(experiment_id)
         for plan in sweep.shard_plans(scale):
@@ -204,7 +204,7 @@ def plan_shards(
     return shards
 
 
-def execute_shard(shard: Shard) -> Dict[str, object]:
+def execute_shard(shard: Shard) -> dict[str, object]:
     """Run one shard in the current process and return its artifact record.
 
     The shard's networks are observed through an ambient metrics scope, so
@@ -213,9 +213,11 @@ def execute_shard(shard: Shard) -> Dict[str, object]:
     serial and parallel execution at fixed seeds.
     """
     sweep = get_sweep(shard.experiment)
+    # repro-lint: waive[RL001] -- shard wall time; stored outside the hashed payload
     started = time.perf_counter()
     with ambient_observer() as observed:
         payload = sweep.run_shard(shard.scale, shard.seed, dict(shard.params))
+    # repro-lint: waive[RL001] -- shard wall time; stored outside the hashed payload
     wall_time = time.perf_counter() - started
     return {
         "engine_version": ENGINE_VERSION,
@@ -227,8 +229,8 @@ def execute_shard(shard: Shard) -> Dict[str, object]:
 
 
 def _worker_run(
-    spec: Dict[str, object],
-) -> Tuple[Dict[str, object], Dict[str, object], Optional[str]]:
+    spec: dict[str, object],
+) -> tuple[dict[str, object], dict[str, object], str | None]:
     """Pool worker: execute one shard spec, never raise (errors are data)."""
     shard = Shard.from_spec(spec)
     try:
@@ -263,7 +265,7 @@ class ArtifactStore:
         return self.root / self.MANIFEST_NAME
 
     @staticmethod
-    def payload_hash(record: Dict[str, object]) -> str:
+    def payload_hash(record: dict[str, object]) -> str:
         """SHA-256 over the deterministic parts of a record (payload+metrics).
 
         A payload may carry wall-clock measurements next to its rows under a
@@ -276,7 +278,7 @@ class ArtifactStore:
         content = {"payload": payload, "metrics": record.get("metrics")}
         return hashlib.sha256(_canonical_json(content).encode()).hexdigest()
 
-    def load_record(self, shard: Shard) -> Optional[Dict[str, object]]:
+    def load_record(self, shard: Shard) -> dict[str, object] | None:
         """The stored record for a shard, or ``None`` if absent or invalid."""
         path = self.shard_path(shard)
         try:
@@ -289,7 +291,7 @@ class ArtifactStore:
             return None
         return record
 
-    def write_record(self, shard: Shard, record: Dict[str, object]) -> Path:
+    def write_record(self, shard: Shard, record: dict[str, object]) -> Path:
         """Atomically persist one shard record (write temp file, then rename).
 
         The rename is atomic on POSIX, so a run killed mid-write leaves either
@@ -316,14 +318,14 @@ class ArtifactStore:
                 if isinstance(record, dict) and "spec" in record and "payload" in record:
                     yield record, path
 
-    def build_manifest(self) -> Dict[str, object]:
+    def build_manifest(self) -> dict[str, object]:
         """The deterministic inventory of every artifact currently stored.
 
         Entries carry the shard spec and content hashes but no wall-clock
         times, so the manifests of a clean run and an interrupted+resumed run
         of the same sweep are equal (pinned by tests/test_engine.py).
         """
-        entries: Dict[str, Dict[str, object]] = {}
+        entries: dict[str, dict[str, object]] = {}
         for record, _path in self.iter_records():
             shard = Shard.from_spec(record["spec"])
             entries[shard.key] = {
@@ -354,12 +356,12 @@ class ArtifactStore:
 class EngineReport:
     """What one :meth:`ExperimentEngine.run` call did."""
 
-    requested: List[str] = field(default_factory=list)
-    executed: List[str] = field(default_factory=list)
-    skipped: List[str] = field(default_factory=list)
-    failed: Dict[str, str] = field(default_factory=dict)
+    requested: list[str] = field(default_factory=list)
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
     wall_time_seconds: float = 0.0
-    shard_wall_times: Dict[str, float] = field(default_factory=dict)
+    shard_wall_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -398,7 +400,7 @@ class ExperimentEngine:
         store: ArtifactStore,
         jobs: int = 1,
         resume: bool = False,
-        mp_context: Optional[str] = None,
+        mp_context: str | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -416,12 +418,13 @@ class ExperimentEngine:
         return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
     def run(
-        self, shards: Sequence[Shard], progress: Optional[ProgressCallback] = None
+        self, shards: Sequence[Shard], progress: ProgressCallback | None = None
     ) -> EngineReport:
         """Execute (or skip) every shard, then rewrite the merged manifest."""
+        # repro-lint: waive[RL001] -- engine progress reporting; manifests exclude wall times
         started = time.perf_counter()
         report = EngineReport(requested=[shard.key for shard in shards])
-        pending: List[Shard] = []
+        pending: list[Shard] = []
         for shard in shards:
             if self.resume and self.store.load_record(shard) is not None:
                 report.skipped.append(shard.key)
@@ -432,7 +435,7 @@ class ExperimentEngine:
 
         by_key = {shard.key: shard for shard in pending}
 
-        def complete(spec: Dict[str, object], record: Dict[str, object], error: Optional[str]):
+        def complete(spec: dict[str, object], record: dict[str, object], error: str | None):
             shard = by_key[Shard.from_spec(spec).key]
             if error is not None:
                 report.failed[shard.key] = error
@@ -458,21 +461,22 @@ class ExperimentEngine:
                     complete(*result)
 
         self.store.write_manifest()
+        # repro-lint: waive[RL001] -- engine progress reporting; manifests exclude wall times
         report.wall_time_seconds = time.perf_counter() - started
         return report
 
 
-def assemble_tables(store: ArtifactStore, shards: Sequence[Shard]) -> List[ExperimentTable]:
+def assemble_tables(store: ArtifactStore, shards: Sequence[Shard]) -> list[ExperimentTable]:
     """Rebuild the experiment tables from stored trial-0 shard payloads.
 
     Shards must all belong to one scale; replica trials contribute to the
     artifact store and manifest but not to the canonical tables.
     """
-    ordered: Dict[str, List[Shard]] = {}
+    ordered: dict[str, list[Shard]] = {}
     for shard in shards:
         if shard.trial == 0:
             ordered.setdefault(shard.experiment, []).append(shard)
-    tables: List[ExperimentTable] = []
+    tables: list[ExperimentTable] = []
     for experiment_id, group in ordered.items():
         sweep = get_sweep(experiment_id)
         scale = group[0].scale

@@ -16,8 +16,8 @@ are bit-identical by construction.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.report import format_markdown_table
 
@@ -48,8 +48,8 @@ class ExperimentTable:
     experiment_id: str
     title: str
     headers: Sequence[str]
-    rows: List[Sequence[object]]
-    notes: List[str] = field(default_factory=list)
+    rows: list[Sequence[object]]
+    notes: list[str] = field(default_factory=list)
 
     def to_markdown(self) -> str:
         """Render the experiment as a markdown section."""
@@ -81,15 +81,15 @@ class ShardPlan:
 
     family: str
     seed: int
-    params: Dict[str, object] = field(default_factory=dict)
+    params: dict[str, object] = field(default_factory=dict)
 
 
 #: ``run_shard(scale, seed, params) -> payload``.  The payload must be
 #: JSON-serialisable (the artifact store round-trips it); by convention the
 #: row-parallel sweeps return a list of table rows.
-ShardRunner = Callable[[str, int, Dict[str, object]], object]
-PlanFunction = Callable[[str], List[ShardPlan]]
-FinalizeFunction = Callable[[str, List[object]], ExperimentTable]
+ShardRunner = Callable[[str, int, dict[str, object]], object]
+PlanFunction = Callable[[str], list[ShardPlan]]
+FinalizeFunction = Callable[[str, list[object]], ExperimentTable]
 
 
 @dataclass
@@ -104,7 +104,7 @@ class Sweep:
     #: shard runner genuinely derives its randomness from the ``seed`` input).
     reseedable: bool = False
 
-    def shard_plans(self, scale: str) -> List[ShardPlan]:
+    def shard_plans(self, scale: str) -> list[ShardPlan]:
         """The shard decomposition at the given scale."""
         if scale not in SCALES:
             raise ValueError(f"scale must be one of {', '.join(repr(s) for s in SCALES)}")
@@ -124,7 +124,7 @@ class Sweep:
         return self.finalize(scale, payloads)
 
 
-_REGISTRY: Dict[str, Sweep] = {}
+_REGISTRY: dict[str, Sweep] = {}
 
 
 def _add_sweep(sweep: Sweep) -> None:
@@ -163,10 +163,10 @@ def register(experiment_id: str):
     """
 
     def decorator(function):
-        def plan(scale: str) -> List[ShardPlan]:
+        def plan(scale: str) -> list[ShardPlan]:
             return [ShardPlan(family="all", seed=0)]
 
-        def run_shard(scale: str, seed: int, params: Dict[str, object]) -> object:
+        def run_shard(scale: str, seed: int, params: dict[str, object]) -> object:
             table = function(scale)
             return {
                 "table": {
@@ -178,7 +178,7 @@ def register(experiment_id: str):
                 }
             }
 
-        def finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+        def finalize(scale: str, payloads: list[object]) -> ExperimentTable:
             data = payloads[0]["table"]
             return ExperimentTable(
                 data["experiment_id"], data["title"], data["headers"], data["rows"], data["notes"]
@@ -195,7 +195,7 @@ def unregister(experiment_id: str) -> None:
     _REGISTRY.pop(experiment_id.upper(), None)
 
 
-def available_experiments() -> List[str]:
+def available_experiments() -> list[str]:
     """Sorted list of registered experiment identifiers."""
     return sorted(_REGISTRY, key=lambda key: (len(key), key))
 
@@ -221,14 +221,14 @@ def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentTable:
     return get_sweep(experiment_id).table(scale)
 
 
-def run_all(scale: str = "small") -> List[ExperimentTable]:
+def run_all(scale: str = "small") -> list[ExperimentTable]:
     """Run every registered experiment serially."""
     return [run_experiment(key, scale) for key in available_experiments()]
 
 
-def flatten_rows(payloads: Sequence[object]) -> List[List[object]]:
+def flatten_rows(payloads: Sequence[object]) -> list[list[object]]:
     """Concatenate per-shard row lists in plan order (the common finalizer step)."""
-    rows: List[List[object]] = []
+    rows: list[list[object]] = []
     for payload in payloads:
         rows.extend(payload)
     return rows
@@ -243,7 +243,7 @@ def plain_table(
     """A finalizer for sweeps whose payloads are row lists and whose headers
     and notes do not depend on the measured rows."""
 
-    def finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+    def finalize(scale: str, payloads: list[object]) -> ExperimentTable:
         return ExperimentTable(experiment_id, title, headers, flatten_rows(payloads), list(notes))
 
     return finalize

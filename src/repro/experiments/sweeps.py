@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List
 
 from repro.analysis.complexity import fit_power_law_with_log
 from repro.analysis.report import summarize_robustness
@@ -92,7 +91,7 @@ def _e1_workloads(scale: str):
     return n, workloads
 
 
-def _e1_plan(scale: str) -> List[ShardPlan]:
+def _e1_plan(scale: str) -> list[ShardPlan]:
     n, workloads = _e1_workloads(scale)
     return [
         ShardPlan(family=f"locality-k{k}", seed=k, params={"n": n, "tokens_per_sender": k})
@@ -123,7 +122,7 @@ def _e1_plan(scale: str) -> List[ShardPlan]:
     ),
     reseedable=True,
 )
-def token_routing_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def token_routing_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Theorem 2.2: token-routing rounds vs the ``K/n + √k_S + √k_R`` shape."""
     n = params["n"]
     tokens_per_sender = params["tokens_per_sender"]
@@ -157,17 +156,17 @@ def token_routing_shard(scale: str, seed: int, params: Dict[str, object]) -> Lis
 
 
 # --------------------------------------------------------------------------- E2
-def _e2_sizes(scale: str) -> List[int]:
+def _e2_sizes(scale: str) -> list[int]:
     return [64, 100, 160] if scale == "small" else [100, 200, 400, 800]
 
 
-def _e2_plan(scale: str) -> List[ShardPlan]:
+def _e2_plan(scale: str) -> list[ShardPlan]:
     return [
         ShardPlan(family=f"locality-n{n}", seed=n, params={"n": n}) for n in _e2_sizes(scale)
     ]
 
 
-def _e2_finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+def _e2_finalize(scale: str, payloads: list[object]) -> ExperimentTable:
     rows = flatten_rows(payloads)
     sizes = [row[0] for row in rows]
     fit_new = fit_power_law_with_log(sizes, [row[2] for row in rows])
@@ -204,7 +203,7 @@ def _e2_finalize(scale: str, payloads: List[object]) -> ExperimentTable:
 
 
 @register_sweep("E2", plan=_e2_plan, finalize=_e2_finalize)
-def apsp_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def apsp_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Theorem 1.1 vs the SODA'20 baseline on the same instance (one size)."""
     n = params["n"]
     graph = _locality_graph(n, seed=n)
@@ -246,7 +245,7 @@ def apsp_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[ob
 
 
 # --------------------------------------------------------------------------- E3
-def _e3_plan(scale: str) -> List[ShardPlan]:
+def _e3_plan(scale: str) -> list[ShardPlan]:
     n = 120 if scale == "small" else 300
     ks = [2, 8] if scale == "small" else [2, 8, 32]
     return [
@@ -283,7 +282,7 @@ def _e3_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def kssp_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def kssp_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Theorem 4.1 framework: rounds and stretch for one (k, weights) point."""
     n, k, weighted = params["n"], params["k"], params["weighted"]
     graph = _random_graph(n, seed=k + (1 if weighted else 0), weighted=weighted)
@@ -317,7 +316,7 @@ def kssp_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[ob
 
 
 # --------------------------------------------------------------------------- E4
-def _e4_plan(scale: str) -> List[ShardPlan]:
+def _e4_plan(scale: str) -> list[ShardPlan]:
     sizes = [64, 128] if scale == "small" else [100, 200, 400]
     return [ShardPlan(family=f"locality-n{n}", seed=n, params={"n": n}) for n in sizes]
 
@@ -344,7 +343,7 @@ def _e4_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def sssp_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def sssp_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Theorem 1.3: exact SSSP rounds vs the framework shape, one size."""
     n = params["n"]
     graph = _locality_graph(n, seed=n + 3)
@@ -367,7 +366,7 @@ def sssp_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[ob
 
 
 # --------------------------------------------------------------------------- E5
-def _e5_plan(scale: str) -> List[ShardPlan]:
+def _e5_plan(scale: str) -> list[ShardPlan]:
     sizes = [100, 200] if scale == "small" else [200, 400]
     return [
         ShardPlan(
@@ -393,7 +392,7 @@ def _e5_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def diameter_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def diameter_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Theorem 1.4 / 5.1: diameter approximation for one (n, plug-in) point."""
     n, name = params["n"], params["plugin"]
     plugin = GatherDiameter() if name == "gather-exact" else EccentricityDiameter()
@@ -416,7 +415,7 @@ def diameter_shard(scale: str, seed: int, params: Dict[str, object]) -> List[Lis
 
 
 # --------------------------------------------------------------------------- E6
-def _e6_plan(scale: str) -> List[ShardPlan]:
+def _e6_plan(scale: str) -> list[ShardPlan]:
     ks = [16, 64] if scale == "small" else [16, 64, 256]
     path_hops = 120 if scale == "small" else 400
     return [
@@ -448,7 +447,7 @@ def _e6_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def kssp_lower_bound_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def kssp_lower_bound_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Theorem 1.5 / Figure 1: one k of the k-SSP lower-bound gadget."""
     k, path_hops = params["k"], params["path_hops"]
     gadget = build_kssp_gadget(path_hops, k, RandomSource(k))
@@ -470,7 +469,7 @@ def kssp_lower_bound_shard(scale: str, seed: int, params: Dict[str, object]) -> 
 
 
 # --------------------------------------------------------------------------- E7
-def _e7_plan(scale: str) -> List[ShardPlan]:
+def _e7_plan(scale: str) -> list[ShardPlan]:
     k = 5 if scale == "small" else 8
     path_hops = 6 if scale == "small" else 10
     return [
@@ -510,8 +509,8 @@ def _e7_plan(scale: str) -> List[ShardPlan]:
     ),
 )
 def diameter_lower_bound_shard(
-    scale: str, seed: int, params: Dict[str, object]
-) -> List[List[object]]:
+    scale: str, seed: int, params: dict[str, object]
+) -> list[list[object]]:
     """Theorem 1.6 / Figure 2: one (weights, inputs) case of the Γ gadget."""
     k, path_hops = params["k"], params["path_hops"]
     weighted, disjoint = params["weighted"], params["disjoint"]
@@ -546,7 +545,7 @@ def diameter_lower_bound_shard(
 
 
 # --------------------------------------------------------------------------- E8
-def _e8_plan(scale: str) -> List[ShardPlan]:
+def _e8_plan(scale: str) -> list[ShardPlan]:
     n = 180 if scale == "small" else 400
     return [
         ShardPlan(family=f"locality-x{int(100 * x)}", seed=int(100 * x), params={"n": n, "x": x})
@@ -569,7 +568,7 @@ def _e8_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def clique_simulation_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def clique_simulation_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Corollary 4.1: HYBRID cost of one simulated CLIQUE round at one density."""
     n, x = params["n"], params["x"]
     graph = _locality_graph(n, seed=2)
@@ -593,7 +592,7 @@ def clique_simulation_shard(scale: str, seed: int, params: Dict[str, object]) ->
 
 
 # --------------------------------------------------------------------------- E9
-def _e9_plan(scale: str) -> List[ShardPlan]:
+def _e9_plan(scale: str) -> list[ShardPlan]:
     n = 150 if scale == "small" else 400
     return [
         ShardPlan(
@@ -629,7 +628,7 @@ def _e9_plan(scale: str) -> List[ShardPlan]:
     ),
     reseedable=True,
 )
-def skeleton_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def skeleton_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Lemmas C.1 / C.2: skeleton audit at one sampling probability."""
     n, p = params["n"], params["p"]
     graph = _random_graph(n, seed=5)
@@ -653,7 +652,7 @@ def skeleton_shard(scale: str, seed: int, params: Dict[str, object]) -> List[Lis
 
 
 # -------------------------------------------------------------------------- E10
-def _e10_plan(scale: str) -> List[ShardPlan]:
+def _e10_plan(scale: str) -> list[ShardPlan]:
     n = 160 if scale == "small" else 400
     return [
         ShardPlan(
@@ -678,7 +677,7 @@ def _e10_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def helper_set_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def helper_set_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Lemma 2.2: the three helper-set properties at one (p, k) setting."""
     n, probability, tokens = params["n"], params["probability"], params["tokens"]
     graph = _locality_graph(n, seed=9)
@@ -700,7 +699,7 @@ def helper_set_shard(scale: str, seed: int, params: Dict[str, object]) -> List[L
 
 
 # -------------------------------------------------------------------------- E11
-def _e11_plan(scale: str) -> List[ShardPlan]:
+def _e11_plan(scale: str) -> list[ShardPlan]:
     n = 150 if scale == "small" else 400
     return [
         ShardPlan(family=strategy, seed=1, params={"n": n, "strategy": strategy})
@@ -721,7 +720,7 @@ def _e11_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def routing_ablation_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def routing_ablation_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Ablation: one strategy (routing / broadcast) on the shared workload."""
     n, strategy = params["n"], params["strategy"]
     graph = _locality_graph(n, seed=13)
@@ -747,7 +746,7 @@ def routing_ablation_shard(scale: str, seed: int, params: Dict[str, object]) -> 
 
 
 # -------------------------------------------------------------------------- E12
-def _e12_plan(scale: str) -> List[ShardPlan]:
+def _e12_plan(scale: str) -> list[ShardPlan]:
     n = 150 if scale == "small" else 400
     shards = [
         ShardPlan(
@@ -778,7 +777,7 @@ def _e12_plan(scale: str) -> List[ShardPlan]:
         ],
     ),
 )
-def dissemination_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def dissemination_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """Lemma B.1 (token dissemination) or Lemma B.2 (aggregation), one shard."""
     n = params["n"]
     graph = _locality_graph(n, seed=15)
@@ -813,7 +812,7 @@ def dissemination_shard(scale: str, seed: int, params: Dict[str, object]) -> Lis
 
 
 # -------------------------------------------------------------------------- E13
-def _e13_plan(scale: str) -> List[ShardPlan]:
+def _e13_plan(scale: str) -> list[ShardPlan]:
     return [
         ShardPlan(family=name, seed=seed, params={"scenario": name})
         for name, seed in (("power-law", 21), ("grid+highways", 22), ("hierarchical-isp", 23))
@@ -844,7 +843,7 @@ def _e13_graph(scenario: str, scale: str):
     return builders[scenario]()
 
 
-def _e13_finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+def _e13_finalize(scale: str, payloads: list[object]) -> ExperimentTable:
     # The wall-clock measurement lives next to the rows (not inside them), so
     # the deterministic part of the shard payload stays bit-identical between
     # runs; it is re-attached as the table's last column here.
@@ -867,7 +866,7 @@ def _e13_finalize(scale: str, payloads: List[object]) -> ExperimentTable:
 
 
 @register_sweep("E13", plan=_e13_plan, finalize=_e13_finalize)
-def scenario_scaling_shard(scale: str, seed: int, params: Dict[str, object]) -> Dict[str, object]:
+def scenario_scaling_shard(scale: str, seed: int, params: dict[str, object]) -> dict[str, object]:
     """One scenario family of the Theorem 1.3 SSSP pipeline, run end-to-end.
 
     Verifies exactness against the sequential oracle and records wall-clock
@@ -879,8 +878,10 @@ def scenario_scaling_shard(scale: str, seed: int, params: Dict[str, object]) -> 
     graph = _e13_graph(name, scale)
     n = graph.node_count
     network = _network(graph, seed=n)
+    # repro-lint: waive[RL001] -- E13 wall-clock column; rides outside the hashed payload
     started = time.perf_counter()
     result = sssp_exact(network, source=0)
+    # repro-lint: waive[RL001] -- E13 wall-clock column; rides outside the hashed payload
     elapsed = time.perf_counter() - started
     truth = reference.single_source_distances(graph, 0)
     exact = all(abs(result.distance(v) - d) <= 1e-9 for v, d in truth.items())
@@ -910,7 +911,7 @@ def _e14_parameters(scale: str):
     return 800, [0, 7, 31, 64, 127, 256]
 
 
-def _e14_plan(scale: str) -> List[ShardPlan]:
+def _e14_plan(scale: str) -> list[ShardPlan]:
     n, sssp_sources = _e14_parameters(scale)
     # A session serves its queries sequentially (later queries reuse earlier
     # preprocessing), so the whole workload is one shard.
@@ -942,8 +943,8 @@ def _e14_plan(scale: str) -> List[ShardPlan]:
     ),
 )
 def session_amortization_shard(
-    scale: str, seed: int, params: Dict[str, object]
-) -> List[List[object]]:
+    scale: str, seed: int, params: dict[str, object]
+) -> list[list[object]]:
     """Multi-query amortization: a HybridSession vs one-shot calls per query.
 
     Runs a mixed APSP / SSSP / diameter workload against one
@@ -970,7 +971,7 @@ def session_amortization_shard(
     rows = []
     truth = reference.all_pairs_distances(graph)
     true_diameter = graph.hop_diameter()
-    for record, (kind, argument) in zip(session.queries, workload):
+    for record, (kind, argument) in zip(session.queries, workload, strict=True):
         one_shot_network = _network(graph, seed=n)
         if kind == "apsp":
             one_shot = apsp_exact(one_shot_network)
@@ -1032,7 +1033,7 @@ def _e15_parameters(scale: str):
     return 400, ("locality", "power-law", "random"), (0.0, 0.05, 0.2, 0.4)
 
 
-def _e15_plan(scale: str) -> List[ShardPlan]:
+def _e15_plan(scale: str) -> list[ShardPlan]:
     n, families, drop_rates = _e15_parameters(scale)
     return [
         ShardPlan(
@@ -1068,7 +1069,7 @@ _E15_HEADERS = [
 ]
 
 
-def _e15_finalize(scale: str, payloads: List[object]) -> ExperimentTable:
+def _e15_finalize(scale: str, payloads: list[object]) -> ExperimentTable:
     rows = flatten_rows(payloads)
     return ExperimentTable(
         "E15",
@@ -1089,7 +1090,7 @@ def _e15_finalize(scale: str, payloads: List[object]) -> ExperimentTable:
 
 
 @register_sweep("E15", plan=_e15_plan, finalize=_e15_finalize, reseedable=True)
-def robustness_shard(scale: str, seed: int, params: Dict[str, object]) -> List[List[object]]:
+def robustness_shard(scale: str, seed: int, params: dict[str, object]) -> list[list[object]]:
     """E15: SSSP round overhead and accuracy at one (family, drop rate) point.
 
     Runs the Theorem 1.3 pipeline twice on the same graph -- once on the

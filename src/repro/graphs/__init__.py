@@ -12,7 +12,7 @@ Public surface:
   (Appendix C).
 """
 
-from repro.graphs.graph import INFINITY, WeightedGraph
 from repro.graphs import generators, reference, skeleton_analysis
+from repro.graphs.graph import INFINITY, WeightedGraph
 
 __all__ = ["WeightedGraph", "INFINITY", "generators", "reference", "skeleton_analysis"]

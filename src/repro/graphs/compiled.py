@@ -40,16 +40,16 @@ n = 4096.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
+from repro.graphs import csr as _numpy_plane
 from repro.graphs.csr import (
     CSRAdjacency,
     _levels_as_distances,
     _relax_rounds,
 )
-from repro.graphs import csr as _numpy_plane
 
 try:  # Optional accelerator: the plane degrades per kernel without it.
     from numba import njit as _njit
@@ -255,7 +255,7 @@ def _as_source_array(sources: Sequence[int]) -> np.ndarray:
 
 
 def bfs_level_matrix(
-    csr: CSRAdjacency, sources: Sequence[int], max_hops: Optional[int] = None
+    csr: CSRAdjacency, sources: Sequence[int], max_hops: int | None = None
 ) -> np.ndarray:
     """Compiled :func:`repro.graphs.csr.bfs_level_matrix` (bit-identical)."""
     src = _as_source_array(sources)

@@ -29,7 +29,7 @@ possible.  :class:`~repro.graphs.graph.WeightedGraph` freezes a
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -44,6 +44,18 @@ _DEFAULT_CHUNK_BYTES = 128 * 1024 * 1024
 #: factor so peak allocation stays near the budget rather than several times
 #: over it.
 _SCRATCH_FACTOR = 4
+
+#: The plane-dispatched kernel surface: every alternate graph plane
+#: (:mod:`repro.graphs.compiled`) must provide each of these under the same
+#: name with exactly these leading parameter names, or carry an explicit
+#: ``name = None`` degradation entry.  Checked statically by RL003 of
+#: :mod:`repro.analysis.lint`; renaming a kernel on either plane without
+#: updating this registry fails the lint gate.
+PLANE_KERNELS = {
+    "bfs_level_matrix": ("csr", "sources", "max_hops"),
+    "distance_matrix": ("csr", "sources"),
+    "hop_limited_matrix": ("csr", "sources", "hop_limit"),
+}
 
 
 class CSRAdjacency:
@@ -135,7 +147,7 @@ def _sorted_unique_keys(keys: np.ndarray, bound: int) -> np.ndarray:
 
 
 def bfs_level_matrix(
-    csr: CSRAdjacency, sources: Sequence[int], max_hops: Optional[int] = None
+    csr: CSRAdjacency, sources: Sequence[int], max_hops: int | None = None
 ) -> np.ndarray:
     """Hop distances from every source at once (``-1`` marks unreached nodes).
 
@@ -173,7 +185,7 @@ def bfs_level_matrix(
 
 
 def _relax_rounds(
-    csr: CSRAdjacency, sources: Sequence[int], max_rounds: Optional[int]
+    csr: CSRAdjacency, sources: Sequence[int], max_rounds: int | None
 ) -> np.ndarray:
     """Shared core of the weighted kernels: synchronous Bellman-Ford rounds.
 
@@ -260,8 +272,8 @@ def chunk_byte_budget() -> int:
 
 
 def chunked_sources(
-    n: int, sources: Sequence[int], byte_budget: Optional[int] = None
-) -> List[Sequence[int]]:
+    n: int, sources: Sequence[int], byte_budget: int | None = None
+) -> list[Sequence[int]]:
     """Split a source list so each chunk's scratch stays within a byte budget.
 
     The chunk size is derived from the budget rather than a fixed cell count:
@@ -280,14 +292,14 @@ def chunked_sources(
     return [sources[i : i + chunk] for i in range(0, len(sources), chunk)]
 
 
-def rows_to_dicts(matrix: np.ndarray, cast) -> List[dict]:
+def rows_to_dicts(matrix: np.ndarray, cast) -> list[dict]:
     """Convert kernel output rows to the dict-of-reached format of the dict backend."""
-    result: List[dict] = []
+    result: list[dict] = []
     for row in matrix:
         if row.dtype == np.int64:
             reached = np.flatnonzero(row >= 0)
         else:
             reached = np.flatnonzero(np.isfinite(row))
         values = row[reached]
-        result.append(dict(zip(reached.tolist(), map(cast, values.tolist()))))
+        result.append(dict(zip(reached.tolist(), map(cast, values.tolist()), strict=True)))
     return result

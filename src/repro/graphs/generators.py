@@ -18,7 +18,6 @@ which role in the reduction).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
 
 from repro.graphs.graph import WeightedGraph
 from repro.util.rand import RandomSource
@@ -197,7 +196,7 @@ def clustered_isp_graph(
     n = cluster_count * cluster_size
     graph = WeightedGraph(n)
 
-    def cluster_nodes(cluster: int) -> List[int]:
+    def cluster_nodes(cluster: int) -> list[int]:
         base = cluster * cluster_size
         return list(range(base, base + cluster_size))
 
@@ -229,7 +228,7 @@ def datacenter_pod_graph(
     pod_count: int,
     racks_per_pod: int,
     servers_per_rack: int,
-    rng: Optional[RandomSource] = None,
+    rng: RandomSource | None = None,
 ) -> WeightedGraph:
     """A simplified data-center topology (pods of racks of servers).
 
@@ -289,7 +288,7 @@ def barbell_graph(clique_size: int, path_length: int) -> WeightedGraph:
             for v in nodes[i + 1 :]:
                 graph.add_edge(u, v, 1)
     chain = [left[-1]] + middle + [right[0]]
-    for a, b in zip(chain, chain[1:]):
+    for a, b in zip(chain, chain[1:], strict=False):
         graph.add_edge(a, b, 1)
     return graph
 
@@ -337,13 +336,16 @@ def power_law_graph(
     graph = WeightedGraph(n)
     # Endpoint multiset: every edge contributes both endpoints, so sampling a
     # uniform element is degree-proportional sampling.
-    endpoints: List[int] = [0]
+    endpoints: list[int] = [0]
     for node in range(1, n):
         chosen = set()
         wanted = min(attachment, node)
         while len(chosen) < wanted:
             chosen.add(endpoints[rng.randrange(len(endpoints))])
-        for target in chosen:
+        # Sorted: the iteration order feeds the endpoint multiset and hence
+        # every later degree-proportional draw, so it must not depend on set
+        # internals (RL002).  tests/test_generators.py pins the result.
+        for target in sorted(chosen):
             graph.add_edge(node, target, 1)
             endpoints.append(node)
             endpoints.append(target)

@@ -39,7 +39,7 @@ tests/test_compiled_plane.py assert property-style.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 try:  # numpy is a hard dependency of the repo, but the dict backend works without it.
     import numpy as _np
@@ -74,11 +74,11 @@ class WeightedGraph:
         if backend in ("csr", "csr-njit") and not _HAS_NUMPY:
             raise ValueError(f"the {backend!r} backend requires numpy")
         self._n = n
-        self._adjacency: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._adjacency: list[dict[int, int]] = [dict() for _ in range(n)]
         self._edge_count = 0
         self._backend_choice = backend
         self._csr = None
-        self._hop_diameter: Optional[float] = None
+        self._hop_diameter: float | None = None
         self._version = 0
 
     # ------------------------------------------------------------------ basic
@@ -176,7 +176,7 @@ class WeightedGraph:
         """Iterate over the neighbours of ``u``."""
         return iter(self._adjacency[u])
 
-    def neighbor_items(self, u: int) -> Iterator[Tuple[int, int]]:
+    def neighbor_items(self, u: int) -> Iterator[tuple[int, int]]:
         """Iterate over ``(neighbour, weight)`` pairs of ``u``."""
         return iter(self._adjacency[u].items())
 
@@ -188,7 +188,7 @@ class WeightedGraph:
         """Maximum degree over all nodes."""
         return max(len(adj) for adj in self._adjacency)
 
-    def edges(self) -> Iterator[Tuple[int, int, int]]:
+    def edges(self) -> Iterator[tuple[int, int, int]]:
         """Iterate over undirected edges as ``(u, v, weight)`` with ``u < v``."""
         for u in range(self._n):
             for v, w in self._adjacency[u].items():
@@ -216,7 +216,7 @@ class WeightedGraph:
             raise ValueError(f"node {u} outside [0, {self._n})")
 
     # ----------------------------------------------------------- traversal
-    def bfs_hops(self, source: int, max_hops: Optional[int] = None) -> Dict[int, int]:
+    def bfs_hops(self, source: int, max_hops: int | None = None) -> dict[int, int]:
         """Hop distances from ``source`` to every node within ``max_hops`` hops.
 
         This is ``hop(source, ·)`` from Section 1.3 restricted to the ball of
@@ -228,7 +228,7 @@ class WeightedGraph:
         hops = 0
         while frontier and (max_hops is None or hops < max_hops):
             hops += 1
-            next_frontier: List[int] = []
+            next_frontier: list[int] = []
             for u in frontier:
                 for v in self._adjacency[u]:
                     if v not in distances:
@@ -237,7 +237,7 @@ class WeightedGraph:
             frontier = next_frontier
         return distances
 
-    def ball(self, source: int, radius: int) -> List[int]:
+    def ball(self, source: int, radius: int) -> list[int]:
         """The nodes within ``radius`` hops of ``source`` (including itself)."""
         return list(self.bfs_hops(source, radius))
 
@@ -264,8 +264,8 @@ class WeightedGraph:
         return csr_backend
 
     def bfs_hops_many(
-        self, sources: Sequence[int], max_hops: Optional[int] = None
-    ) -> List[Dict[int, int]]:
+        self, sources: Sequence[int], max_hops: int | None = None
+    ) -> list[dict[int, int]]:
         """``bfs_hops`` from many sources at once (one dict per source)."""
         sources = list(sources)
         for source in sources:
@@ -276,19 +276,19 @@ class WeightedGraph:
 
         kernels = self._kernel_plane()
         view = self.csr()
-        result: List[Dict[int, int]] = []
+        result: list[dict[int, int]] = []
         for chunk in csr_backend.chunked_sources(self._n, sources):
             levels = kernels.bfs_level_matrix(view, chunk, max_hops)
             result.extend(csr_backend.rows_to_dicts(levels, int))
         return result
 
-    def balls_many(self, sources: Sequence[int], radius: int) -> List[List[int]]:
+    def balls_many(self, sources: Sequence[int], radius: int) -> list[list[int]]:
         """The ``radius``-hop balls of many sources at once."""
         return [list(hops) for hops in self.bfs_hops_many(sources, radius)]
 
     def hop_limited_distances_many(
         self, sources: Sequence[int], hop_limit: int
-    ) -> List[Dict[int, float]]:
+    ) -> list[dict[int, float]]:
         """The literal ``d_{hop_limit}`` maps of many sources (Section 1.3)."""
         sources = list(sources)
         if not self._use_csr():
@@ -327,7 +327,7 @@ class WeightedGraph:
                 matrix[row, node] = value
         return matrix
 
-    def dijkstra_many(self, sources: Sequence[int]) -> List[Dict[int, float]]:
+    def dijkstra_many(self, sources: Sequence[int]) -> list[dict[int, float]]:
         """Exact distances from many sources at once (one dict per source)."""
         sources = list(sources)
         if not self._use_csr():
@@ -337,7 +337,7 @@ class WeightedGraph:
 
         return csr_backend.rows_to_dicts(matrix, float)
 
-    def distance_matrix(self, sources: Optional[Sequence[int]] = None):
+    def distance_matrix(self, sources: Sequence[int] | None = None):
         """Exact distances as a dense ``(len(sources), n)`` float matrix.
 
         ``sources`` defaults to all nodes (the full APSP matrix).  Requires
@@ -365,8 +365,8 @@ class WeightedGraph:
         return matrix
 
     def hop_eccentricities(
-        self, sources: Optional[Sequence[int]] = None, max_hops: Optional[int] = None
-    ) -> List[float]:
+        self, sources: Sequence[int] | None = None, max_hops: int | None = None
+    ) -> list[float]:
         """Hop eccentricities of many sources at once.
 
         Without ``max_hops`` this is :meth:`hop_eccentricity` per source
@@ -387,7 +387,7 @@ class WeightedGraph:
 
         kernels = self._kernel_plane()
         view = self.csr()
-        result: List[float] = []
+        result: list[float] = []
         for chunk in csr_backend.chunked_sources(self._n, sources):
             levels = kernels.bfs_level_matrix(view, chunk, max_hops)
             if max_hops is None:
@@ -395,7 +395,7 @@ class WeightedGraph:
                 maxima = levels.max(axis=1)
                 result.extend(
                     float(m) if ok else INFINITY
-                    for m, ok in zip(maxima.tolist(), reached_all.tolist())
+                    for m, ok in zip(maxima.tolist(), reached_all.tolist(), strict=True)
                 )
             else:
                 result.extend(float(m) for m in levels.max(axis=1).tolist())
@@ -445,10 +445,10 @@ class WeightedGraph:
         """Whether the graph is connected (the paper assumes ``G`` connected)."""
         return len(self.bfs_hops(0)) == self._n
 
-    def connected_components(self) -> List[List[int]]:
+    def connected_components(self) -> list[list[int]]:
         """List of connected components (each a sorted list of nodes)."""
         seen = [False] * self._n
-        components: List[List[int]] = []
+        components: list[list[int]] = []
         for start in range(self._n):
             if seen[start]:
                 continue
@@ -466,7 +466,7 @@ class WeightedGraph:
         return components
 
     # ----------------------------------------------------------- distances
-    def dijkstra(self, source: int, targets: Optional[Sequence[int]] = None) -> Dict[int, float]:
+    def dijkstra(self, source: int, targets: Sequence[int] | None = None) -> dict[int, float]:
         """Exact weighted distances ``d(source, ·)`` via Dijkstra.
 
         If ``targets`` is given, the search may stop early once all targets are
@@ -474,9 +474,9 @@ class WeightedGraph:
         """
         self._check_node(source)
         remaining = set(targets) if targets is not None else None
-        dist: Dict[int, float] = {source: 0.0}
-        settled: Dict[int, float] = {}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
+        dist: dict[int, float] = {source: 0.0}
+        settled: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
         while heap:
             d, u = heapq.heappop(heap)
             if u in settled:
@@ -493,13 +493,13 @@ class WeightedGraph:
                     heapq.heappush(heap, (nd, v))
         return settled
 
-    def dijkstra_with_parents(self, source: int) -> Tuple[Dict[int, float], Dict[int, int]]:
+    def dijkstra_with_parents(self, source: int) -> tuple[dict[int, float], dict[int, int]]:
         """Exact distances plus a shortest-path-tree parent pointer per node."""
         self._check_node(source)
-        dist: Dict[int, float] = {source: 0.0}
-        parent: Dict[int, int] = {}
-        settled: Dict[int, float] = {}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
+        dist: dict[int, float] = {source: 0.0}
+        parent: dict[int, int] = {}
+        settled: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
         while heap:
             d, u = heapq.heappop(heap)
             if u in settled:
@@ -513,7 +513,7 @@ class WeightedGraph:
                     heapq.heappush(heap, (nd, v))
         return settled, parent
 
-    def hop_limited_distances(self, source: int, hop_limit: int) -> Dict[int, float]:
+    def hop_limited_distances(self, source: int, hop_limit: int) -> dict[int, float]:
         """``d_h(source, ·)``: cheapest walk weight using at most ``hop_limit`` edges.
 
         Implemented as ``hop_limit`` rounds of synchronous Bellman-Ford where
@@ -526,12 +526,12 @@ class WeightedGraph:
         self._check_node(source)
         if hop_limit < 0:
             raise ValueError("hop_limit must be non-negative")
-        distances: Dict[int, float] = {source: 0.0}
-        frontier: Dict[int, float] = {source: 0.0}
+        distances: dict[int, float] = {source: 0.0}
+        frontier: dict[int, float] = {source: 0.0}
         for _ in range(hop_limit):
             if not frontier:
                 break
-            improvements: Dict[int, float] = {}
+            improvements: dict[int, float] = {}
             for u, du in frontier.items():
                 for v, w in self._adjacency[u].items():
                     nd = du + w
@@ -544,7 +544,7 @@ class WeightedGraph:
                     frontier[v] = nd
         return distances
 
-    def shortest_distances_within_hops(self, source: int, hop_limit: int) -> Dict[int, float]:
+    def shortest_distances_within_hops(self, source: int, hop_limit: int) -> dict[int, float]:
         """Exact distances to nodes whose shortest path uses at most ``hop_limit`` edges.
 
         Runs a lexicographic Dijkstra minimising ``(weight, hops)``.  Relation
@@ -564,9 +564,9 @@ class WeightedGraph:
         self._check_node(source)
         if hop_limit < 0:
             raise ValueError("hop_limit must be non-negative")
-        dist: Dict[int, Tuple[float, int]] = {source: (0.0, 0)}
-        settled: Dict[int, float] = {}
-        heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+        dist: dict[int, tuple[float, int]] = {source: (0.0, 0)}
+        settled: dict[int, float] = {}
+        heap: list[tuple[float, int, int]] = [(0.0, 0, source)]
         while heap:
             d, hops, u = heapq.heappop(heap)
             if u in settled:
@@ -587,14 +587,14 @@ class WeightedGraph:
                     heapq.heappush(heap, (nd, nh, v))
         return settled
 
-    def shortest_path_hops(self, source: int, target: int) -> Optional[List[int]]:
+    def shortest_path_hops(self, source: int, target: int) -> list[int] | None:
         """One shortest u-v path in *hops* (None if disconnected)."""
         if source == target:
             return [source]
-        parents: Dict[int, int] = {source: source}
+        parents: dict[int, int] = {source: source}
         frontier = [source]
         while frontier:
-            next_frontier: List[int] = []
+            next_frontier: list[int] = []
             for u in frontier:
                 for v in self._adjacency[u]:
                     if v not in parents:
@@ -609,7 +609,7 @@ class WeightedGraph:
         return None
 
     # ----------------------------------------------------------- conversion
-    def subgraph(self, nodes: Sequence[int]) -> Tuple["WeightedGraph", Dict[int, int]]:
+    def subgraph(self, nodes: Sequence[int]) -> tuple["WeightedGraph", dict[int, int]]:
         """Induced subgraph on ``nodes``.
 
         Returns the subgraph (relabelled ``0 .. len(nodes)-1``) and the mapping
@@ -651,7 +651,7 @@ class WeightedGraph:
 
     @classmethod
     def from_edges(
-        cls, n: int, edges: Iterable[Tuple[int, int, int]], backend: str = "auto"
+        cls, n: int, edges: Iterable[tuple[int, int, int]], backend: str = "auto"
     ) -> "WeightedGraph":
         """Build from an iterable of ``(u, v, weight)`` triples."""
         result = cls(n, backend=backend)

@@ -9,29 +9,29 @@ EXPERIMENTS.md, so they are written for clarity rather than speed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from collections.abc import Iterable, Mapping, Sequence
 from repro.graphs.graph import INFINITY, WeightedGraph
 
 
-def single_source_distances(graph: WeightedGraph, source: int) -> Dict[int, float]:
+def single_source_distances(graph: WeightedGraph, source: int) -> dict[int, float]:
     """Exact weighted distances from ``source`` to every reachable node."""
     return graph.dijkstra(source)
 
 
 def multi_source_distances(
     graph: WeightedGraph, sources: Sequence[int]
-) -> Dict[int, Dict[int, float]]:
+) -> dict[int, dict[int, float]]:
     """Exact distances from every source: ``result[s][v] = d(s, v)``.
 
     One batched kernel call; under the CSR backend all sources advance
     together instead of one Python-level Dijkstra per source.
     """
     sources = list(sources)
-    return dict(zip(sources, graph.dijkstra_many(sources)))
+    return dict(zip(sources, graph.dijkstra_many(sources), strict=True))
 
 
-def all_pairs_distances(graph: WeightedGraph) -> Dict[int, Dict[int, float]]:
+def all_pairs_distances(graph: WeightedGraph) -> dict[int, dict[int, float]]:
     """Exact APSP by running Dijkstra from every node."""
     return multi_source_distances(graph, list(graph.nodes()))
 
@@ -78,14 +78,14 @@ def shortest_path_diameter(graph: WeightedGraph) -> int:
     return spd
 
 
-def _min_hops_on_shortest_paths(graph: WeightedGraph, source: int) -> Dict[int, int]:
+def _min_hops_on_shortest_paths(graph: WeightedGraph, source: int) -> dict[int, int]:
     """For each node, the fewest hops among all shortest weighted paths from source."""
     import heapq
 
-    dist: Dict[int, float] = {source: 0.0}
-    hops: Dict[int, int] = {source: 0}
-    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
-    settled: Dict[int, int] = {}
+    dist: dict[int, float] = {source: 0.0}
+    hops: dict[int, int] = {source: 0}
+    heap: list[tuple[float, int, int]] = [(0.0, 0, source)]
+    settled: dict[int, int] = {}
     while heap:
         d, h, u = heapq.heappop(heap)
         if u in settled:
@@ -104,7 +104,7 @@ def _min_hops_on_shortest_paths(graph: WeightedGraph, source: int) -> Dict[int, 
 
 def distances_as_matrix(
     graph: WeightedGraph, distances: Mapping[int, Mapping[int, float]]
-) -> List[List[float]]:
+) -> list[list[float]]:
     """Convert a nested distance dict into a dense ``n x n`` matrix (∞ if absent)."""
     n = graph.node_count
     matrix = [[INFINITY] * n for _ in range(n)]
@@ -117,7 +117,7 @@ def distances_as_matrix(
 
 
 def max_absolute_error(
-    expected: Mapping[int, float], actual: Mapping[int, float], keys: Optional[Iterable[int]] = None
+    expected: Mapping[int, float], actual: Mapping[int, float], keys: Iterable[int] | None = None
 ) -> float:
     """Largest absolute difference between two distance maps over ``keys``."""
     if keys is None:
@@ -135,7 +135,7 @@ def max_absolute_error(
 
 
 def max_stretch(
-    expected: Mapping[int, float], actual: Mapping[int, float], keys: Optional[Iterable[int]] = None
+    expected: Mapping[int, float], actual: Mapping[int, float], keys: Iterable[int] | None = None
 ) -> float:
     """Largest ratio ``actual / expected`` over ``keys`` (ignoring zero distances).
 
@@ -160,7 +160,7 @@ def max_stretch(
 def has_one_sided_error(
     expected: Mapping[int, float],
     actual: Mapping[int, float],
-    keys: Optional[Iterable[int]] = None,
+    keys: Iterable[int] | None = None,
     tolerance: float = 1e-9,
 ) -> bool:
     """Check the paper's approximation contract: estimates never undershoot."""

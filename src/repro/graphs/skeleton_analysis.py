@@ -16,8 +16,8 @@ on the *centralised* view of a skeleton; the distributed construction lives in
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.graph import INFINITY, WeightedGraph
 from repro.util.rand import RandomSource
@@ -41,7 +41,7 @@ def build_skeleton_offline(
     graph: WeightedGraph,
     skeleton_nodes: Sequence[int],
     hop_length: int,
-) -> Tuple[WeightedGraph, Dict[int, int]]:
+) -> tuple[WeightedGraph, dict[int, int]]:
     """Centralised construction of the skeleton ``S`` on the given sampled nodes.
 
     Edges connect sampled nodes within ``hop_length`` hops, weighted by the
@@ -52,7 +52,7 @@ def build_skeleton_offline(
     skeleton = WeightedGraph(max(1, len(skeleton_nodes)))
     skeleton_set = set(skeleton_nodes)
     all_limited = graph.hop_limited_distances_many(list(skeleton_nodes), hop_length)
-    for node, limited in zip(skeleton_nodes, all_limited):
+    for node, limited in zip(skeleton_nodes, all_limited, strict=True):
         for other, dist in limited.items():
             if other in skeleton_set and other != node:
                 u, v = mapping[node], mapping[other]
@@ -98,7 +98,7 @@ class SkeletonReport:
 
 def sample_gap_on_shortest_path(
     graph: WeightedGraph, sampled: Sequence[int], source: int, target: int
-) -> Optional[int]:
+) -> int | None:
     """Largest run of consecutive non-sampled nodes on one shortest hop-path.
 
     Returns ``None`` when source and target are disconnected.  Lemma C.1 is a
@@ -136,7 +136,7 @@ def audit_skeleton(
     connected = skeleton.node_count <= 1 or skeleton.is_connected()
 
     nodes = list(skeleton_nodes)
-    pairs: List[Tuple[int, int]] = []
+    pairs: list[tuple[int, int]] = []
     if len(nodes) >= 2:
         for _ in range(pair_samples):
             u = rng.choice(nodes)

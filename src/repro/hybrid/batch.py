@@ -1,8 +1,8 @@
 """Batched representation of global-mode (NCC) message traffic.
 
 The engine's scalar interface moves global messages as
-``Dict[sender, List[(target, payload)]]`` outboxes and the mirror-image
-``Dict[receiver, List[(sender, payload)]]`` inboxes.  That shape forces a
+``dict[sender, list[(target, payload)]]`` outboxes and the mirror-image
+``dict[receiver, list[(sender, payload)]]`` inboxes.  That shape forces a
 Python-level loop per message on both the protocol side (building the dicts
 one tuple at a time) and the engine side (draining them one tuple at a time).
 
@@ -30,7 +30,7 @@ to the scalar plane; every consumer keeps working.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from collections.abc import Iterator, Mapping, Sequence
 
 try:  # Arrays when available; plain lists otherwise (see module docstring).
     import numpy as _np
@@ -40,8 +40,21 @@ except ImportError:  # pragma: no cover - exercised only in stripped environment
     _np = None
     _HAS_NUMPY = False
 
-Outboxes = Dict[int, List[Tuple[int, object]]]
-Inboxes = Dict[int, List[Tuple[int, object]]]
+Outboxes = dict[int, list[tuple[int, object]]]
+Inboxes = dict[int, list[tuple[int, object]]]
+
+#: The compiled message plane's kernel surface (:mod:`repro.hybrid.compiled`):
+#: each name must exist there as a function with exactly these leading
+#: parameter names, or as an explicit ``name = None`` degradation entry (the
+#: no-numba case).  The scalar oracles live beside the engine --
+#: ``repro.hybrid.network._admit_scan`` and
+#: ``repro.hybrid.faults.fault_hash_array`` -- and the vectorized plane in
+#: this module is pinned bit-identical to both.  Checked statically by RL003
+#: of :mod:`repro.analysis.lint`.
+PLANE_KERNELS = {
+    "admit_scan": ("senders", "targets", "scan_positions", "send_cap", "receive_cap", "n"),
+    "fault_hash_columns": ("prefix", "senders", "targets", "occurrences"),
+}
 
 
 def _as_index_column(values) -> "Sequence[int]":
@@ -73,11 +86,11 @@ class MessageBatch:
         return cls([], [], [])
 
     @classmethod
-    def from_outboxes(cls, outboxes: Mapping[int, Sequence[Tuple[int, object]]]) -> "MessageBatch":
+    def from_outboxes(cls, outboxes: Mapping[int, Sequence[tuple[int, object]]]) -> "MessageBatch":
         """Flatten dict-form outboxes (sender iteration order, then queue order)."""
-        senders: List[int] = []
-        targets: List[int] = []
-        payloads: List[object] = []
+        senders: list[int] = []
+        targets: list[int] = []
+        payloads: list[object] = []
         for sender, messages in outboxes.items():
             for target, payload in messages:
                 senders.append(sender)
@@ -86,11 +99,11 @@ class MessageBatch:
         return cls(senders, targets, payloads)
 
     @classmethod
-    def from_inboxes(cls, inboxes: Mapping[int, Sequence[Tuple[int, object]]]) -> "MessageBatch":
+    def from_inboxes(cls, inboxes: Mapping[int, Sequence[tuple[int, object]]]) -> "MessageBatch":
         """Flatten dict-form inboxes; per-target message order is preserved."""
-        senders: List[int] = []
-        targets: List[int] = []
-        payloads: List[object] = []
+        senders: list[int] = []
+        targets: list[int] = []
+        payloads: list[object] = []
         for target, messages in inboxes.items():
             for sender, payload in messages:
                 senders.append(sender)
@@ -106,7 +119,7 @@ class MessageBatch:
             return cls.empty()
         if len(batches) == 1:
             return batches[0]
-        payloads: List[object] = []
+        payloads: list[object] = []
         for batch in batches:
             payloads.extend(batch.payloads)
         if _HAS_NUMPY:
@@ -124,18 +137,18 @@ class MessageBatch:
     def to_outboxes(self) -> Outboxes:
         """The scalar dict-of-tuples outbox form (per-sender queue order kept)."""
         outboxes: Outboxes = {}
-        for sender, target, payload in zip(self.senders, self.targets, self.payloads):
+        for sender, target, payload in zip(self.senders, self.targets, self.payloads, strict=True):
             outboxes.setdefault(int(sender), []).append((int(target), payload))
         return outboxes
 
     def to_inboxes(self) -> Inboxes:
         """The scalar dict-of-tuples inbox form (per-receiver delivery order kept)."""
         inboxes: Inboxes = {}
-        for sender, target, payload in zip(self.senders, self.targets, self.payloads):
+        for sender, target, payload in zip(self.senders, self.targets, self.payloads, strict=True):
             inboxes.setdefault(int(target), []).append((int(sender), payload))
         return inboxes
 
-    def groupby_target(self) -> Iterator[Tuple[int, Sequence[int], List[object]]]:
+    def groupby_target(self) -> Iterator[tuple[int, Sequence[int], list[object]]]:
         """Yield ``(target, senders, payloads)`` per distinct target.
 
         Groups appear in ascending target order; within a group, messages keep
@@ -151,7 +164,7 @@ class MessageBatch:
             boundaries = _np.flatnonzero(sorted_targets[1:] != sorted_targets[:-1]) + 1
             starts = [0, *boundaries.tolist(), len(order)]
             payloads = self.payloads
-            for begin, end in zip(starts[:-1], starts[1:]):
+            for begin, end in zip(starts[:-1], starts[1:], strict=True):
                 indices = order[begin:end]
                 yield (
                     int(sorted_targets[begin]),
@@ -159,8 +172,9 @@ class MessageBatch:
                     [payloads[i] for i in indices.tolist()],
                 )
         else:
-            grouped: Dict[int, Tuple[List[int], List[object]]] = {}
-            for sender, target, payload in zip(self.senders, self.targets, self.payloads):
+            grouped: dict[int, tuple[list[int], list[object]]] = {}
+            columns = zip(self.senders, self.targets, self.payloads, strict=True)
+            for sender, target, payload in columns:
                 bucket = grouped.setdefault(int(target), ([], []))
                 bucket[0].append(int(sender))
                 bucket[1].append(payload)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.hybrid.faults import FaultModel
 
@@ -92,7 +91,7 @@ class ModelConfig:
     hash_independence_factor: int = 3
     cap_local_at_diameter: bool = True
     global_plane: str = "auto"
-    faults: Optional[FaultModel] = None
+    faults: FaultModel | None = None
     rng_seed: int = 0
     extra: dict = field(default_factory=dict)
 

@@ -36,8 +36,8 @@ DESIGN.md §8.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
 
 try:  # The vectorized fault plane needs numpy; the scalar plane never does.
     import numpy as _np
@@ -148,7 +148,7 @@ def _drop_threshold(rate: float) -> int:
     return int(rate * float(1 << 64))
 
 
-def _normalize_pairs(value) -> Tuple[Tuple[int, int], ...]:
+def _normalize_pairs(value) -> tuple[tuple[int, int], ...]:
     """Coerce a mapping or iterable of pairs to a sorted tuple of int pairs."""
     if isinstance(value, Mapping):
         items = value.items()
@@ -201,9 +201,9 @@ class FaultModel:
     burst_rate: float = 0.0
     burst_length: int = 0
     burst_drop_rate: float = 1.0
-    crash_schedule: Union[Mapping[int, int], Iterable[Tuple[int, int]]] = ()
-    omission_schedule: Union[Mapping[int, Iterable[int]], Iterable[Tuple[int, Iterable[int]]]] = ()
-    edge_outages: Iterable[Tuple[int, int]] = ()
+    crash_schedule: Mapping[int, int] | Iterable[tuple[int, int]] = ()
+    omission_schedule: Mapping[int, Iterable[int]] | Iterable[tuple[int, Iterable[int]]] = ()
+    edge_outages: Iterable[tuple[int, int]] = ()
     max_attempts: int = 8
     seed: int = 0
 
@@ -219,7 +219,7 @@ class FaultModel:
         # Duplicate keys in the pair forms merge rather than overwrite: a node
         # crashes at its *earliest* scheduled round, and a round's omission
         # set is the union of every pair naming it.
-        crashes: Dict[int, int] = {}
+        crashes: dict[int, int] = {}
         for node, crash_round in _normalize_pairs(self.crash_schedule):
             if node not in crashes or crash_round < crashes[node]:
                 crashes[node] = crash_round
@@ -229,7 +229,7 @@ class FaultModel:
             omission_items = omissions.items()
         else:
             omission_items = omissions
-        merged: Dict[int, set] = {}
+        merged: dict[int, set] = {}
         for round_index, nodes in omission_items:
             merged.setdefault(int(round_index), set()).update(int(node) for node in nodes)
         object.__setattr__(
@@ -279,8 +279,8 @@ class FaultState:
     def __init__(self, model: FaultModel) -> None:
         self.model = model
         self.round_index = 0
-        self._crash_rounds: Dict[int, int] = dict(model.crash_schedule)
-        self._omissions: Dict[int, FrozenSet[int]] = {
+        self._crash_rounds: dict[int, int] = dict(model.crash_schedule)
+        self._omissions: dict[int, frozenset[int]] = {
             round_index: frozenset(nodes) for round_index, nodes in model.omission_schedule
         }
         self._iid_threshold = _drop_threshold(model.drop_rate)
@@ -290,7 +290,7 @@ class FaultState:
         # because both planes consume a round's decisions before the clock
         # advances.
         self._context_round = -1
-        self._context: Tuple[int, FrozenSet[int], int] = (0, frozenset(), 0)
+        self._context: tuple[int, frozenset[int], int] = (0, frozenset(), 0)
 
     def next_round(self) -> int:
         """Advance the global-round clock; returns the round just started."""
@@ -316,7 +316,7 @@ class FaultState:
             return self._burst_threshold
         return self._iid_threshold
 
-    def faulty_nodes(self, round_index: int) -> FrozenSet[int]:
+    def faulty_nodes(self, round_index: int) -> frozenset[int]:
         """Nodes that neither send nor receive in this global round."""
         crashed = {
             node for node, crash_round in self._crash_rounds.items() if round_index >= crash_round
@@ -326,7 +326,7 @@ class FaultState:
             crashed |= omitted
         return frozenset(crashed)
 
-    def round_context(self, round_index: int) -> Tuple[int, FrozenSet[int], int]:
+    def round_context(self, round_index: int) -> tuple[int, frozenset[int], int]:
         """``(drop threshold, faulty node set, message-hash prefix)`` for a round.
 
         All three are pure functions of the round index, so they are computed
@@ -353,7 +353,7 @@ class FaultState:
         target: int,
         occurrence: int,
         threshold: int,
-        faulty: FrozenSet[int],
+        faulty: frozenset[int],
     ) -> bool:
         """The scalar plane's drop decision for one message."""
         if faulty and (sender in faulty or target in faulty):

@@ -22,9 +22,9 @@ amortized accounting.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
 
 
 #: Process-local stack of ambient observers (see :func:`ambient_observer`).
@@ -35,7 +35,7 @@ from typing import Dict, Iterator, List, Optional
 #: engine opens one observer per shard: because the stack is per process and
 #: shards run one at a time within a worker, the per-shard metrics recorded
 #: in the artifact store are bit-identical between serial and parallel runs.
-_AMBIENT_OBSERVERS: List["RoundMetrics"] = []
+_AMBIENT_OBSERVERS: list["RoundMetrics"] = []
 
 
 @contextmanager
@@ -88,9 +88,9 @@ class RoundMetrics:
     #: from those losses.  Both stay 0 on the ideal fault-free paths.
     global_dropped: int = 0
     global_retried: int = 0
-    phases: Dict[str, PhaseBreakdown] = field(default_factory=lambda: defaultdict(PhaseBreakdown))
-    cut_bits: Dict[str, int] = field(default_factory=dict)
-    _scopes: List["RoundMetrics"] = field(default_factory=list, repr=False, compare=False)
+    phases: dict[str, PhaseBreakdown] = field(default_factory=lambda: defaultdict(PhaseBreakdown))
+    cut_bits: dict[str, int] = field(default_factory=dict)
+    _scopes: list["RoundMetrics"] = field(default_factory=list, repr=False, compare=False)
 
     @property
     def total_rounds(self) -> int:
@@ -158,7 +158,7 @@ class RoundMetrics:
         bits: int,
         max_sent: int,
         max_received: int,
-        receive_cap: Optional[int] = None,
+        receive_cap: int | None = None,
     ) -> None:
         """Record one global round's traffic statistics."""
         self.global_messages += messages
@@ -216,7 +216,7 @@ class RoundMetrics:
             if name.startswith(prefix)
         )
 
-    def phase_summary(self) -> List[str]:
+    def phase_summary(self) -> list[str]:
         """Human-readable per-phase round counts (largest first)."""
         rows = sorted(self.phases.items(), key=lambda item: -item[1].total_rounds)
         return [
@@ -225,7 +225,7 @@ class RoundMetrics:
             for name, breakdown in rows
         ]
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Flat dictionary used by benchmarks' ``extra_info``."""
         return {
             "total_rounds": self.total_rounds,

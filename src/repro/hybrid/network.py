@@ -31,7 +31,7 @@ local and global rounds is the quantity the paper's theorems are about.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.graphs.graph import WeightedGraph
 from repro.hybrid import compiled as _compiled
@@ -53,9 +53,9 @@ except ImportError:  # pragma: no cover - exercised only in stripped environment
 # A global outbox maps a sender to the list of (target, payload) messages it
 # wants to send; an inbox maps a receiver to the list of (sender, payload)
 # messages it got.  MessageBatch is the array-backed equivalent of either.
-Outboxes = Dict[int, List[Tuple[int, object]]]
-Inboxes = Dict[int, List[Tuple[int, object]]]
-GlobalMessages = Union[Mapping[int, Sequence[Tuple[int, object]]], MessageBatch]
+Outboxes = dict[int, list[tuple[int, object]]]
+Inboxes = dict[int, list[tuple[int, object]]]
+GlobalMessages = Mapping[int, Sequence[tuple[int, object]]] | MessageBatch
 
 
 def _group_starts(keys):
@@ -111,7 +111,7 @@ def _admit_scan(senders, targets, scan_positions, send_cap: int, receive_cap: in
 class HybridNetwork:
     """One simulated HYBRID network: graph + global channel + accounting."""
 
-    def __init__(self, graph: WeightedGraph, config: Optional[ModelConfig] = None) -> None:
+    def __init__(self, graph: WeightedGraph, config: ModelConfig | None = None) -> None:
         self.graph = graph
         self.config = config or ModelConfig()
         self.n = graph.node_count
@@ -122,9 +122,9 @@ class HybridNetwork:
         self.rng = RandomSource(self.config.rng_seed)
         self.send_cap = self.config.send_cap(self.n)
         self.receive_cap = self.config.receive_cap(self.n)
-        self._states: List[Dict[str, object]] = [dict() for _ in range(self.n)]
+        self._states: list[dict[str, object]] = [dict() for _ in range(self.n)]
         # (name, node_set, membership mask or None) per registered cut.
-        self._cut_watchers: List[Tuple[str, Set[int], object]] = []
+        self._cut_watchers: list[tuple[str, set[int], object]] = []
         plane = self.config.global_plane
         if plane not in ("auto", "scalar", "vectorized", "compiled"):
             raise ValueError(f"unknown global_plane {plane!r}")
@@ -152,7 +152,7 @@ class HybridNetwork:
         # across rounds: only the entries touched in a round are read and
         # re-zeroed, so accounting cost scales with the round's traffic
         # rather than with n.
-        self._receive_counts: List[int] = [0] * self.n
+        self._receive_counts: list[int] = [0] * self.n
         # Fault injection (DESIGN.md §8).  A disabled/absent FaultModel keeps
         # every engine path on the ideal branch -- `_fault_state is None` is
         # the single check the hot loops make.
@@ -163,11 +163,11 @@ class HybridNetwork:
             if self.faults is not None and self.faults.affects_global
             else None
         )
-        self._outage_graph: Optional[WeightedGraph] = None
-        self._outage_version: Optional[int] = None
+        self._outage_graph: WeightedGraph | None = None
+        self._outage_version: int | None = None
 
     # ------------------------------------------------------------------ state
-    def state(self, node: int) -> Dict[str, object]:
+    def state(self, node: int) -> dict[str, object]:
         """The mutable per-node knowledge dictionary of ``node``.
 
         Protocols must only read/write the state of the node they are
@@ -175,7 +175,7 @@ class HybridNetwork:
         """
         return self._states[node]
 
-    def states(self) -> List[Dict[str, object]]:
+    def states(self) -> list[dict[str, object]]:
         """All node states (index = node ID)."""
         return self._states
 
@@ -197,6 +197,7 @@ class HybridNetwork:
 
     def fork_rng(self, label: str) -> RandomSource:
         """A child random source for one protocol phase (reproducible per label)."""
+        # repro-lint: waive[RL005] -- the blessed forwarding wrapper; RL005 audits its call sites
         return self.rng.fork(label)
 
     # ------------------------------------------------------------- local mode
@@ -262,7 +263,7 @@ class HybridNetwork:
         mask = None
         if _HAS_NUMPY:
             mask = _np.zeros(self.n, dtype=bool)
-            for node in members:
+            for node in sorted(members):
                 mask[node] = True
         self._cut_watchers.append((name, members, mask))
 
@@ -319,7 +320,7 @@ class HybridNetwork:
         return self._global_round_scalar(outboxes, phase)
 
     def _global_round_scalar(
-        self, outboxes: Mapping[int, Sequence[Tuple[int, object]]], phase: str
+        self, outboxes: Mapping[int, Sequence[tuple[int, object]]], phase: str
     ) -> Inboxes:
         """One global round, simulated message by message (the scalar plane)."""
         inboxes: Inboxes = {}
@@ -335,7 +336,7 @@ class HybridNetwork:
             # (FaultState.round_context); drops() folds per-message lanes
             # onto the same prefix.
             drop_threshold, faulty_nodes, _ = fault_state.round_context(fault_round)
-            occurrences: Dict[Tuple[int, int], int] = {}
+            occurrences: dict[tuple[int, int], int] = {}
         # Accounting is batched: receive counts accumulate in a reusable
         # per-node counter array and are folded into the totals/maximum once
         # per touched receiver, instead of dict lookups per message.  The
@@ -344,7 +345,7 @@ class HybridNetwork:
         # message and cut-bit counts, strict_send/strict_receive errors -- are
         # identical to the per-message accounting it replaces.
         receive_counts = self._receive_counts
-        touched: List[int] = []
+        touched: list[int] = []
         n = self.n
 
         try:
@@ -541,19 +542,19 @@ class HybridNetwork:
 
     def _run_exchange_scalar(
         self,
-        outboxes: Mapping[int, Sequence[Tuple[int, object]]],
+        outboxes: Mapping[int, Sequence[tuple[int, object]]],
         phase: str,
         receiver_limited: bool,
-    ) -> Tuple[Inboxes, int]:
+    ) -> tuple[Inboxes, int]:
         """The per-message reference scheduler (see run_global_exchange)."""
-        queues: Dict[int, List[Tuple[int, object]]] = {
+        queues: dict[int, list[tuple[int, object]]] = {
             sender: list(messages) for sender, messages in outboxes.items() if messages
         }
         inboxes: Inboxes = {}
         rounds = 0
         while queues:
             round_out: Outboxes = {}
-            receive_budget: Dict[int, int] = {}
+            receive_budget: dict[int, int] = {}
             empty_senders = []
             order = sorted(queues)
             offset = rounds % len(order)
@@ -564,7 +565,7 @@ class HybridNetwork:
                     del queue[: self.send_cap]
                 else:
                     batch = []
-                    kept: List[Tuple[int, object]] = []
+                    kept: list[tuple[int, object]] = []
                     send_budget = self.send_cap
                     for position, message in enumerate(queue):
                         if send_budget == 0:
@@ -600,7 +601,7 @@ class HybridNetwork:
 
     def _run_exchange_batched(
         self, batch: MessageBatch, phase: str, receiver_limited: bool
-    ) -> Tuple[MessageBatch, int]:
+    ) -> tuple[MessageBatch, int]:
         """The whole-array scheduler: same admissions as the scalar plane.
 
         The pending messages are kept sorted by (sender, queue position) --
@@ -620,9 +621,9 @@ class HybridNetwork:
         senders = batch.senders[order]
         targets = batch.targets[order]
         indices = order
-        delivered_senders: List[object] = []
-        delivered_targets: List[object] = []
-        delivered_indices: List[object] = []
+        delivered_senders: list[object] = []
+        delivered_targets: list[object] = []
+        delivered_indices: list[object] = []
         send_cap = self.send_cap
         rounds = 0
         while senders.size:
@@ -686,7 +687,7 @@ class HybridNetwork:
         batch: MessageBatch,
         phase: str = "global",
         receiver_limited: bool = True,
-    ) -> Tuple[MessageBatch, int]:
+    ) -> tuple[MessageBatch, int]:
         """Deliver *every* message of ``batch`` despite an unreliable network.
 
         Without active global faults this is exactly
@@ -766,7 +767,7 @@ class HybridNetwork:
         """Largest cumulative global receive count of any node over the run."""
         return int(max(self.received_totals)) if self.n else 0
 
-    def local_ball(self, node: int, radius: int) -> List[int]:
+    def local_ball(self, node: int, radius: int) -> list[int]:
         """The ``radius``-hop neighbourhood of ``node`` (no rounds charged).
 
         Computed on :attr:`local_graph`, so local-edge outages shrink the
@@ -774,7 +775,7 @@ class HybridNetwork:
         """
         return self.local_graph.ball(node, radius)
 
-    def local_hop_limited_distances(self, node: int, hop_limit: int) -> Dict[int, float]:
+    def local_hop_limited_distances(self, node: int, hop_limit: int) -> dict[int, float]:
         """``d_h(node, ·)`` for the node's local exploration (no rounds charged).
 
         Callers must separately charge the exploration depth via

@@ -20,7 +20,8 @@ rather than per-node tuple loops; a single node already knows every input, so
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 from repro.hybrid.batch import MessageBatch
 from repro.hybrid.network import HybridNetwork
@@ -45,10 +46,10 @@ def _node_range(low: int, high: int):
 
 def aggregate(
     network: HybridNetwork,
-    values: Dict[int, T],
+    values: dict[int, T],
     combine: Callable[[T, T], T],
     phase: str = "aggregation",
-) -> Optional[T]:
+) -> T | None:
     """All nodes learn ``combine`` folded over ``values`` in ``O(log n)`` rounds.
 
     ``combine`` must be associative and commutative (max, min, +, set union...).
@@ -58,7 +59,7 @@ def aggregate(
     if not values:
         return None
     n = network.n
-    partial: List[Optional[T]] = [None] * n
+    partial: list[T | None] = [None] * n
     for node, value in values.items():
         partial[node] = value
 
@@ -71,7 +72,7 @@ def aggregate(
             delivered = network.global_round(batch, phase)
             # Ring-doubling targets are distinct (sender -> sender + step is a
             # bijection mod n), so each receiver folds at most one message.
-            for receiver, payload in zip(delivered.targets, delivered.payloads):
+            for receiver, payload in zip(delivered.targets, delivered.payloads, strict=True):
                 receiver = int(receiver)
                 if partial[receiver] is None:
                     partial[receiver] = payload
@@ -94,21 +95,21 @@ def aggregate(
 
 
 def aggregate_max(
-    network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-max"
-) -> Optional[float]:
+    network: HybridNetwork, values: dict[int, float], phase: str = "aggregation-max"
+) -> float | None:
     """All nodes learn ``max(values)`` in ``O(log n)`` global rounds."""
     return aggregate(network, values, max, phase)
 
 
 def aggregate_min(
-    network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-min"
-) -> Optional[float]:
+    network: HybridNetwork, values: dict[int, float], phase: str = "aggregation-min"
+) -> float | None:
     """All nodes learn ``min(values)`` in ``O(log n)`` global rounds."""
     return aggregate(network, values, min, phase)
 
 
 def aggregate_sum(
-    network: HybridNetwork, values: Dict[int, float], phase: str = "aggregation-sum"
+    network: HybridNetwork, values: dict[int, float], phase: str = "aggregation-sum"
 ) -> float:
     """All nodes learn ``sum(values)`` in ``O(log n)`` global rounds.
 
@@ -147,7 +148,7 @@ def aggregate_sum(
         delivered, _ = network.run_reliable_exchange(
             MessageBatch(senders, targets, payloads), phase
         )
-        for parent, value in zip(delivered.targets, delivered.payloads):
+        for parent, value in zip(delivered.targets, delivered.payloads, strict=True):
             totals[int(parent)] += value
     total = totals[0]
     broadcast_value(network, total, source=0, phase=phase)

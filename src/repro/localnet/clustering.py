@@ -13,8 +13,8 @@ has two properties the helper-set construction relies on:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.flooding import multi_source_hop_distances
@@ -38,16 +38,16 @@ class Clustering:
         every member learn its whole cluster (the two loops of Algorithm 1).
     """
 
-    node_to_ruler: List[int]
-    members: Dict[int, List[int]]
+    node_to_ruler: list[int]
+    members: dict[int, list[int]]
     radius: int
     rounds_charged: int
 
-    def cluster_of(self, node: int) -> List[int]:
+    def cluster_of(self, node: int) -> list[int]:
         """The member list of the cluster containing ``node``."""
         return self.members[self.node_to_ruler[node]]
 
-    def cluster_sizes(self) -> List[int]:
+    def cluster_sizes(self) -> list[int]:
         """Sizes of all clusters."""
         return [len(members) for members in self.members.values()]
 
@@ -74,8 +74,8 @@ def cluster_around_rulers(
     if len(assignment) != network.n:
         raise ValueError("graph must be connected for the clustering to cover all nodes")
 
-    node_to_ruler: List[int] = [0] * network.n
-    members: Dict[int, List[int]] = {ruler: [] for ruler in rulers}
+    node_to_ruler: list[int] = [0] * network.n
+    members: dict[int, list[int]] = {ruler: [] for ruler in rulers}
     radius = 0
     for node in range(network.n):
         hops, ruler = assignment[node]

@@ -16,7 +16,8 @@ structure of the flooding loops being simulated).
 from __future__ import annotations
 
 import warnings
-from typing import Dict, List, Optional, Sequence, TypeVar
+from collections.abc import Sequence
+from typing import TypeVar
 
 from repro.hybrid.network import HybridNetwork
 
@@ -25,7 +26,7 @@ T = TypeVar("T")
 
 def explore_hop_distances(
     network: HybridNetwork, depth: int, phase: str = "local-exploration"
-) -> List[Dict[int, int]]:
+) -> list[dict[int, int]]:
     """Every node learns the hop distance to every node within ``depth`` hops.
 
     Charges ``depth`` local rounds and returns, per node, the mapping
@@ -37,7 +38,7 @@ def explore_hop_distances(
 
 def explore_limited_distances(
     network: HybridNetwork, depth: int, phase: str = "local-exploration", exact: bool = True
-) -> List[Dict[int, float]]:
+) -> list[dict[int, float]]:
     """Every node learns its ``depth``-hop-limited distances (Section 1.3).
 
     Charges ``depth`` local rounds.  This is the outcome of flooding all graph
@@ -80,9 +81,9 @@ def explore_limited_distance_matrix(
 def flood_values(
     network: HybridNetwork,
     depth: int,
-    initial: Dict[int, T],
+    initial: dict[int, T],
     phase: str = "local-flood",
-) -> List[Dict[int, T]]:
+) -> list[dict[int, T]]:
     """Flood per-node values for ``depth`` rounds.
 
     ``initial`` maps an origin node to the value it floods.  After the charged
@@ -90,10 +91,10 @@ def flood_values(
     ``depth`` hops; the result is one ``origin -> value`` dict per node.
     """
     network.charge_local_rounds(depth, phase)
-    result: List[Dict[int, T]] = [dict() for _ in range(network.n)]
+    result: list[dict[int, T]] = [dict() for _ in range(network.n)]
     origins = list(initial)
     balls = network.local_graph.balls_many(origins, depth)
-    for origin, ball in zip(origins, balls):
+    for origin, ball in zip(origins, balls, strict=True):
         value = initial[origin]
         for reached in ball:
             result[reached][origin] = value
@@ -103,9 +104,9 @@ def flood_values(
 def flood_token_sets(
     network: HybridNetwork,
     depth: int,
-    initial: Dict[int, Sequence[T]],
+    initial: dict[int, Sequence[T]],
     phase: str = "local-flood",
-) -> List[List[T]]:
+) -> list[list[T]]:
     """Flood *collections* of tokens for ``depth`` rounds.
 
     Like :func:`flood_values` but each origin contributes a list of tokens and
@@ -113,10 +114,10 @@ def flood_token_sets(
     when helpers flood the tokens they hold back to their sender/receiver.
     """
     network.charge_local_rounds(depth, phase)
-    result: List[List[T]] = [list() for _ in range(network.n)]
+    result: list[list[T]] = [list() for _ in range(network.n)]
     origins = [origin for origin, tokens in initial.items() if tokens]
     balls = network.local_graph.balls_many(origins, depth)
-    for origin, ball in zip(origins, balls):
+    for origin, ball in zip(origins, balls, strict=True):
         tokens = initial[origin]
         for reached in ball:
             result[reached].extend(tokens)
@@ -126,8 +127,8 @@ def flood_token_sets(
 def multi_source_hop_distances(
     network: HybridNetwork,
     sources: Sequence[int],
-    depth: Optional[int] = None,
-) -> Dict[int, tuple]:
+    depth: int | None = None,
+) -> dict[int, tuple]:
     """Closest source (by hops, ties by smaller source ID) for every node.
 
     Returns ``node -> (hop_distance, source)`` for every node reached within
@@ -136,8 +137,8 @@ def multi_source_hop_distances(
     This is the "join the cluster of the closest ruler" step of Algorithm 1.
     """
     graph = network.local_graph  # hoisted: the view cannot change mid-call
-    assignment: Dict[int, tuple] = {}
-    frontier: List[int] = []
+    assignment: dict[int, tuple] = {}
+    frontier: list[int] = []
     for source in sorted(sources):
         if source not in assignment:
             assignment[source] = (0, source)
@@ -145,7 +146,7 @@ def multi_source_hop_distances(
     hops = 0
     while frontier and (depth is None or hops < depth):
         hops += 1
-        next_frontier: List[int] = []
+        next_frontier: list[int] = []
         for node in frontier:
             _, source = assignment[node]
             for neighbour in graph.neighbors(node):
@@ -160,20 +161,20 @@ def multi_source_hop_distances(
 
 def converge_cast_max(
     network: HybridNetwork,
-    values: Dict[int, float],
+    values: dict[int, float],
     depth: int,
     phase: str = "local-max",
-) -> List[float]:
+) -> list[float]:
     """Each node learns the maximum of ``values`` over its ``depth``-hop ball.
 
     Charges ``depth`` local rounds.  Used by the diameter algorithm where each
     node computes the largest hop distance it "sees" locally (Algorithm 9).
     """
     network.charge_local_rounds(depth, phase)
-    result: List[float] = [float("-inf")] * network.n
+    result: list[float] = [float("-inf")] * network.n
     origins = list(values)
     balls = network.local_graph.balls_many(origins, depth)
-    for origin, ball in zip(origins, balls):
+    for origin, ball in zip(origins, balls, strict=True):
         value = values[origin]
         for reached in ball:
             if value > result[reached]:

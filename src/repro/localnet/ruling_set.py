@@ -16,7 +16,6 @@ output properties plus the charged ``O(µ log n)`` rounds are used downstream
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.hybrid.network import HybridNetwork
 
@@ -38,7 +37,7 @@ class RulingSetResult:
         Local rounds charged for the computation.
     """
 
-    rulers: List[int]
+    rulers: list[int]
     min_separation: int
     max_covering_radius: int
     rounds_charged: int
@@ -57,7 +56,7 @@ def compute_ruling_set(
     graph = network.local_graph
     separation_radius = 2 * mu
     covered = [False] * network.n
-    rulers: List[int] = []
+    rulers: list[int] = []
     for node in range(network.n):
         if covered[node]:
             continue

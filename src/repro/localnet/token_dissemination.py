@@ -46,8 +46,8 @@ from __future__ import annotations
 
 import math
 import zlib
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence
 
 from repro.hybrid.batch import MessageBatch
 from repro.hybrid.network import HybridNetwork
@@ -108,14 +108,14 @@ class DisseminationResult:
         measured as the difference of the network's round counter.
     """
 
-    tokens: List[Token]
+    tokens: list[Token]
     token_count: int
     rounds: int
 
 
 def disseminate_tokens(
     network: HybridNetwork,
-    tokens_per_node: Dict[int, Sequence[Token]],
+    tokens_per_node: dict[int, Sequence[Token]],
     phase: str = "token-dissemination",
     store_key: str | None = None,
 ) -> DisseminationResult:
@@ -137,9 +137,9 @@ def disseminate_tokens(
     rounds_before = network.metrics.total_rounds
     n = network.n
 
-    all_tokens: List[Token] = []
+    all_tokens: list[Token] = []
     seen = set()
-    holders: List[int] = []
+    holders: list[int] = []
     for node, tokens in tokens_per_node.items():
         for token in tokens:
             if token not in seen:
@@ -165,7 +165,7 @@ def disseminate_tokens(
     relays = hash_function.many((_canonical_token_keys(all_tokens), [1] * k))
     relay_batch = MessageBatch(holders, relays, list(all_tokens))
     relay_inboxes, _ = network.run_reliable_exchange(relay_batch, phase + ":relay")
-    relay_tokens: Dict[int, List[Token]] = {
+    relay_tokens: dict[int, list[Token]] = {
         relay: tokens for relay, _, tokens in relay_inboxes.groupby_target()
     }
 
@@ -180,9 +180,9 @@ def disseminate_tokens(
         occupied_relays = _np.array(sorted(relay_tokens), dtype=_np.int64)
     else:
         occupied_relays = sorted(relay_tokens)
-    request_senders: List[int] = []
-    request_targets: List[int] = []
-    request_payloads: List[int] = []
+    request_senders: list[int] = []
+    request_targets: list[int] = []
+    request_payloads: list[int] = []
     for members in clustering.members.values():
         size = len(members)
         if _HAS_NUMPY:
@@ -205,9 +205,9 @@ def disseminate_tokens(
 
     # Each relay answers every requester with its full token list, one token
     # per message, in request-arrival order.
-    response_senders: List[int] = []
-    response_targets: List[int] = []
-    response_payloads: List[Token] = []
+    response_senders: list[int] = []
+    response_targets: list[int] = []
+    response_payloads: list[Token] = []
     for relay, _, requesters in request_inboxes.groupby_target():
         tokens_here = relay_tokens.get(relay, [])
         if not tokens_here:
@@ -221,7 +221,7 @@ def disseminate_tokens(
         phase + ":responses",
     )
 
-    fetched: Dict[int, List[Token]] = {
+    fetched: dict[int, list[Token]] = {
         member: tokens for member, _, tokens in response_inboxes.groupby_target()
     }
     # Original holders keep their own tokens as well.

@@ -24,8 +24,8 @@ via :meth:`GammaGadget.columns`.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 from repro.graphs.graph import WeightedGraph
 from repro.util.rand import RandomSource
@@ -59,16 +59,16 @@ class GammaGadget:
     k: int
     path_hops: int
     weight: int
-    a_bits: List[int]
-    b_bits: List[int]
-    v1: List[int]
-    v2: List[int]
-    u1: List[int]
-    u2: List[int]
+    a_bits: list[int]
+    b_bits: list[int]
+    v1: list[int]
+    v2: list[int]
+    u1: list[int]
+    u2: list[int]
     v_hub: int
     u_hub: int
-    matching_paths: Dict[Tuple[str, int], List[int]]
-    hub_path: List[int]
+    matching_paths: dict[tuple[str, int], list[int]]
+    hub_path: list[int]
 
     @property
     def node_count(self) -> int:
@@ -77,16 +77,16 @@ class GammaGadget:
 
     def disjoint(self) -> bool:
         """Whether the encoded inputs ``a`` and ``b`` are disjoint."""
-        return all(not (x and y) for x, y in zip(self.a_bits, self.b_bits))
+        return all(not (x and y) for x, y in zip(self.a_bits, self.b_bits, strict=True))
 
-    def columns(self) -> List[List[int]]:
+    def columns(self) -> list[list[int]]:
         """The ``ℓ + 1`` columns of the Lemma 7.3 simulation argument.
 
         Column 0 contains ``V1 ∪ V2 ∪ {v̂}``; column ``ℓ`` contains
         ``U1 ∪ U2 ∪ {û}``; column ``i`` in between contains the ``i``-th
         interior node of every matching path and of the hub path.
         """
-        columns: List[List[int]] = [[] for _ in range(self.path_hops + 1)]
+        columns: list[list[int]] = [[] for _ in range(self.path_hops + 1)]
         columns[0] = sorted(self.v1 + self.v2 + [self.v_hub])
         columns[self.path_hops] = sorted(self.u1 + self.u2 + [self.u_hub])
         for path in list(self.matching_paths.values()) + [self.hub_path]:
@@ -96,20 +96,20 @@ class GammaGadget:
             column.sort()
         return columns
 
-    def alice_nodes(self, round_index: int = 0) -> List[int]:
+    def alice_nodes(self, round_index: int = 0) -> list[int]:
         """Nodes simulated by Alice in round ``round_index + 1`` (Lemma 7.3)."""
         columns = self.columns()
         last = max(0, self.path_hops - 1 - round_index)
-        result: List[int] = []
+        result: list[int] = []
         for column in columns[: last + 1]:
             result.extend(column)
         return sorted(result)
 
-    def bob_nodes(self, round_index: int = 0) -> List[int]:
+    def bob_nodes(self, round_index: int = 0) -> list[int]:
         """Nodes simulated by Bob in round ``round_index + 1`` (Lemma 7.3)."""
         columns = self.columns()
         first = min(self.path_hops, 1 + round_index)
-        result: List[int] = []
+        result: list[int] = []
         for column in columns[first:]:
             result.extend(column)
         return sorted(result)
@@ -161,17 +161,17 @@ def build_gamma_gadget(
     for node in u1 + u2:
         graph.add_edge(u_hub, node, weight)
 
-    def add_path(start: int, end: int) -> List[int]:
+    def add_path(start: int, end: int) -> list[int]:
         """Connect ``start`` and ``end`` with a path of ``path_hops`` unit edges."""
         nonlocal next_free
         interior_nodes = list(range(next_free, next_free + interior))
         next_free += interior
         chain = [start] + interior_nodes + [end]
-        for a, b in zip(chain, chain[1:]):
+        for a, b in zip(chain, chain[1:], strict=False):
             graph.add_edge(a, b, 1)
         return interior_nodes
 
-    matching_paths: Dict[Tuple[str, int], List[int]] = {}
+    matching_paths: dict[tuple[str, int], list[int]] = {}
     for index in range(k):
         matching_paths[("top", index)] = add_path(v1[index], u1[index])
         matching_paths[("bottom", index)] = add_path(v2[index], u2[index])
@@ -236,7 +236,7 @@ def classify_disjointness_from_diameter(gadget: GammaGadget, measured_diameter: 
 
 def random_disjointness_instance(
     k: int, rng: RandomSource, disjoint: bool, density: float = 0.3
-) -> Tuple[List[int], List[int]]:
+) -> tuple[list[int], list[int]]:
     """Random inputs ``a, b ∈ {0,1}^{k²}`` that are (non-)disjoint by construction."""
     size = k * k
     a = [1 if rng.bernoulli(density) else 0 for _ in range(size)]

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
 
 from repro.graphs.graph import WeightedGraph
 from repro.util.rand import RandomSource
@@ -54,13 +53,13 @@ class KSSPGadget:
     bottleneck_node: int
     near_anchor: int
     far_anchor: int
-    near_sources: List[int]
-    far_sources: List[int]
+    near_sources: list[int]
+    far_sources: list[int]
     path_hops: int
     bottleneck_distance: int
 
     @property
-    def sources(self) -> List[int]:
+    def sources(self) -> list[int]:
         """All ``k`` sources (near and far)."""
         return sorted(self.near_sources + self.far_sources)
 

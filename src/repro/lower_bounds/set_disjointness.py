@@ -26,8 +26,8 @@ This module provides
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.hybrid.config import ModelConfig
 from repro.hybrid.network import HybridNetwork

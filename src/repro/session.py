@@ -29,6 +29,7 @@ cache) additional skeletons keyed by their sampling probability.
 
 Quick start::
 
+from collections.abc import Iterator, Sequence
     from repro import HybridSession, ModelConfig, generators
     from repro.util.rand import RandomSource
 
@@ -48,7 +49,6 @@ import math
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.clique import BroadcastBellmanFordSSSP, GatherDiameter, GatherShortestPaths
 from repro.clique.interfaces import CliqueDiameterAlgorithm, CliqueShortestPathAlgorithm
@@ -65,11 +65,11 @@ from repro.hybrid.metrics import RoundMetrics
 from repro.hybrid.network import HybridNetwork
 
 #: Cache key of one prepared skeleton: (sampling probability, forced members).
-ContextKey = Tuple[float, FrozenSet[int]]
+ContextKey = tuple[float, frozenset[int]]
 
 #: Cache key of one reusable token-routing endpoint:
 #: (senders, receivers, max tokens per sender, max tokens per receiver).
-RouterKey = Tuple[FrozenSet[int], FrozenSet[int], int, int]
+RouterKey = tuple[frozenset[int], frozenset[int], int, int]
 
 
 @dataclass
@@ -148,11 +148,11 @@ class HybridSession:
     def __init__(
         self,
         graph: WeightedGraph,
-        config: Optional[ModelConfig] = None,
+        config: ModelConfig | None = None,
         *,
-        skeleton_probability: Optional[float] = None,
+        skeleton_probability: float | None = None,
         keep_results: bool = False,
-        fault_model: Optional[FaultModel] = None,
+        fault_model: FaultModel | None = None,
     ) -> None:
         if fault_model is not None:
             config = dataclasses.replace(config or ModelConfig(), faults=fault_model)
@@ -166,11 +166,11 @@ class HybridSession:
         #: Rounds (and traffic) charged preparing shared state, across all keys.
         self.preprocessing = RoundMetrics()
         #: One record per answered query, in order.
-        self.queries: List[QueryRecord] = []
-        self._contexts: Dict[ContextKey, SkeletonContext] = {}
-        self._routers: Dict[RouterKey, Tuple[TokenRouter, int]] = {}
+        self.queries: list[QueryRecord] = []
+        self._contexts: dict[ContextKey, SkeletonContext] = {}
+        self._routers: dict[RouterKey, tuple[TokenRouter, int]] = {}
         self._graph_version = graph.version
-        self._active_preparation: Optional[RoundMetrics] = None
+        self._active_preparation: RoundMetrics | None = None
 
     # ------------------------------------------------------------- properties
     @property
@@ -184,7 +184,7 @@ class HybridSession:
         return self.network.metrics
 
     @property
-    def last_query(self) -> Optional[QueryRecord]:
+    def last_query(self) -> QueryRecord | None:
         """The most recent query's accounting record (None before any query)."""
         return self.queries[-1] if self.queries else None
 
@@ -193,7 +193,7 @@ class HybridSession:
         """Total rounds spent on shared preprocessing so far."""
         return self.preprocessing.total_rounds
 
-    def acceleration(self) -> Dict[str, object]:
+    def acceleration(self) -> dict[str, object]:
         """Which execution planes this session resolved to (diagnostics).
 
         Combines the graph backend (``dict`` / ``csr`` / ``csr-njit``), the
@@ -269,7 +269,7 @@ class HybridSession:
         return tag
 
     def context(
-        self, probability: Optional[float] = None, forced_members: Sequence[int] = ()
+        self, probability: float | None = None, forced_members: Sequence[int] = ()
     ) -> SkeletonContext:
         """The prepared context for one cache key, building it if needed.
 
@@ -334,7 +334,7 @@ class HybridSession:
     def _query_phase(self, kind: str) -> str:
         return f"query{len(self.queries)}:{kind}"
 
-    def apsp(self, probability: Optional[float] = None) -> APSPResult:
+    def apsp(self, probability: float | None = None) -> APSPResult:
         """Exact APSP (Theorem 1.1) on the session's prepared skeleton."""
         with self._preparing() as prep:
             context = self.context(probability)
@@ -348,7 +348,7 @@ class HybridSession:
     def sssp(
         self,
         source: int,
-        algorithm: Optional[CliqueShortestPathAlgorithm] = None,
+        algorithm: CliqueShortestPathAlgorithm | None = None,
     ) -> SSSPResult:
         """Exact SSSP (Theorem 1.3); the source joins the shared skeleton."""
         if not 0 <= source < self.network.n:
@@ -373,7 +373,7 @@ class HybridSession:
     def shortest_paths(
         self,
         sources: Sequence[int],
-        algorithm: Optional[CliqueShortestPathAlgorithm] = None,
+        algorithm: CliqueShortestPathAlgorithm | None = None,
     ) -> ShortestPathsResult:
         """The k-SSP framework (Theorem 4.1) on the session's skeleton."""
         for source in sources:
@@ -403,7 +403,7 @@ class HybridSession:
         )
         return result
 
-    def diameter(self, algorithm: Optional[CliqueDiameterAlgorithm] = None) -> DiameterResult:
+    def diameter(self, algorithm: CliqueDiameterAlgorithm | None = None) -> DiameterResult:
         """Diameter approximation (Theorem 5.1) on the session's skeleton."""
         algorithm = algorithm or GatherDiameter()
         with self._preparing() as prep:
@@ -439,8 +439,8 @@ class HybridSession:
                 pass
             self._record("route-tokens", scope, 0, 0, result)
             return result
-        per_sender: Dict[int, int] = {}
-        per_receiver: Dict[int, int] = {}
+        per_sender: dict[int, int] = {}
+        per_receiver: dict[int, int] = {}
         for token in tokens:
             per_sender[token.sender] = per_sender.get(token.sender, 0) + 1
             per_receiver[token.receiver] = per_receiver.get(token.receiver, 0) + 1

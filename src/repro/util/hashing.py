@@ -14,8 +14,8 @@ range.  Selecting a function requires ``k`` field elements, i.e. ``O(k log n)``
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
 
+from collections.abc import Sequence
 from repro.util.rand import RandomSource
 
 try:  # The batched evaluator needs numpy; the scalar path never does.
@@ -57,7 +57,7 @@ def _vec_mulmod(a, b):
     return _vec_reduce(total)
 
 
-def _encode_key(key: Tuple[int, ...] | int) -> int:
+def _encode_key(key: tuple[int, ...] | int) -> int:
     """Injectively encode an integer tuple key into a field element.
 
     Token labels are triples ``(sender, receiver, index)``; we pack them with
@@ -65,7 +65,7 @@ def _encode_key(key: Tuple[int, ...] | int) -> int:
     simulation can reach, and fold anything larger with a mixing step.
     """
     if isinstance(key, int):
-        parts: Tuple[int, ...] = (key,)
+        parts: tuple[int, ...] = (key,)
     else:
         parts = tuple(key)
     encoded = 0
@@ -100,7 +100,7 @@ class KWiseHashFunction:
         """Number of random bits used to select this function (Lemma 2.3)."""
         return len(self._coefficients) * _FIELD_PRIME.bit_length()
 
-    def __call__(self, key: Tuple[int, ...] | int) -> int:
+    def __call__(self, key: tuple[int, ...] | int) -> int:
         """Evaluate the hash on an integer or tuple-of-integers key."""
         x = _encode_key(key)
         value = 0
@@ -123,7 +123,7 @@ class KWiseHashFunction:
             return []
         if not _HAS_NUMPY:
             return [
-                self(key) for key in zip(*(list(lane) for lane in lanes))
+                self(key) for key in zip(*(list(lane) for lane in lanes), strict=True)
             ]
         lanes = [_np.asarray(lane, dtype=_np.uint64) for lane in lanes]
         # Vectorised _encode_key: fixed multiplier fold over the lanes.

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Sequence, TypeVar
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
 
 T = TypeVar("T")
 
@@ -26,6 +27,7 @@ class RandomSource:
     """
 
     def __init__(self, seed: int | None = None) -> None:
+        # repro-lint: waive[RL001] -- deliberate entropy for the seed=None convenience path
         self._seed = seed if seed is not None else random.SystemRandom().randrange(2**63)
         self._rng = random.Random(self._seed)
 
@@ -43,7 +45,7 @@ class RandomSource:
         hash (not Python's randomised ``hash``) so results are reproducible
         across processes and interpreter invocations.
         """
-        digest = hashlib.sha256(f"{self._seed}:{label}".encode("utf-8")).digest()
+        digest = hashlib.sha256(f"{self._seed}:{label}".encode()).digest()
         child_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
         return RandomSource(child_seed)
 
@@ -63,11 +65,11 @@ class RandomSource:
         """Uniformly random element of a non-empty sequence."""
         return self._rng.choice(items)
 
-    def sample(self, items: Sequence[T], count: int) -> List[T]:
+    def sample(self, items: Sequence[T], count: int) -> list[T]:
         """``count`` distinct elements chosen uniformly at random."""
         return self._rng.sample(items, count)
 
-    def shuffle(self, items: List[T]) -> None:
+    def shuffle(self, items: list[T]) -> None:
         """In-place Fisher-Yates shuffle."""
         self._rng.shuffle(items)
 
@@ -84,7 +86,7 @@ class RandomSource:
         return self._rng
 
 
-def sample_nodes(nodes: Iterable[int], probability: float, rng: RandomSource) -> List[int]:
+def sample_nodes(nodes: Iterable[int], probability: float, rng: RandomSource) -> list[int]:
     """Sample each node independently with the given probability.
 
     This is the sampling primitive behind skeleton graphs (Lemma C.1) and the
@@ -93,7 +95,7 @@ def sample_nodes(nodes: Iterable[int], probability: float, rng: RandomSource) ->
     return [node for node in nodes if rng.bernoulli(probability)]
 
 
-def split_evenly(items: Sequence[T], bucket_count: int) -> List[List[T]]:
+def split_evenly(items: Sequence[T], bucket_count: int) -> list[list[T]]:
     """Deterministically split ``items`` into ``bucket_count`` balanced buckets.
 
     Used when a sender splits its tokens among its helpers (Fact 2.4): bucket
@@ -101,7 +103,7 @@ def split_evenly(items: Sequence[T], bucket_count: int) -> List[List[T]]:
     """
     if bucket_count <= 0:
         raise ValueError("bucket_count must be positive")
-    buckets: List[List[T]] = [[] for _ in range(bucket_count)]
+    buckets: list[list[T]] = [[] for _ in range(bucket_count)]
     for index, item in enumerate(items):
         buckets[index % bucket_count].append(item)
     return buckets

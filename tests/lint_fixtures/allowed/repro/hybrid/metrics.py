@@ -1,0 +1,6 @@
+"""Good fixture: the accounting layer itself may mutate counter fields."""
+
+
+def charge(self, rounds):
+    self.local_rounds += rounds
+    self.phases["local"] = rounds

@@ -1,0 +1,9 @@
+"""Bad parity fixture: renamed kernel, wrong params, no degradation entry."""
+
+
+def distance_matrix_v2(csr, sources):  # renamed: 'distance_matrix' unhooked
+    return [(csr, source) for source in sources]
+
+
+def hop_limited_matrix(csr, source_rows, hop_limit):  # param name drifted
+    return [(csr, source, hop_limit) for source in source_rows]

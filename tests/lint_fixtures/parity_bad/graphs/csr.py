@@ -1,0 +1,19 @@
+"""Bad parity fixture: registry entries the counterpart fails to honour."""
+
+PLANE_KERNELS = {
+    "distance_matrix": ("csr", "sources"),
+    "hop_limited_matrix": ("csr", "sources", "hop_limit"),
+    "stale_entry": ("csr", "sources"),
+}
+
+
+def distance_matrix(csr, sources):
+    return [(csr, source) for source in sources]
+
+
+def hop_limited_matrix(csr, sources, hop_limit):
+    return [(csr, source, hop_limit) for source in sources]
+
+
+def stale_entry(csr, sources, extra):  # params drifted from the registry
+    return [(csr, source, extra) for source in sources]

@@ -1,0 +1,18 @@
+"""Good parity fixture: counterpart defs (one conditional) plus a degradation."""
+
+HAS_ACCELERATOR = False
+
+if HAS_ACCELERATOR:
+
+    def distance_matrix(csr, sources):
+        return [(csr, source) for source in sources]
+
+else:
+    distance_matrix = None
+
+# Extra trailing parameters beyond the registered ones are allowed.
+def bfs_level_matrix(csr, sources, max_hops=None, chunk=None):
+    return [(csr, source, max_hops, chunk) for source in sources]
+
+
+fault_hash_columns = None

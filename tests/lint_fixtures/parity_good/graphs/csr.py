@@ -1,0 +1,15 @@
+"""Good parity fixture: oracle module with a complete literal registry."""
+
+PLANE_KERNELS = {
+    "distance_matrix": ("csr", "sources"),
+    "bfs_level_matrix": ("csr", "sources", "max_hops"),
+    "fault_hash_columns": ("prefix", "columns"),
+}
+
+
+def distance_matrix(csr, sources):
+    return [(csr, source) for source in sources]
+
+
+def bfs_level_matrix(csr, sources, max_hops=None):
+    return [(csr, source, max_hops) for source in sources]

@@ -1,0 +1,5 @@
+"""Counterpart for the missing-registry fixture (itself unremarkable)."""
+
+
+def distance_matrix(csr, sources):
+    return [(csr, source) for source in sources]

@@ -1,0 +1,5 @@
+"""Bad parity fixture: an oracle module with no PLANE_KERNELS registry."""
+
+
+def distance_matrix(csr, sources):
+    return [(csr, source) for source in sources]

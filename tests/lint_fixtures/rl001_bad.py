@@ -1,0 +1,39 @@
+"""Bad fixture: every flavour of RL001 nondeterminism source fires."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def ambient_entropy():
+    a = random.random()  # stateful global random
+    b = random.randint(0, 10)  # stateful global random
+    random.shuffle([1, 2, 3])  # stateful global random
+    c = random.SystemRandom()  # OS entropy
+    d = random.Random()  # unseeded constructor
+    e = os.urandom(8)  # OS entropy
+    return a, b, c, d, e
+
+
+def global_numpy_rng():
+    np.random.seed(0)  # stateful global numpy RNG
+    values = np.random.rand(3)  # stateful global numpy RNG
+    generator = np.random.default_rng()  # unseeded generator
+    return values, generator
+
+
+def wall_clock():
+    stamp = time.time()  # wall clock outside benchmarks
+    tick = time.perf_counter()  # wall clock outside benchmarks
+    today = datetime.now()  # wall clock outside benchmarks
+    return stamp, tick, today
+
+
+def id_keyed_ordering(items, table):
+    ranked = sorted(items, key=id)  # id()-keyed sort
+    cached = table[id(items)]  # id()-keyed lookup
+    mapping = {id(items): ranked}  # id()-keyed dict literal
+    return ranked, cached, mapping

@@ -1,0 +1,18 @@
+"""Good fixture: sanctioned randomness and ordering, no RL001 findings."""
+
+import random
+
+import numpy as np
+
+
+def seeded_randomness(seed):
+    rng = random.Random(seed)  # seeded constructor is the sanctioned primitive
+    stream = np.random.SeedSequence(entropy=seed, spawn_key=(1,))
+    generator = np.random.default_rng(seed)  # seeded generator
+    return rng.random(), stream.spawn(2), generator
+
+
+def value_keyed_ordering(items, table):
+    ranked = sorted(items, key=len)
+    cached = table[len(items)]
+    return ranked, cached

@@ -1,0 +1,29 @@
+"""Bad fixture: set iteration in order-sensitive contexts (RL002)."""
+
+import os
+
+
+def outbox_from_set_variable(n):
+    receivers = {3, 1, 2}
+    outbox = []
+    for node in receivers:  # set-typed variable in a for loop
+        outbox.append((node, "payload"))
+    return outbox
+
+
+def list_of_set_call(nodes):
+    return list(set(nodes))  # set(...) into list()
+
+
+def comprehension_over_intersection(alive, members):
+    helpers = set(alive) & set(members)
+    return [node for node in helpers]  # set-typed variable in a comprehension
+
+
+def starred_expansion(nodes):
+    seen = frozenset(nodes)
+    return [*seen, -1]  # starred expansion of a frozenset
+
+
+def environment_iteration():
+    return [key for key in os.environ]  # unordered mapping iteration

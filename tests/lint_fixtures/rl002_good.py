@@ -1,0 +1,23 @@
+"""Good fixture: order-insensitive or sorted set consumption, no RL002."""
+
+
+def sorted_iteration(n):
+    receivers = {3, 1, 2}
+    return [(node, "payload") for node in sorted(receivers)]
+
+
+def order_insensitive_consumers(nodes, members):
+    helpers = set(nodes) & set(members)
+    total = sum(helpers)
+    low, high = min(helpers), max(helpers)
+    size = len(helpers)
+    present = 3 in helpers
+    frozen = frozenset(helpers)
+    rebuilt = {node + 1 for node in helpers}  # set -> set stays unordered
+    return total, low, high, size, present, frozen, rebuilt
+
+
+def list_rebinding_is_not_a_set(nodes):
+    collected = set(nodes)
+    collected = [node for node in sorted(nodes)]  # rebound to a list
+    return [item for item in collected]

@@ -1,0 +1,10 @@
+"""Bad fixture: direct RoundMetrics mutation outside the accounting layer."""
+
+
+def sneak_charges(metrics, other):
+    metrics.global_rounds += 2  # bypasses scoped observers
+    metrics.local_rounds = 7  # bypasses scoped observers
+    metrics.global_messages += len(other.payloads)  # bypasses scoped observers
+    metrics.phases["apsp"] = other  # phase entries owned by the layer
+    metrics.cut_bits["half"] = 12  # cut entries owned by the layer
+    return metrics

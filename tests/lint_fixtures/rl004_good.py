@@ -1,0 +1,12 @@
+"""Good fixture: charges routed through the accounting layer, reads allowed."""
+
+
+def account_properly(metrics, other):
+    metrics.charge_global(2, phase="apsp:routing")
+    metrics.charge_local(1)
+    metrics.record_global_traffic(4, 128, 2, 2, receive_cap=8)
+    metrics.record_cut_bits("half", 12)
+    metrics.merge(other)
+    snapshot = (metrics.global_rounds, metrics.local_rounds)  # reads are fine
+    unrelated_rounds = 3
+    return snapshot, unrelated_rounds

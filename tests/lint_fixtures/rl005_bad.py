@@ -1,0 +1,16 @@
+"""Bad fixture: unauditable, malformed, and duplicated RNG fork labels."""
+
+
+def unauditable_labels(network, rng, phase, index):
+    a = network.fork_rng(phase)  # bare variable: not statically auditable
+    b = rng.fork(f"phase:{index}")  # f-string: runtime-dependent
+    c = rng.fork("Skeleton:Sampling")  # uppercase: not canonical
+    d = rng.fork("sampling")  # single segment: no area prefix
+    e = network.fork_rng(phase + "hash")  # suffix must be ':'-led
+    return a, b, c, d, e
+
+
+def duplicate_literals(rng):
+    first = rng.fork("skeleton:sampling")
+    second = rng.fork("skeleton:sampling")  # same label, same stream
+    return first, second

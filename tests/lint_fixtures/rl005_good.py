@@ -1,0 +1,9 @@
+"""Good fixture: canonical literal labels and the phase-suffix idiom."""
+
+
+def sanctioned_labels(network, rng, phase):
+    a = rng.fork("skeleton:sampling")
+    b = rng.fork("helpers:hash-seed")
+    c = network.fork_rng(phase + ":sampling")
+    d = network.fork_rng(phase + ":relay:hash")
+    return a, b, c, d

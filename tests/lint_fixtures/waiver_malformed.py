@@ -1,0 +1,13 @@
+"""Fixture: malformed waivers (RL090) -- missing reason, bad codes, typo'd form."""
+
+import time
+
+
+def bad_waivers():
+    # repro-lint: waive[RL001]
+    first = time.time()
+    # repro-lint: waive[not-a-code] -- reason present but codes invalid
+    second = time.time()
+    # repro-lint: waive(RL001) -- parentheses instead of brackets
+    third = time.time()
+    return first, second, third

@@ -1,0 +1,9 @@
+"""Fixture: a finding suppressed by a well-formed inline waiver."""
+
+import time
+
+
+def stamped_report(rows):
+    # repro-lint: waive[RL001] -- report footer timestamp; display only
+    stamp = time.time()
+    return rows, stamp

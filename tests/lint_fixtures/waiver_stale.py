@@ -1,0 +1,7 @@
+"""Fixture: a waiver whose finding no longer exists (stale, RL091)."""
+
+
+def already_fixed(rows):
+    # repro-lint: waive[RL001] -- leftover from a removed wall-clock read
+    total = len(rows)
+    return total

@@ -52,7 +52,7 @@ class TestPowerLawFits:
     def test_geometric_sweep_monotone(self):
         sweep = geometric_sweep(32, 512, 5)
         assert sweep[0] == 32 and sweep[-1] == 512
-        assert all(a < b for a, b in zip(sweep, sweep[1:]))
+        assert all(a < b for a, b in zip(sweep, sweep[1:], strict=False))
 
     def test_geometric_sweep_validation(self):
         with pytest.raises(ValueError):

@@ -191,7 +191,7 @@ class TestBatchedHashing:
             [rng.randrange(64) for _ in range(500)],
         )
         batched = function.many(lanes)
-        assert batched == [function(key) for key in zip(*lanes)]
+        assert batched == [function(key) for key in zip(*lanes, strict=True)]
 
     def test_many_empty(self):
         function = hash_family_for_network(64, RandomSource(1))

@@ -249,7 +249,7 @@ class TestMessagePlaneIdentity:
         snapshot = network.metrics.as_dict()
         snapshot["received_totals"] = [int(total) for total in network.received_totals]
         deliveries = sorted(
-            zip(inbox.senders.tolist(), inbox.targets.tolist(), inbox.payloads)
+            zip(inbox.senders.tolist(), inbox.targets.tolist(), inbox.payloads, strict=True)
         )
         return deliveries, rounds, snapshot
 

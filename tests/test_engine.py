@@ -87,7 +87,7 @@ class TestPlanning:
         first = plan_shards(CHEAP, scale="small")
         second = plan_shards(CHEAP, scale="small")
         assert [s.key for s in first] == [s.key for s in second]
-        assert all(a == b for a, b in zip(first, second))
+        assert all(a == b for a, b in zip(first, second, strict=True))
 
     def test_shard_keys_embed_spec_hash(self):
         shard = plan_shards(["E6"], scale="small")[0]

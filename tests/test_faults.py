@@ -134,7 +134,7 @@ class TestFaultModel:
             faulty = state.faulty_nodes(round_index)
             occurrences = {}
             expected = []
-            for sender, target in zip(senders.tolist(), targets.tolist()):
+            for sender, target in zip(senders.tolist(), targets.tolist(), strict=True):
                 occurrence = occurrences.get((sender, target), 0)
                 occurrences[(sender, target)] = occurrence + 1
                 expected.append(

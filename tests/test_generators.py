@@ -136,6 +136,40 @@ class TestScenarioFamilies:
         assert graph.is_connected()
         assert 1 <= graph.max_weight() <= 9
 
+    def test_power_law_graph_pinned_edges(self):
+        # Regression pin for the RL002 fix: attachment targets are drawn from
+        # a set whose iteration order used to leak hash-table internals into
+        # the endpoint multiset (and hence into every later degree-
+        # proportional draw).  The generator now iterates sorted(chosen), so
+        # this exact edge list is a pure function of the seed on every
+        # interpreter.
+        graph = generators.power_law_graph(12, RandomSource(7), attachment=2)
+        edges = sorted((min(u, v), max(u, v), w) for u, v, w in graph.edges())
+        expected_pairs = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 7),
+            (0, 8),
+            (0, 9),
+            (1, 2),
+            (1, 4),
+            (1, 5),
+            (1, 6),
+            (1, 7),
+            (2, 3),
+            (2, 5),
+            (2, 6),
+            (2, 10),
+            (2, 11),
+            (3, 9),
+            (3, 11),
+            (4, 8),
+            (8, 10),
+        ]
+        assert edges == [(u, v, 1) for u, v in expected_pairs]
+
     def test_power_law_rejects_bad_parameters(self, rng):
         with pytest.raises(ValueError):
             generators.power_law_graph(1, rng)

@@ -3,8 +3,8 @@
 
 import pytest
 
-from repro.graphs.graph import INFINITY, WeightedGraph
 from repro.graphs import generators
+from repro.graphs.graph import INFINITY, WeightedGraph
 from repro.util.rand import RandomSource
 
 

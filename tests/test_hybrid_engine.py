@@ -156,6 +156,17 @@ class TestHybridNetwork:
         network.global_round({0: [(network.n - 1, "x")], 1: [(2, "y")]})
         assert network.metrics.cut_bits["half"] == network.config.message_bits
 
+    def test_cut_watcher_membership_order_invariant(self, network):
+        # Regression pin for the RL002 cleanup: the watcher's numpy mask is
+        # built by iterating the member set in sorted order, so the recorded
+        # cut bits cannot depend on how the caller composed the node set.
+        half = network.n // 2
+        network.add_cut_watcher("fwd", set(range(half)))
+        network.add_cut_watcher("rev", set(reversed(range(half))))
+        network.global_round({0: [(network.n - 1, "x")], 1: [(2, "y")]})
+        assert network.metrics.cut_bits["fwd"] == network.metrics.cut_bits["rev"]
+        assert network.metrics.cut_bits["fwd"] == network.config.message_bits
+
     def test_received_totals_accumulate(self, network):
         network.global_round({0: [(3, "a")]})
         network.global_round({1: [(3, "b")]})

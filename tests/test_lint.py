@@ -1,0 +1,243 @@
+"""Tests for the static invariant linter (repro.analysis.lint).
+
+Each RL rule is exercised against good/bad fixture files under
+``tests/lint_fixtures/`` -- the bad fixture proves the rule fires, the good
+fixture proves it does not over-fire.  The waiver layer (parsing, stale
+detection, malformed comments), the JSON artifact schema, ``--select``
+semantics, the CLI exit codes, and the clean-tree self-check are covered
+alongside.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.waivers import collect_waivers
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def lint_fixture(*names: str, select=None):
+    """Lint the named fixture files/dirs with the given rule selection."""
+    return lint_paths([str(FIXTURES / name) for name in names], select=select)
+
+
+def codes(report) -> list[str]:
+    return [diagnostic.code for diagnostic in report.active]
+
+
+class TestRL001Determinism:
+    def test_fires_on_nondeterminism_sources(self):
+        report = lint_fixture("rl001_bad.py", select=["RL001"])
+        messages = "\n".join(d.message for d in report.active)
+        assert set(codes(report)) == {"RL001"}
+        assert "os.urandom" in messages
+        assert "random.SystemRandom" in messages
+        assert "time.time" in messages
+        assert "time.perf_counter" in messages
+        assert "id(" in messages or "id()" in messages
+        assert len(report.active) >= 10
+
+    def test_quiet_on_seeded_rng(self):
+        report = lint_fixture("rl001_good.py", select=["RL001"])
+        assert report.active == []
+
+    def test_clocks_exempt_in_benchmarks(self):
+        report = lint_fixture("benchmarks/clock_ok.py", select=["RL001"])
+        assert report.active == []
+
+
+class TestRL002Ordering:
+    def test_fires_on_set_iteration(self):
+        report = lint_fixture("rl002_bad.py", select=["RL002"])
+        assert set(codes(report)) == {"RL002"}
+        assert len(report.active) >= 5
+
+    def test_quiet_on_sorted_and_order_free_consumers(self):
+        report = lint_fixture("rl002_good.py", select=["RL002"])
+        assert report.active == []
+
+
+class TestRL003PlaneParity:
+    def test_matching_planes_are_clean(self):
+        report = lint_fixture("parity_good", select=["RL003"])
+        assert report.active == []
+
+    def test_rename_and_param_drift_fire(self):
+        report = lint_fixture("parity_bad", select=["RL003"])
+        messages = "\n".join(d.message for d in report.active)
+        assert set(codes(report)) == {"RL003"}
+        # Renamed compiled kernel (distance_matrix -> distance_matrix_v2).
+        assert "distance_matrix" in messages
+        # Parameter-name drift (sources -> source_rows).
+        assert "hop_limited_matrix" in messages
+        # Oracle def whose params drifted from its own registry entry.
+        assert "stale_entry" in messages
+
+    def test_missing_registry_fires(self):
+        report = lint_fixture("parity_missing_registry", select=["RL003"])
+        assert codes(report) == ["RL003"]
+        assert "PLANE_KERNELS" in report.active[0].message
+
+
+class TestRL004MetricsAccounting:
+    def test_direct_field_writes_fire(self):
+        report = lint_fixture("rl004_bad.py", select=["RL004"])
+        messages = "\n".join(d.message for d in report.active)
+        assert set(codes(report)) == {"RL004"}
+        assert len(report.active) == 5
+        assert "global_rounds" in messages
+        assert "phases" in messages
+
+    def test_accessor_calls_and_reads_are_clean(self):
+        report = lint_fixture("rl004_good.py", select=["RL004"])
+        assert report.active == []
+
+    def test_accounting_layer_itself_is_exempt(self):
+        report = lint_fixture("allowed/repro/hybrid/metrics.py", select=["RL004"])
+        assert report.active == []
+
+
+class TestRL005ForkLabels:
+    def test_unauditable_and_duplicate_labels_fire(self):
+        report = lint_fixture("rl005_bad.py", select=["RL005"])
+        messages = "\n".join(d.message for d in report.active)
+        assert set(codes(report)) == {"RL005"}
+        # One finding per bad construct in unauditable_labels, plus the dup.
+        assert len(report.active) == 6
+        assert "skeleton:sampling" in messages  # duplicate label cited
+
+    def test_canonical_literals_and_suffix_idiom_are_clean(self):
+        report = lint_fixture("rl005_good.py", select=["RL005"])
+        assert report.active == []
+
+    def test_uniqueness_is_cross_file(self):
+        # Each file is clean alone, but they share the label "skeleton:sampling":
+        # rl005_bad.py sorts first, so the good file's use becomes the duplicate.
+        alone = lint_fixture("rl005_good.py", select=["RL005"])
+        together = lint_fixture("rl005_good.py", "rl005_bad.py", select=["RL005"])
+        assert alone.active == []
+        dup_findings = [d for d in together.active if "rl005_good" in d.path]
+        assert len(dup_findings) == 1
+        assert "skeleton:sampling" in dup_findings[0].message
+        assert len(together.active) == 7
+
+
+class TestWaivers:
+    def test_waiver_suppresses_and_records(self):
+        report = lint_fixture("waiver_ok.py", select=["RL001"])
+        assert report.active == []
+        assert len(report.waived) == 1
+        waived = report.waived[0]
+        assert waived.code == "RL001"
+        assert waived.waiver_reason == "report footer timestamp; display only"
+        assert report.ok
+
+    def test_stale_waiver_fails_the_run(self):
+        report = lint_fixture("waiver_stale.py", select=["RL001"])
+        assert codes(report) == ["RL091"]
+        assert "stale waiver" in report.active[0].message
+        assert not report.ok
+
+    def test_stale_check_skipped_for_unselected_codes(self):
+        # The RL001 checker never ran, so its waiver cannot be judged stale.
+        report = lint_fixture("waiver_stale.py", select=["RL002"])
+        assert report.active == []
+
+    def test_malformed_waivers_fire_and_do_not_suppress(self):
+        report = lint_fixture("waiver_malformed.py", select=["RL001"])
+        assert sorted(set(codes(report))) == ["RL001", "RL090"]
+        assert codes(report).count("RL090") == 3
+        assert codes(report).count("RL001") == 3  # nothing got suppressed
+        assert report.waived == []
+
+    def test_trailing_comment_targets_its_own_line(self):
+        waivers, malformed = collect_waivers(
+            "x.py", "value = risky()  # repro-lint: waive[RL001] -- reviewed\n"
+        )
+        assert malformed == []
+        assert len(waivers) == 1
+        assert waivers[0].comment_line == 1
+        assert waivers[0].target_line == 1
+
+    def test_standalone_comment_targets_next_line(self):
+        waivers, _ = collect_waivers(
+            "x.py",
+            "# repro-lint: waive[RL001,RL002] -- reviewed pair\nvalue = risky()\n",
+        )
+        assert len(waivers) == 1
+        assert waivers[0].target_line == 2
+        assert waivers[0].codes == ("RL001", "RL002")
+        assert waivers[0].reason == "reviewed pair"
+
+
+class TestReportAndSelect:
+    def test_diagnostic_format_is_canonical(self):
+        diagnostic = Diagnostic("a/b.py", 3, 7, "RL001", "uses os.urandom")
+        assert diagnostic.format() == "a/b.py:3:7 RL001 uses os.urandom"
+
+    def test_json_schema(self):
+        report = lint_fixture("waiver_ok.py", "waiver_stale.py", select=["RL001"])
+        document = json.loads(json.dumps(report.as_dict()))
+        assert document["version"] == 1
+        assert document["selected"] == ["RL001"]
+        assert document["files_checked"] == 2
+        assert document["summary"] == {"active": 1, "waived": 1, "ok": False}
+        for record in document["diagnostics"]:
+            assert set(record) >= {"path", "line", "col", "code", "message", "waived"}
+            assert ("waiver_reason" in record) == record["waived"]
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ValueError, match="RL999"):
+            lint_fixture("rl001_good.py", select=["RL999"])
+
+    def test_select_filters_other_rules_out(self):
+        report = lint_fixture("rl001_bad.py", select=["RL002"])
+        assert report.active == []
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_path(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "rl001_good.py")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_exit_one_on_findings(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "rl001_bad.py"), "--select", "RL001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL001" in out
+
+    def test_exit_two_on_unknown_select(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "rl001_good.py"), "--select", "RL999"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "RL999" in err
+
+    def test_json_output_parses(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "waiver_ok.py"), "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["summary"]["ok"] is True
+        assert document["summary"]["waived"] == 1
+
+    def test_show_waived_prints_suppressed_findings(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "waiver_ok.py"), "--show-waived"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[waived: report footer timestamp; display only]" in out
+
+
+class TestCleanTree:
+    def test_source_tree_lints_clean(self):
+        report = lint_paths([str(REPO_ROOT / "src" / "repro")])
+        assert report.active == [], "\n" + report.format_text()
+        assert report.files_checked > 50
