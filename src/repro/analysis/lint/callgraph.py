@@ -1,0 +1,302 @@
+"""Conservative static call graph over the project symbol table.
+
+RL006 needs "every function transitively reachable from the worker entry
+points" -- and *conservative* means erring toward reachability: a missed
+edge is a false negative (a real fork-safety race the linter blesses),
+while a spurious edge only costs a reviewed waiver.  The resolution ladder
+for a call site, from precise to catch-all:
+
+1. **Bare name** ``f(...)``: resolved through local scope, then the symbol
+   table (module functions, import aliases, ``__init__`` re-exports).  A
+   resolved project function gets a direct edge; a resolved class gets an
+   edge to its ``__init__``.  A name bound to a local or module-level
+   variable is a *dynamic* call (the callable's identity is data, not
+   syntax).
+2. **Dotted chain** ``mod.f(...)``: resolved through module aliases; a hit
+   is a direct edge, a miss on an external module (``np.empty``) is
+   ignored.
+3. **Method call** ``obj.m(...)``: without type information the receiver
+   is opaque, so the graph adds an edge to *every* project function or
+   method named ``m`` (name-match fallback).  This is what routes
+   ``sweep.run_shard(...)`` in the engine to every registered shard
+   runner.
+4. **Dynamic** (calls through parameters/locals, subscripted callables):
+   the caller is marked dynamic, and reachability unions in every
+   *address-taken* function -- any function referenced outside a call
+   position (stored in a registry dict, passed as an argument, returned),
+   any nested def (closures escape), and any function carrying a
+   non-neutral decorator (``@register_sweep(...)`` hands the function to
+   framework code by construction).
+
+:func:`CallGraph.reachable_from` runs a BFS over those edges, recording a
+witness path so RL006 diagnostics can say *which* entry point reaches the
+offending function.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.symbols import (
+    FunctionInfo,
+    ProjectSymbols,
+    _assigned_locals,
+    _function_body_walk,
+    _toplevel_statements,
+    dotted_name,
+)
+
+#: Names the interpreter provides without any import; calling one is not a
+#: dynamic dispatch (``sorted(...)``, ``print(...)`` resolve statically).
+BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: Decorators that do not take the function's address for later dynamic
+#: dispatch (the function stays reachable only through its own name).
+NEUTRAL_DECORATORS = frozenset(
+    {
+        "property",
+        "staticmethod",
+        "classmethod",
+        "abstractmethod",
+        "cached_property",
+        "overload",
+        "wraps",
+        "setter",
+        "getter",
+        "deleter",
+    }
+)
+
+
+@dataclass
+class CallGraph:
+    """Edges between function qualnames, plus the dynamic/address-taken sets."""
+
+    project: ProjectSymbols
+    edges: dict[str, list[str]] = field(default_factory=dict)
+    #: Functions containing at least one unresolvable (dynamic) call.
+    dynamic_callers: set[str] = field(default_factory=set)
+    #: Functions whose address escapes into data (see module docstring).
+    address_taken: set[str] = field(default_factory=set)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def reachable_from(self, entries: list[str]) -> dict[str, tuple[str, str | None]]:
+        """BFS closure of ``entries`` (function qualnames).
+
+        Returns ``{qualname: (entry_qualname, parent_qualname)}`` -- which
+        entry point first reached each function and through whom, for
+        diagnostic messages.  Once any reached function makes a dynamic
+        call, every address-taken function joins the frontier (attributed
+        to that caller).
+        """
+        reached: dict[str, tuple[str, str | None]] = {}
+        queue: deque[str] = deque()
+        for entry in entries:
+            if entry in self.functions and entry not in reached:
+                reached[entry] = (entry, None)
+                queue.append(entry)
+        dynamic_expanded = False
+        while queue:
+            current = queue.popleft()
+            entry = reached[current][0]
+            for callee in self.edges.get(current, ()):
+                if callee not in reached:
+                    reached[callee] = (entry, current)
+                    queue.append(callee)
+            if current in self.dynamic_callers and not dynamic_expanded:
+                dynamic_expanded = True
+                for taken in sorted(self.address_taken):
+                    if taken not in reached:
+                        reached[taken] = (entry, current)
+                        queue.append(taken)
+        return reached
+
+    def witness_path(self, reached: dict, qualname: str, limit: int = 12) -> list[str]:
+        """The BFS parent chain from an entry point down to ``qualname``."""
+        chain = [qualname]
+        while len(chain) < limit:
+            parent = reached.get(chain[-1], (None, None))[1]
+            if parent is None:
+                break
+            chain.append(parent)
+        return list(reversed(chain))
+
+
+def build_call_graph(project: ProjectSymbols) -> CallGraph:
+    """Build the conservative call graph for one project symbol table."""
+    graph = CallGraph(project=project)
+    for module in project.modules:
+        for function in module.all_functions:
+            graph.functions[function.qualname] = function
+    for module in project.modules:
+        for function in module.all_functions:
+            _collect_edges(graph, function)
+            _collect_address_taken(graph, function)
+        _collect_module_level_escapes(graph, module)
+    return graph
+
+
+def _add_edge(graph: CallGraph, caller: FunctionInfo, callee: FunctionInfo) -> None:
+    graph.edges.setdefault(caller.qualname, []).append(callee.qualname)
+
+
+def _collect_edges(graph: CallGraph, function: FunctionInfo) -> None:
+    project = graph.project
+    module = function.module
+    locals_ = _assigned_locals(function.node)
+    for node in _function_body_walk(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id in locals_:
+                graph.dynamic_callers.add(function.qualname)
+                continue
+            resolved = project.resolve_name(module, callee.id)
+            if resolved is None:
+                if callee.id not in BUILTIN_NAMES:
+                    # Not a local, not resolvable, not a builtin: a closure
+                    # variable from an enclosing scope -- a dynamic call
+                    # (this is how registry shims dispatch shard runners).
+                    graph.dynamic_callers.add(function.qualname)
+                continue
+            kind, value = resolved
+            if kind == "function":
+                _add_edge(graph, function, value)
+            elif kind == "class":
+                init = value.methods.get("__init__")
+                if init is not None:
+                    _add_edge(graph, function, init)
+                post_init = value.methods.get("__post_init__")
+                if post_init is not None:
+                    _add_edge(graph, function, post_init)
+            elif kind == "global":
+                # Calling through a module-level binding whose value is data
+                # (a callable stored in a variable): dynamic.
+                graph.dynamic_callers.add(function.qualname)
+        elif isinstance(callee, ast.Attribute):
+            _attribute_call_edges(graph, function, callee, locals_)
+        else:
+            # Subscripted / computed callable: HANDLERS[key](...), f()(...)
+            graph.dynamic_callers.add(function.qualname)
+
+
+def _attribute_call_edges(
+    graph: CallGraph, function: FunctionInfo, callee: ast.Attribute, locals_: set
+) -> None:
+    project = graph.project
+    dotted = dotted_name(callee)
+    if dotted is not None:
+        head = dotted.split(".")[0]
+        if head not in locals_ and head != "self":
+            resolved = project.resolve_dotted(function.module, dotted)
+            if resolved is not None:
+                kind, value = resolved
+                if kind == "function":
+                    _add_edge(graph, function, value)
+                    return
+                if kind == "class":
+                    init = value.methods.get("__init__")
+                    if init is not None:
+                        _add_edge(graph, function, init)
+                    return
+                if kind == "global":
+                    graph.dynamic_callers.add(function.qualname)
+                    return
+            head_resolution = project.resolve_name(function.module, head)
+            if head_resolution is not None and head_resolution[0] == "module":
+                # A dotted path rooted at a *linted* module that still did not
+                # resolve (getattr-style indirection): stay conservative.
+                graph.dynamic_callers.add(function.qualname)
+                return
+            if head in function.module.imports:
+                return  # External library attribute (np.empty, os.path.join).
+    # Method call on an opaque receiver (self.x.m(...), sweep.run_shard(...)):
+    # name-match fallback to every project function with that method name.
+    matches = project.functions_by_name.get(callee.attr, ())
+    for match in matches:
+        _add_edge(graph, function, match)
+
+
+def _collect_address_taken(graph: CallGraph, function: FunctionInfo) -> None:
+    """Mark functions whose address escapes from inside ``function``."""
+    project = graph.project
+    module = function.module
+    locals_ = _assigned_locals(function.node)
+    if function.nested:
+        # A nested def is a closure: its address escapes by construction
+        # (returned, stored, or handed to a decorator by the enclosing scope).
+        graph.address_taken.add(function.qualname)
+    for decorator in function.node.decorator_list:
+        name = dotted_name(decorator)
+        leaf = (name or "").split(".")[-1]
+        if leaf and leaf not in NEUTRAL_DECORATORS:
+            graph.address_taken.add(function.qualname)
+            resolved = project.resolve_name(module, (name or "").split(".")[0])
+            if resolved is not None and resolved[0] == "function":
+                _add_edge(graph, function, resolved[1])
+    nodes = list(_function_body_walk(function.node))
+    _mark_escapes(graph, module, nodes, locals_)
+
+
+def _collect_module_level_escapes(graph: CallGraph, module) -> None:
+    """Mark functions referenced by module-level data (registries, tables)."""
+    nodes: list[ast.AST] = []
+    for statement in _toplevel_statements(module.source.tree):
+        if isinstance(statement, (ast.If, ast.Try)):
+            continue  # Their children are yielded separately.
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Decorator expressions still run at module level; class bodies
+            # (registry tables, dataclass defaults) can store functions too.
+            for decorator in statement.decorator_list:
+                nodes.extend(ast.walk(decorator))
+            if isinstance(statement, ast.ClassDef):
+                for child in statement.body:
+                    if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        nodes.extend(ast.walk(child))
+            continue
+        nodes.extend(ast.walk(statement))
+    _mark_escapes(graph, module, nodes, locals_=set())
+
+
+def _mark_escapes(graph: CallGraph, module, nodes: list, locals_: set) -> None:
+    """Mark project functions referenced outside call-callee position.
+
+    The callee expression of each Call node is excluded (calling a function
+    does not take its address), but its arguments -- and any other Load
+    reference -- do escape.
+    """
+    callee_positions = {id(node.func) for node in nodes if isinstance(node, ast.Call)}
+    for node in nodes:
+        if id(node) in callee_positions:
+            continue
+        if isinstance(node, ast.Name):
+            if not isinstance(node.ctx, ast.Load) or node.id in locals_:
+                continue
+            resolved = graph.project.resolve_name(module, node.id)
+        elif isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is None or dotted.split(".")[0] in locals_:
+                continue
+            resolved = graph.project.resolve_dotted(module, dotted)
+        else:
+            continue
+        if resolved is not None and resolved[0] == "function":
+            graph.address_taken.add(resolved[1].qualname)
+
+
+# Memoized per symbol table (which is itself memoized per lint run).
+_MEMO: dict = {}
+
+
+def call_graph(project: ProjectSymbols) -> CallGraph:
+    """The (memoized) call graph for a project symbol table."""
+    cached = _MEMO.get("entry")
+    if cached is not None and cached[0] is project:
+        return cached[1]
+    built = build_call_graph(project)
+    _MEMO["entry"] = (project, built)
+    return built

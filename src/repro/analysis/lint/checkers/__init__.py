@@ -1,4 +1,4 @@
-"""The project-specific invariant checkers (RL001-RL005)."""
+"""The project-specific invariant checkers (RL001-RL008)."""
 
 from __future__ import annotations
 
@@ -7,6 +7,9 @@ from repro.analysis.lint.checkers.rl002_ordering import OrderingChecker
 from repro.analysis.lint.checkers.rl003_parity import PlaneParityChecker
 from repro.analysis.lint.checkers.rl004_metrics import MetricsAccountingChecker
 from repro.analysis.lint.checkers.rl005_fork_labels import ForkLabelChecker
+from repro.analysis.lint.checkers.rl006_fork_safety import ForkSafetyChecker
+from repro.analysis.lint.checkers.rl007_njit_subset import NjitSubsetChecker
+from repro.analysis.lint.checkers.rl008_cache_invalidation import CacheInvalidationChecker
 
 
 def default_checkers() -> tuple:
@@ -17,13 +20,19 @@ def default_checkers() -> tuple:
         PlaneParityChecker(),
         MetricsAccountingChecker(),
         ForkLabelChecker(),
+        ForkSafetyChecker(),
+        NjitSubsetChecker(),
+        CacheInvalidationChecker(),
     )
 
 
 __all__ = [
+    "CacheInvalidationChecker",
     "DeterminismChecker",
     "ForkLabelChecker",
+    "ForkSafetyChecker",
     "MetricsAccountingChecker",
+    "NjitSubsetChecker",
     "OrderingChecker",
     "PlaneParityChecker",
     "default_checkers",

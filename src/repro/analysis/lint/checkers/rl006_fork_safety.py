@@ -1,0 +1,83 @@
+"""RL006: module-level mutable state reachable from multiprocessing workers.
+
+``ExperimentEngine`` fans shards out to worker processes (fork *or* spawn,
+DESIGN.md §7).  Any module-level mutable binding -- a dict/list/set cache,
+a counter, a memo slot rebound through ``global`` -- that worker-reachable
+code reads or writes is a silent divergence hazard: under fork each worker
+inherits a snapshot that then drifts; under spawn each worker re-imports a
+fresh copy, so values written in the parent never arrive.  Either way the
+state observed inside ``execute_shard`` is not the state the parent sees,
+and results stop being a function of ``(spec, seed)``.
+
+The rule is whole-program: build the project symbol table, classify every
+module-level binding (mutable state vs constant, see
+:mod:`repro.analysis.lint.symbols`), build the conservative call graph,
+BFS from the worker entry points (``execute_shard`` / ``_worker_run`` in
+``experiments/engine.py``), and flag every read or mutation of mutable
+state inside the reachable set.  Dynamic calls conservatively pull in all
+address-taken functions, so registry-dispatched shard runners are covered
+-- a missed edge here would be a blessed race.
+
+Reviewed exceptions (per-process ambient metric stacks, import-time-frozen
+registries) carry inline waivers with reasons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.lint.callgraph import call_graph
+from repro.analysis.lint.dataflow import function_facts
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+from repro.analysis.lint.symbols import project_symbols
+
+#: Worker entry points: (path suffix, function names) -- suffix-matched so
+#: fixture trees carrying their own ``experiments/engine.py`` participate.
+ENTRY_POINTS: tuple = (("experiments/engine.py", ("execute_shard", "_worker_run")),)
+
+
+class ForkSafetyChecker(Checker):
+    code = "RL006"
+    name = "fork-safety"
+    description = (
+        "module-level mutable state must not be read or written by code "
+        "reachable from multiprocessing worker entry points"
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Diagnostic]:
+        project = project_symbols(sources)
+        graph = call_graph(project)
+        entries = []
+        for suffix, names in ENTRY_POINTS:
+            for module in project.modules:
+                if not module.source.suffix_matches(suffix):
+                    continue
+                for name in names:
+                    info = module.functions.get(name)
+                    if info is not None:
+                        entries.append(info.qualname)
+        if not entries:
+            return
+        reached = graph.reachable_from(entries)
+        for qualname in sorted(reached):
+            function = graph.functions.get(qualname)
+            if function is None:
+                continue
+            facts = function_facts(project, function)
+            entry, _ = reached[qualname]
+            entry_name = graph.functions[entry].name if entry in graph.functions else entry
+            for use in facts.global_uses:
+                target = use.target
+                if not target.is_mutable_state:
+                    continue
+                verb = "mutates" if use.kind == "write" else "reads"
+                yield self.diagnostic(
+                    function.source,
+                    use.node,
+                    f"worker-reachable '{function.name}' (via entry point "
+                    f"'{entry_name}') {verb} module-level mutable state "
+                    f"'{target.name}' defined in {target.source.path}:"
+                    f"{target.node.lineno}; such state diverges across "
+                    f"multiprocessing workers -- pass it explicitly or freeze it",
+                )

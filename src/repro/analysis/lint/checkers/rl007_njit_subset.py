@@ -1,0 +1,379 @@
+"""RL007: ``@njit`` kernels must stay inside a conservative nopython subset.
+
+The compiled plane (``graphs/compiled.py``, ``hybrid/compiled.py``) only
+JITs on machines where numba imports; the pure-numpy CI leg never compiles
+the kernels at all, so a construct numba would reject in nopython mode --
+``**kwargs``, a closure over a mutable global, an f-string, a call into
+uncompiled project code -- sails through every test there and fails (or
+silently falls back, costing the entire speedup) only on accelerated
+installs.  This rule closes that gap *statically*: every function carrying
+an ``njit``/``_njit`` decorator is validated against an allowlist of
+constructs the nopython frontend is known to support, with no numba import
+anywhere:
+
+* no ``*args`` / ``**kwargs``;
+* statements limited to assignments, loops, conditionals, returns and
+  asserts (no try/with/yield/lambda/nested defs/f-strings/comprehensions);
+* name loads limited to parameters and locals, a small builtin allowlist
+  (``range``, ``len``, ``min``, ...), other ``@njit`` functions, and
+  module-level *immutable constants* -- resolved through the import
+  resolver, so closing over ``_PHI`` re-exported from another module is
+  recognized as safe while closing over a dict is flagged;
+* ``np.*`` / ``math.*`` attributes limited to an allowlist of nopython-
+  supported entries, and attributes on locals limited to array attributes
+  (``shape``, ``dtype``, ``astype``, ...);
+* calls limited to allowlisted builtins/numpy and other njit functions.
+
+False positives are possible (the allowlist is deliberately narrower than
+numba); they are the cheap failure mode and take a reasoned waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+from repro.analysis.lint.symbols import (
+    FunctionInfo,
+    ProjectSymbols,
+    _assigned_locals,
+    dotted_name,
+    project_symbols,
+)
+
+#: Decorator leaf names that mark a function as a numba nopython kernel.
+NJIT_DECORATORS = frozenset({"njit", "_njit"})
+
+#: Builtins the nopython frontend supports and the kernels may call/read.
+ALLOWED_BUILTINS = frozenset(
+    {"range", "len", "min", "max", "abs", "int", "float", "bool", "enumerate", "zip", "round"}
+)
+
+#: ``np.X`` entries allowed inside kernels (dtypes, constructors, ufuncs).
+ALLOWED_NUMPY = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "arange",
+        "inf",
+        "nan",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "float32",
+        "float64",
+        "bool_",
+        "argsort",
+        "isfinite",
+        "isnan",
+        "isinf",
+        "sqrt",
+        "floor",
+        "ceil",
+        "minimum",
+        "maximum",
+        "abs",
+    }
+)
+
+#: ``math.X`` entries allowed inside kernels.
+ALLOWED_MATH = frozenset({"sqrt", "floor", "ceil", "log", "log2", "exp", "inf", "nan", "pi"})
+
+#: Attributes allowed on local (array-typed) values.
+ALLOWED_ARRAY_ATTRS = frozenset(
+    {"shape", "size", "ndim", "dtype", "T", "astype", "copy", "sum", "min", "max", "fill"}
+)
+
+#: Statement types the subset accepts.
+ALLOWED_STATEMENTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.For,
+    ast.While,
+    ast.If,
+    ast.Return,
+    ast.Expr,
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+    ast.Assert,
+)
+
+#: External modules kernels may draw attributes from, with their allowlists.
+EXTERNAL_MODULE_ALLOWLISTS = {"numpy": ALLOWED_NUMPY, "math": ALLOWED_MATH}
+
+
+def is_njit_function(function: FunctionInfo) -> bool:
+    """Whether a function carries an ``njit``-style decorator."""
+    for name in function.decorator_names:
+        if name and name.split(".")[-1] in NJIT_DECORATORS:
+            return True
+    return False
+
+
+class NjitSubsetChecker(Checker):
+    code = "RL007"
+    name = "njit-subset"
+    description = (
+        "@njit kernels must stay inside the statically-validated nopython "
+        "subset so JIT failures cannot hide behind the pure-numpy CI leg"
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Diagnostic]:
+        project = project_symbols(sources)
+        kernels: list[FunctionInfo] = []
+        njit_qualnames = set()
+        for module in project.modules:
+            for function in module.all_functions:
+                if is_njit_function(function):
+                    kernels.append(function)
+                    njit_qualnames.add(function.qualname)
+        for kernel in kernels:
+            validator = _KernelValidator(self, project, kernel, njit_qualnames)
+            yield from validator.validate()
+
+
+class _KernelValidator:
+    """One kernel's walk through the allowlist (collects diagnostics)."""
+
+    def __init__(
+        self,
+        checker: NjitSubsetChecker,
+        project: ProjectSymbols,
+        kernel: FunctionInfo,
+        njit_qualnames: set,
+    ) -> None:
+        self.checker = checker
+        self.project = project
+        self.kernel = kernel
+        self.njit_qualnames = njit_qualnames
+        self.locals_ = _assigned_locals(kernel.node)
+        self.findings: list[Diagnostic] = []
+
+    def _flag(self, node: ast.AST, reason: str) -> None:
+        self.findings.append(
+            self.checker.diagnostic(
+                self.kernel.source,
+                node,
+                f"@njit kernel '{self.kernel.name}': {reason}",
+            )
+        )
+
+    def validate(self) -> list[Diagnostic]:
+        node = self.kernel.node
+        if isinstance(node, ast.AsyncFunctionDef):
+            self._flag(node, "async functions cannot compile in nopython mode")
+            return self.findings
+        if node.args.vararg is not None:
+            self._flag(node, "*args is not supported in nopython mode")
+        if node.args.kwarg is not None:
+            self._flag(node, "**kwargs is not supported in nopython mode")
+        for statement in node.body:
+            self._statement(statement)
+        return self.findings
+
+    # ---------------------------------------------------------- statements
+    def _statement(self, statement: ast.stmt) -> None:
+        if not isinstance(statement, ALLOWED_STATEMENTS):
+            self._flag(
+                statement,
+                f"statement '{type(statement).__name__}' is outside the nopython subset",
+            )
+            return
+        if isinstance(statement, ast.For):
+            self._target(statement.target)
+            self._expression(statement.iter)
+            for child in [*statement.body, *statement.orelse]:
+                self._statement(child)
+        elif isinstance(statement, ast.While):
+            self._expression(statement.test)
+            for child in [*statement.body, *statement.orelse]:
+                self._statement(child)
+        elif isinstance(statement, ast.If):
+            self._expression(statement.test)
+            for child in [*statement.body, *statement.orelse]:
+                self._statement(child)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                self._target(target)
+            self._expression(statement.value)
+        elif isinstance(statement, ast.AugAssign):
+            self._target(statement.target)
+            self._expression(statement.value)
+        elif isinstance(statement, ast.AnnAssign):
+            self._target(statement.target)
+            if statement.value is not None:
+                self._expression(statement.value)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._expression(statement.value)
+        elif isinstance(statement, ast.Expr):
+            self._expression(statement.value)
+        elif isinstance(statement, ast.Assert):
+            self._expression(statement.test)
+
+    def _target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            return
+        if isinstance(target, ast.Subscript):
+            self._expression(target.value)
+            self._expression(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target(element)
+            return
+        if isinstance(target, ast.Attribute):
+            self._flag(target, "attribute assignment is outside the nopython subset")
+            return
+        self._flag(target, f"assignment target '{type(target).__name__}' is outside the subset")
+
+    # --------------------------------------------------------- expressions
+    def _expression(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Constant):
+            return
+        if isinstance(node, ast.Name):
+            self._name(node)
+        elif isinstance(node, ast.Attribute):
+            self._attribute(node, as_call=False)
+        elif isinstance(node, ast.Call):
+            self._call(node)
+        elif isinstance(node, ast.BinOp):
+            self._expression(node.left)
+            self._expression(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            self._expression(node.operand)
+        elif isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._expression(value)
+        elif isinstance(node, ast.Compare):
+            self._expression(node.left)
+            for comparator in node.comparators:
+                self._expression(comparator)
+        elif isinstance(node, ast.Subscript):
+            self._expression(node.value)
+            self._expression(node.slice)
+        elif isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._expression(part)
+        elif isinstance(node, ast.Tuple):
+            for element in node.elts:
+                self._expression(element)
+        elif isinstance(node, ast.IfExp):
+            self._expression(node.test)
+            self._expression(node.body)
+            self._expression(node.orelse)
+        else:
+            self._flag(
+                node, f"expression '{type(node).__name__}' is outside the nopython subset"
+            )
+
+    def _name(self, node: ast.Name) -> None:
+        if node.id in self.locals_ or node.id in ALLOWED_BUILTINS:
+            return
+        resolved = self.project.resolve_name(self.kernel.module, node.id)
+        if resolved is None:
+            self._flag(
+                node,
+                f"unresolvable name '{node.id}' (not a local, allowlisted "
+                f"builtin, or project constant)",
+            )
+            return
+        kind, value = resolved
+        if kind == "global":
+            if not value.constant_value:
+                self._flag(
+                    node,
+                    f"closes over module-level name '{node.id}' which is not an "
+                    f"immutable constant (defined in {value.source.path}:"
+                    f"{value.node.lineno})",
+                )
+            return
+        if kind == "function":
+            if value.qualname not in self.njit_qualnames:
+                self._flag(node, f"references non-njit project function '{node.id}'")
+            return
+        self._flag(node, f"references {kind} '{node.id}', unsupported in nopython mode")
+
+    def _attribute(self, node: ast.Attribute, as_call: bool) -> None:
+        dotted = dotted_name(node)
+        if dotted is None:
+            # Attribute on a computed value (e.g. ``out[row].shape``).
+            self._expression(node.value)
+            if node.attr not in ALLOWED_ARRAY_ATTRS:
+                self._flag(
+                    node, f"attribute '.{node.attr}' is outside the array-attribute allowlist"
+                )
+            return
+        head, *rest = dotted.split(".")
+        if head in self.locals_:
+            for attr in rest:
+                if attr not in ALLOWED_ARRAY_ATTRS:
+                    self._flag(
+                        node,
+                        f"attribute '.{attr}' on local '{head}' is outside the "
+                        f"array-attribute allowlist",
+                    )
+            return
+        alias = self.kernel.module.imports.get(head)
+        if alias is not None and alias.module in EXTERNAL_MODULE_ALLOWLISTS:
+            allowlist = EXTERNAL_MODULE_ALLOWLISTS[alias.module]
+            if len(rest) != 1 or rest[0] not in allowlist:
+                self._flag(node, f"'{dotted}' is outside the {alias.module} nopython allowlist")
+            return
+        resolved = self.project.resolve_dotted(self.kernel.module, dotted)
+        if resolved is None:
+            self._flag(node, f"unresolvable attribute chain '{dotted}'")
+            return
+        kind, value = resolved
+        if kind == "global":
+            if not value.constant_value:
+                self._flag(node, f"'{dotted}' resolves to non-constant module state")
+            return
+        if kind == "function":
+            if value.qualname not in self.njit_qualnames:
+                verb = "calls into" if as_call else "references"
+                self._flag(node, f"'{dotted}' {verb} non-njit project code")
+            return
+        self._flag(node, f"'{dotted}' resolves to a {kind}, unsupported in nopython mode")
+
+    def _call(self, node: ast.Call) -> None:
+        for argument in node.args:
+            if isinstance(argument, ast.Starred):
+                self._flag(argument, "starred call arguments are outside the nopython subset")
+            else:
+                self._expression(argument)
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self._flag(node, "**kwargs call expansion is outside the nopython subset")
+            else:
+                self._expression(keyword.value)
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id in self.locals_:
+                self._flag(node, f"call through local '{callee.id}' cannot be resolved statically")
+                return
+            if callee.id in ALLOWED_BUILTINS:
+                return
+            resolved = self.project.resolve_name(self.kernel.module, callee.id)
+            if resolved is not None and resolved[0] == "function":
+                if resolved[1].qualname not in self.njit_qualnames:
+                    self._flag(node, f"calls non-njit project function '{callee.id}'")
+                return
+            self._flag(node, f"call to '{callee.id}' is outside the nopython subset")
+            return
+        if isinstance(callee, ast.Attribute):
+            self._attribute(callee, as_call=True)
+            return
+        self._flag(node, "computed callee is outside the nopython subset")

@@ -1,0 +1,185 @@
+"""Per-function data-flow facts: global uses and instance-attribute writes.
+
+This is the second half of the whole-program layer: where
+:mod:`repro.analysis.lint.callgraph` answers *who runs*, this pass answers
+*what each function touches*.  For every function the project symbol table
+knows about, :func:`function_facts` extracts:
+
+* **module-global uses** -- every read or mutation of a module-level
+  binding, resolved through local-shadowing rules and import aliases, so
+  ``from repro.experiments.runner import _REGISTRY`` followed by a read in
+  another module still attributes the use to the defining module (RL006);
+* **instance-attribute writes** -- ``self.x = ...`` / ``obj.x += ...``
+  sites with the receiver name, plus which attributes the function bumps
+  and which methods it calls on each receiver (RL008's raw material); and
+* **local type bindings** -- ``v = ClassName(...)`` constructions and
+  ``v: ClassName`` annotations resolved against the symbol table, so RL008
+  can police writes through variables statically known to hold a
+  cache-registered class.
+
+Everything is syntactic and flow-insensitive: one pass over the function
+body, no fixpoints, which keeps the full-tree lint inside its CI wall-clock
+budget.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.symbols import (
+    MUTATING_METHODS,
+    FunctionInfo,
+    ModuleGlobal,
+    ProjectSymbols,
+    _assigned_locals,
+    _function_body_walk,
+)
+
+
+@dataclass
+class GlobalUse:
+    """One read or mutation of a module-level binding inside a function."""
+
+    target: ModuleGlobal
+    node: ast.AST
+    kind: str  # "read" | "write"
+
+
+@dataclass
+class AttributeWrite:
+    """One ``base.attr = ...`` / ``base.attr op= ...`` site."""
+
+    base: str  # "self" or the local variable name.
+    attr: str
+    node: ast.stmt
+    augmented: bool
+
+
+@dataclass
+class FunctionFacts:
+    """Everything one function reads, writes, and calls, resolved statically."""
+
+    function: FunctionInfo
+    global_uses: list[GlobalUse] = field(default_factory=list)
+    attribute_writes: list[AttributeWrite] = field(default_factory=list)
+    #: Method names invoked per receiver: {"self": {"invalidate", ...}, ...}.
+    method_calls: dict[str, set] = field(default_factory=dict)
+    #: Local variable -> resolved project class name (construction/annotation).
+    local_types: dict[str, str] = field(default_factory=dict)
+
+
+def function_facts(project: ProjectSymbols, function: FunctionInfo) -> FunctionFacts:
+    """Extract the data-flow facts of one function (see module docstring)."""
+    facts = FunctionFacts(function=function)
+    module = function.module
+    locals_ = _assigned_locals(function.node)
+    declared_global: set = set()
+    for node in _function_body_walk(function.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    _infer_local_types(project, function, facts)
+
+    written_nodes: set = set()
+    for node in _function_body_walk(function.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            augmented = isinstance(node, ast.AugAssign)
+            for target in targets:
+                if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    facts.attribute_writes.append(
+                        AttributeWrite(target.value.id, target.attr, node, augmented)
+                    )
+                elif isinstance(target, ast.Name):
+                    name = target.id
+                    if name in declared_global:
+                        resolved = module.globals.get(name)
+                        if resolved is not None:
+                            facts.global_uses.append(GlobalUse(resolved, node, "write"))
+                            written_nodes.add(id(node))
+                elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                    resolved = _resolve_global(project, module, target.value.id, locals_)
+                    if resolved is not None:
+                        facts.global_uses.append(GlobalUse(resolved, node, "write"))
+                        written_nodes.add(id(target.value))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                    resolved = _resolve_global(project, module, target.value.id, locals_)
+                    if resolved is not None:
+                        facts.global_uses.append(GlobalUse(resolved, node, "write"))
+                        written_nodes.add(id(target.value))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                receiver = func.value.id
+                facts.method_calls.setdefault(receiver, set()).add(func.attr)
+                if func.attr in MUTATING_METHODS:
+                    resolved = _resolve_global(project, module, receiver, locals_)
+                    if resolved is not None:
+                        facts.global_uses.append(GlobalUse(resolved, node, "write"))
+                        written_nodes.add(id(func.value))
+
+    # Reads: every remaining Load of a name resolving to a module global
+    # (directly or through an import alias), not shadowed by a local.
+    for node in _function_body_walk(function.node):
+        if not isinstance(node, ast.Name) or not isinstance(node.ctx, ast.Load):
+            continue
+        if id(node) in written_nodes:
+            continue
+        resolved = _resolve_global(project, module, node.id, locals_)
+        if resolved is not None:
+            facts.global_uses.append(GlobalUse(resolved, node, "read"))
+    return facts
+
+
+def _resolve_global(
+    project: ProjectSymbols, module, name: str, locals_: set
+) -> ModuleGlobal | None:
+    """Resolve a bare name to the module-level binding it denotes, if any."""
+    if name in locals_:
+        return None
+    resolved = project.resolve_name(module, name)
+    if resolved is not None and resolved[0] == "global":
+        return resolved[1]
+    return None
+
+
+def _infer_local_types(
+    project: ProjectSymbols, function: FunctionInfo, facts: FunctionFacts
+) -> None:
+    """Bind local names to project class names where statically evident."""
+    module = function.module
+    args = function.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        class_name = _annotation_class(project, module, arg.annotation)
+        if class_name is not None:
+            facts.local_types[arg.arg] = class_name
+    for node in _function_body_walk(function.node):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            class_name = _annotation_class(project, module, node.annotation)
+            if class_name is not None:
+                facts.local_types[node.target.id] = class_name
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            if isinstance(callee, ast.Name):
+                resolved = project.resolve_name(module, callee.id)
+                if resolved is not None and resolved[0] == "class":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            facts.local_types[target.id] = resolved[1].name
+
+
+def _annotation_class(project: ProjectSymbols, module, annotation) -> str | None:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        name = annotation.value.strip().strip('"')
+    elif isinstance(annotation, ast.Name):
+        name = annotation.id
+    else:
+        return None
+    resolved = project.resolve_name(module, name)
+    if resolved is not None and resolved[0] == "class":
+        return resolved[1].name
+    return None

@@ -77,6 +77,25 @@ class LintReport:
         self.diagnostics.sort(key=Diagnostic.sort_key)
         return self
 
+    def format_github(self) -> str:
+        """GitHub Actions workflow commands: one ``::error`` per active finding.
+
+        The annotation format (``::error file=...,line=...,col=...::message``)
+        makes findings show up inline on the PR diff; waived findings are
+        deliberately omitted (they do not fail the job).  The trailing summary
+        line is plain text, which Actions passes through untouched.
+        """
+        lines = [
+            f"::error file={diagnostic.path},line={diagnostic.line},"
+            f"col={diagnostic.col}::{diagnostic.code} {diagnostic.message}"
+            for diagnostic in self.active
+        ]
+        lines.append(
+            f"lint: {self.files_checked} file(s), {len(self.active)} finding(s), "
+            f"{len(self.waived)} waived"
+        )
+        return "\n".join(lines)
+
     def format_text(self, show_waived: bool = False) -> str:
         """Human-readable report: active findings, then a one-line summary."""
         lines = [diagnostic.format() for diagnostic in self.active]

@@ -26,8 +26,8 @@ from dataclasses import dataclass
 from repro.analysis.lint.diagnostics import Diagnostic, LintReport
 from repro.analysis.lint.waivers import apply_waivers, collect_waivers
 
-#: Reported when a file cannot be parsed at all.
-PARSE_ERROR = "RL099"
+#: Reported when a file cannot be read or parsed at all.
+PARSE_ERROR = "RL000"
 
 
 @dataclass
@@ -47,7 +47,7 @@ class SourceFile:
 class Checker:
     """Base class: one rule code, checked per file and/or across the project."""
 
-    code: str = "RL000"
+    code: str = "RLXXX"
     name: str = "unnamed"
     description: str = ""
 
@@ -82,10 +82,16 @@ def iter_source_files(paths: Sequence[str]) -> list[str]:
 
 
 def load_source(path: str) -> tuple[SourceFile | None, Diagnostic | None]:
-    """Read and parse one file; a parse failure becomes an RL099 diagnostic."""
-    with open(path, encoding="utf-8") as handle:
-        text = handle.read()
+    """Read and parse one file; any failure becomes an RL000 diagnostic.
+
+    A broken file must never take the whole run down with a traceback: a
+    syntax error, an undecodable byte sequence, a null byte, or an unreadable
+    path each produce one ``RL000 path:line:col syntax error`` finding (exit
+    1) and the run continues over the remaining files.
+    """
     try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
         tree = ast.parse(text, filename=path)
     except SyntaxError as error:
         return None, Diagnostic(
@@ -93,8 +99,11 @@ def load_source(path: str) -> tuple[SourceFile | None, Diagnostic | None]:
             error.lineno or 1,
             error.offset or 1,
             PARSE_ERROR,
-            f"cannot parse file: {error.msg}",
+            f"syntax error: {error.msg}",
         )
+    except (UnicodeDecodeError, ValueError, OSError) as error:
+        # ValueError covers null bytes, which ast.parse rejects pre-parse.
+        return None, Diagnostic(path, 1, 1, PARSE_ERROR, f"syntax error: {error}")
     return SourceFile(path=path, text=text, tree=tree), None
 
 

@@ -9,7 +9,7 @@ Usage::
     python -m repro.cli regress --baseline benchmarks/BENCH_baseline.json
     python -m repro.cli query [--n 200] [--seed 1] [--repeat 2]
     python -m repro.cli bench [--n 4096] [--profile]
-    python -m repro.cli lint [--format json] [--select RL001,RL003]
+    python -m repro.cli lint [--format json|github] [--select RL001,RL006] [--waiver-report]
 
 ``run`` prints one experiment's markdown table; ``run-all`` renders every
 registered experiment serially (the content recorded in EXPERIMENTS.md).
@@ -30,9 +30,13 @@ kernels on the numpy plane vs the compiled plane of
 adding a cProfile per-kernel breakdown.  ``lint`` runs the static invariant
 linter (:mod:`repro.analysis.lint`): AST-level checks RL001-RL005 for
 nondeterminism sources, unordered iteration, plane parity, metrics-accounting
-discipline and RNG fork labels, honouring inline
+discipline and RNG fork labels, plus the whole-program rules RL006-RL008
+(fork safety, njit nopython subset, cache-invalidation discipline) built on
+the symbol-table/call-graph layer, honouring inline
 ``# repro-lint: waive[CODE] -- reason`` comments and exiting non-zero on any
-unwaived finding or stale waiver -- the CI invariant gate.
+unwaived finding or stale waiver -- the CI invariant gate.  ``--format
+github`` emits workflow ``::error`` annotations; ``--waiver-report`` lists
+every reviewed waiver with its reason instead of linting.
 """
 
 from __future__ import annotations
@@ -186,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the static invariant linter (RL001-RL005) over the source tree",
+        help="run the static invariant linter (RL001-RL008) over the source tree",
     )
     lint_parser.add_argument(
         "paths",
@@ -196,27 +200,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (json is the nightly artifact schema)",
+        help=(
+            "output format (json is the nightly artifact schema; github "
+            "emits ::error workflow annotations)"
+        ),
     )
     lint_parser.add_argument(
         "--select",
         default=None,
-        help="comma-separated checker codes to run (default: all), e.g. RL001,RL003",
+        help="comma-separated checker codes to run (default: all), e.g. RL001,RL006",
     )
     lint_parser.add_argument(
         "--show-waived",
         action="store_true",
         help="also print waived findings in text format",
     )
+    lint_parser.add_argument(
+        "--waiver-report",
+        action="store_true",
+        help="list every reviewed waiver (code, location, reason) instead of linting",
+    )
     return parser
 
 
 def run_lint_command(args) -> int:
     """Run the invariant linter; exit 0 only with zero unwaived findings."""
-    from repro.analysis.lint import lint_paths
+    from repro.analysis.lint import lint_paths, waiver_inventory
 
+    if args.waiver_report:
+        waivers = waiver_inventory(args.paths or None)
+        if args.format == "json":
+            print(json.dumps(waivers_as_dict(waivers), indent=2))
+        else:
+            for waiver in waivers:
+                codes = ",".join(waiver.codes)
+                print(
+                    f"{waiver.path}:{waiver.target_line} [{codes}] {waiver.reason}"
+                )
+            print(f"waivers: {len(waivers)} reviewed")
+        return 0
     select = None
     if args.select:
         select = [token for token in args.select.split(",") if token.strip()]
@@ -227,9 +251,29 @@ def run_lint_command(args) -> int:
         return 2
     if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2))
+    elif args.format == "github":
+        print(report.format_github())
     else:
         print(report.format_text(show_waived=args.show_waived))
     return 0 if report.ok else 1
+
+
+def waivers_as_dict(waivers) -> dict:
+    """The ``--waiver-report --format json`` document (mirrors the report schema)."""
+    return {
+        "version": 1,
+        "count": len(waivers),
+        "waivers": [
+            {
+                "path": waiver.path,
+                "comment_line": waiver.comment_line,
+                "target_line": waiver.target_line,
+                "codes": list(waiver.codes),
+                "reason": waiver.reason,
+            }
+            for waiver in waivers
+        ],
+    }
 
 
 def run_sweep_command(args) -> int:

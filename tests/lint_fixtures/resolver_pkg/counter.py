@@ -1,0 +1,8 @@
+"""Mutable state only reachable through a dynamic registry dispatch."""
+
+_COUNT: list = [0]
+
+
+def bump():
+    _COUNT[0] = _COUNT[0] + 1
+    return _COUNT[0]

@@ -1,0 +1,9 @@
+"""Half of an import + call cycle (never imported at runtime; AST only)."""
+
+from resolver_pkg.cycle_b import pong
+
+
+def ping(depth):
+    if depth <= 0:
+        return 0
+    return pong(depth - 1)

@@ -1,0 +1,9 @@
+"""Other half of the cycle: resolution and reachability must terminate."""
+
+from resolver_pkg.cycle_a import ping
+
+
+def pong(depth):
+    if depth <= 0:
+        return 1
+    return ping(depth - 1)

@@ -1,0 +1,8 @@
+"""Dynamic call through a registry value: must fall back conservatively."""
+
+from resolver_pkg.registry import REGISTRY
+
+
+def dispatch(key):
+    task = REGISTRY[key]
+    return task()

@@ -1,0 +1,11 @@
+"""Fixture worker entry point exercising every resolution path at once."""
+
+from resolver_pkg import helper
+from resolver_pkg.cycle_a import ping
+from resolver_pkg.dispatch import dispatch
+
+
+def execute_shard(shard):
+    helper()
+    ping(3)
+    return dispatch("x")

@@ -1,0 +1,7 @@
+"""``import x as y`` module aliasing + dotted-attribute resolution."""
+
+import resolver_pkg.state as st
+
+
+def run_helper():
+    return st.mutate()

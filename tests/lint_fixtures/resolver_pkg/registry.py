@@ -1,0 +1,5 @@
+"""A literal registry whose values make functions address-taken."""
+
+from resolver_pkg.tasks import hidden_task
+
+REGISTRY = {"x": hidden_task}

@@ -1,0 +1,8 @@
+"""Module-level mutable state at the end of an alias/re-export chain."""
+
+_CALLS: list = []
+
+
+def mutate():
+    _CALLS.append(1)
+    return len(_CALLS)

@@ -1,0 +1,7 @@
+"""``from x import f as g`` aliasing on the dynamic-dispatch path."""
+
+from resolver_pkg.counter import bump as bump_alias
+
+
+def hidden_task():
+    return bump_alias()

@@ -1,0 +1,3 @@
+# Fixture: RL000 must report this file instead of crashing the run.
+def broken(:
+    return "never parses"

@@ -1,0 +1,8 @@
+"""Module-level mutable cache mutated by worker-reachable code."""
+
+_HITS: dict = {}
+
+
+def record_hit(shard):
+    _HITS[shard] = _HITS.get(shard, 0) + 1
+    return _HITS

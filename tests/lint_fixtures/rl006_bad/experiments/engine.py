@@ -1,0 +1,13 @@
+"""RL006 bad fixture: the worker entry point reaches module-level state.
+
+``execute_shard`` never touches the cache itself -- the hazard is one call
+away, in another module, which is exactly what the whole-program pass must
+see through.
+"""
+
+from rl006_bad.cache import record_hit
+
+
+def execute_shard(shard):
+    record_hit(shard)
+    return shard

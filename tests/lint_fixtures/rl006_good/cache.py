@@ -1,0 +1,13 @@
+"""Worker-safe module data: constants and never-mutated literal tables."""
+
+SHARD_LIMITS = (8, 16, 32)
+
+#: Mutable *container*, but no function ever mutates it: a frozen lookup
+#: table in disguise, which the classifier must not call state.
+FAMILY_TABLE = {"ring": 1, "grid": 2}
+
+
+def fresh_cache():
+    cache = dict(FAMILY_TABLE)
+    cache.clear()
+    return cache

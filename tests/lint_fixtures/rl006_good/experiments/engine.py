@@ -1,0 +1,14 @@
+"""RL006 good fixture: workers touch only locals, constants, and frozen tables.
+
+Same shape as the bad fixture, but every piece of shared module-level data
+is either an immutable constant or a literal table no function ever mutates
+-- none of it counts as state, so the rule must stay silent.
+"""
+
+from rl006_good.cache import SHARD_LIMITS, fresh_cache
+
+
+def execute_shard(shard):
+    cache = fresh_cache()
+    cache[shard] = SHARD_LIMITS[0]
+    return cache

@@ -1,0 +1,24 @@
+"""RL007 bad fixture: an @njit kernel full of nopython-subset violations."""
+
+import numpy as np
+
+try:
+    from numba import njit
+except ImportError:  # The linter never imports numba; the guard is idiom.
+    njit = None
+
+_CACHE: dict = {}
+
+
+def _python_helper(value):
+    _CACHE[0] = value
+    return value
+
+
+@njit(cache=True)
+def bad_kernel(values, **options):
+    label = f"n={values.shape[0]}"
+    total = np.nansum(values)
+    _CACHE[1] = total
+    squares = [value * value for value in values]
+    return _python_helper(total), label, squares

@@ -1,0 +1,38 @@
+"""RL007 good fixture: kernels inside the validated nopython subset.
+
+Mirrors the real compiled-plane idiom: the ``HAS_NUMBA`` guard, the
+``_njit`` alias, a closure over a cross-module immutable constant, and an
+njit-to-njit call.
+"""
+
+import numpy as np
+
+from rl007_good_constants import _SCALE
+
+try:
+    from numba import njit as _njit
+
+    HAS_NUMBA = True
+except ImportError:
+    _njit = None
+    HAS_NUMBA = False
+
+
+if HAS_NUMBA:
+
+    @_njit(cache=True)
+    def _fill_inf(out):
+        n = out.shape[0]
+        for i in range(n):
+            out[i] = np.inf
+        return n
+
+    @_njit(cache=True)
+    def _scaled_sum(values, out):
+        _fill_inf(out)
+        total = 0.0
+        for i in range(values.shape[0]):
+            total += values[i] * _SCALE
+        out[0] = total
+        buffer = np.zeros(values.shape[0], dtype=np.float64)
+        return total, buffer

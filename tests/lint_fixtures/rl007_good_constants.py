@@ -1,0 +1,3 @@
+"""Cross-module immutable constant an njit kernel may close over."""
+
+_SCALE = (1 << 8) - 1

@@ -1,0 +1,31 @@
+"""RL008 bad fixture: cache-backed classes mutated without invalidation."""
+
+
+class WeightedGraph:
+    def __init__(self):
+        self._version = 0
+        self._csr = None
+        self.node_count = 0
+
+    def add_node(self):
+        self.node_count += 1  # No _version bump: stale-cache hazard.
+
+    def bump_version(self):
+        self._version += 1
+
+
+class HybridSession:
+    def __init__(self):
+        self._graph_version = -1
+        self.mode = "idle"
+
+    def invalidate(self):
+        self._graph_version = 0
+
+    def set_mode(self, mode):
+        self.mode = mode  # Neither bumps _graph_version nor calls a hook.
+
+
+def resize(graph: WeightedGraph, count):
+    graph.node_count = count  # External write, same missing bump.
+    return graph

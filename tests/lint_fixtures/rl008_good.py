@@ -1,0 +1,46 @@
+"""RL008 good fixture: every discipline the rule must recognize as safe.
+
+Covers: version bump in the mutator, invalidation-hook calls, cache-slot
+fills (None-default attributes), lazy-fill blocks charging counters while
+materializing a cache, and a disciplined external writer.
+"""
+
+
+class WeightedGraph:
+    def __init__(self):
+        self._version = 0
+        self._csr = None
+        self.node_count = 0
+        self.fill_rounds = 0
+
+    def add_node(self):
+        self.node_count += 1
+        self._version += 1
+
+    def ensure_csr(self):
+        if self._csr is None:
+            self._csr = (self.node_count,)
+            self.fill_rounds += 1  # Counter inside the lazy-fill block.
+        return self._csr
+
+    def rebuild_csr(self):
+        self._csr = (self.node_count,)  # Cache-slot write: always allowed.
+
+
+class HybridSession:
+    def __init__(self):
+        self._graph_version = -1
+        self.mode = "idle"
+
+    def invalidate(self):
+        self._graph_version = 0
+
+    def set_mode(self, mode):
+        self.mode = mode
+        self.invalidate()
+
+
+def resize(graph: WeightedGraph, count):
+    graph.node_count = count
+    graph._version += 1
+    return graph

@@ -1,0 +1,232 @@
+"""Tests for the whole-program resolution layer behind RL006-RL008.
+
+The layer has three parts -- the symbol table / import resolver
+(:mod:`repro.analysis.lint.symbols`), the conservative call graph
+(:mod:`repro.analysis.lint.callgraph`), and the data-flow fact extractor
+(:mod:`repro.analysis.lint.dataflow`).  Unit tests here build synthetic
+in-memory modules (no tmp files needed: a ``SourceFile`` is just
+path/text/AST), and integration tests run over the committed
+``tests/lint_fixtures/resolver_pkg`` package, which wires every resolution
+feature into one call chain from a fixture worker entry point: ``import x
+as y`` module aliasing, ``from x import f as g``, re-exports through
+``__init__.py``, an import+call cycle, and a registry-dispatched dynamic
+call.  The end-to-end claim under test: none of those indirections may
+produce a false RL006 negative.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.lint.callgraph import build_call_graph
+from repro.analysis.lint.dataflow import function_facts
+from repro.analysis.lint.framework import SourceFile
+from repro.analysis.lint.symbols import ProjectSymbols
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+RESOLVER_PKG = FIXTURES / "resolver_pkg"
+
+
+def make_source(path: str, text: str) -> SourceFile:
+    return SourceFile(path=path, text=text, tree=ast.parse(text))
+
+
+def make_project(*files: tuple) -> ProjectSymbols:
+    return ProjectSymbols([make_source(path, text) for path, text in files])
+
+
+def fixture_project() -> ProjectSymbols:
+    sources = []
+    for path in sorted(RESOLVER_PKG.rglob("*.py")):
+        relative = path.relative_to(FIXTURES.parent.parent).as_posix()
+        sources.append(make_source(relative, path.read_text()))
+    return ProjectSymbols(sources)
+
+
+def module_by_suffix(project: ProjectSymbols, suffix: str):
+    for module in project.modules:
+        if module.source.suffix_matches(suffix):
+            return module
+    raise AssertionError(f"no module matching {suffix}")
+
+
+class TestSymbolResolution:
+    def test_import_module_as_alias_resolves(self):
+        project = make_project(
+            ("pkg/state.py", "def mutate():\n    return 1\n"),
+            ("pkg/impl.py", "import pkg.state as st\n\ndef run():\n    return st.mutate()\n"),
+        )
+        impl = module_by_suffix(project, "pkg/impl.py")
+        kind, value = project.resolve_dotted(impl, "st.mutate")
+        assert kind == "function"
+        assert value.name == "mutate"
+        assert value.source.path == "pkg/state.py"
+
+    def test_from_import_as_alias_resolves(self):
+        project = make_project(
+            ("pkg/counter.py", "def bump():\n    return 1\n"),
+            ("pkg/tasks.py", "from pkg.counter import bump as poke\n\ndef task():\n    return poke()\n"),
+        )
+        tasks = module_by_suffix(project, "pkg/tasks.py")
+        kind, value = project.resolve_name(tasks, "poke")
+        assert kind == "function"
+        assert value.name == "bump"
+
+    def test_reexport_through_package_init_resolves(self):
+        project = make_project(
+            ("pkg/__init__.py", "from pkg.impl import run_helper as helper\n"),
+            ("pkg/impl.py", "def run_helper():\n    return 0\n"),
+            ("pkg/use.py", "from pkg import helper\n\ndef go():\n    return helper()\n"),
+        )
+        use = module_by_suffix(project, "pkg/use.py")
+        kind, value = project.resolve_name(use, "helper")
+        assert kind == "function"
+        assert value.name == "run_helper"
+        assert value.source.path == "pkg/impl.py"
+
+    def test_import_cycle_resolution_terminates(self):
+        project = make_project(
+            ("pkg/a.py", "from pkg.b import thing\n"),
+            ("pkg/b.py", "from pkg.a import thing\n"),
+        )
+        a = module_by_suffix(project, "pkg/a.py")
+        # The alias chain is circular; resolution must answer None, not hang.
+        assert project.resolve_name(a, "thing") is None
+
+    def test_mutable_state_classification(self):
+        project = make_project(
+            (
+                "pkg/data.py",
+                "CONST = (1 << 8) - 1\n"
+                "FROZEN_TABLE = {'a': 1}\n"
+                "_CACHE: dict = {}\n"
+                "_memo = None\n"
+                "def touch(key):\n"
+                "    _CACHE[key] = key\n"
+                "def rebind():\n"
+                "    global _memo\n"
+                "    _memo = object()\n",
+            ),
+        )
+        data = module_by_suffix(project, "pkg/data.py")
+        assert data.globals["CONST"].constant_value
+        assert not data.globals["CONST"].is_mutable_state
+        # A mutable container nobody mutates is a de-facto constant table.
+        assert not data.globals["FROZEN_TABLE"].is_mutable_state
+        # Mutated container and global-rebound name are both state.
+        assert data.globals["_CACHE"].is_mutable_state
+        assert data.globals["_memo"].is_mutable_state
+
+
+class TestCallGraph:
+    def test_cycle_bearing_reachability_terminates_and_covers(self):
+        project = fixture_project()
+        graph = build_call_graph(project)
+        engine = module_by_suffix(project, "experiments/engine.py")
+        entry = engine.functions["execute_shard"].qualname
+        reached = graph.reachable_from([entry])
+        names = {qualname.split("::")[-1] for qualname in reached}
+        assert {"ping", "pong"} <= names  # Both halves of the call cycle.
+
+    def test_dynamic_dispatch_pulls_in_address_taken_functions(self):
+        project = fixture_project()
+        graph = build_call_graph(project)
+        engine = module_by_suffix(project, "experiments/engine.py")
+        entry = engine.functions["execute_shard"].qualname
+        reached = graph.reachable_from([entry])
+        names = {qualname.split("::")[-1] for qualname in reached}
+        # dispatch() calls through a registry value; the conservative
+        # fallback must still reach the registered task and its callee.
+        assert "dispatch" in names
+        assert "hidden_task" in names
+        assert "bump" in names
+
+    def test_alias_and_reexport_chain_is_walked(self):
+        project = fixture_project()
+        graph = build_call_graph(project)
+        engine = module_by_suffix(project, "experiments/engine.py")
+        entry = engine.functions["execute_shard"].qualname
+        reached = graph.reachable_from([entry])
+        names = {qualname.split("::")[-1] for qualname in reached}
+        # engine -> helper (re-export) -> run_helper -> st.mutate (module
+        # alias): the full chain must be edges, not fallbacks.
+        assert "run_helper" in names
+        assert "mutate" in names
+
+    def test_witness_path_leads_back_to_the_entry(self):
+        project = fixture_project()
+        graph = build_call_graph(project)
+        engine = module_by_suffix(project, "experiments/engine.py")
+        entry = engine.functions["execute_shard"].qualname
+        reached = graph.reachable_from([entry])
+        mutate = next(q for q in reached if q.split("::")[-1] == "mutate")
+        path = graph.witness_path(reached, mutate)
+        assert path[0] == entry
+        assert path[-1] == mutate
+
+
+class TestDataFlowFacts:
+    def test_global_reads_and_writes_are_attributed(self):
+        project = fixture_project()
+        counter = module_by_suffix(project, "resolver_pkg/counter.py")
+        facts = function_facts(project, counter.functions["bump"])
+        kinds = sorted((use.target.name, use.kind) for use in facts.global_uses)
+        assert ("_COUNT", "write") in kinds
+        assert ("_COUNT", "read") in kinds
+
+    def test_attribute_writes_record_receiver_and_augmentation(self):
+        project = make_project(
+            (
+                "pkg/obj.py",
+                "class Thing:\n"
+                "    def __init__(self):\n"
+                "        self.total = 0\n"
+                "    def charge(self, amount):\n"
+                "        self.total += amount\n",
+            ),
+        )
+        thing = module_by_suffix(project, "pkg/obj.py").classes["Thing"]
+        facts = function_facts(project, thing.methods["charge"])
+        assert [(w.base, w.attr, w.augmented) for w in facts.attribute_writes] == [
+            ("self", "total", True)
+        ]
+
+    def test_local_types_from_construction_and_annotation(self):
+        project = make_project(
+            (
+                "pkg/types.py",
+                "class Graph:\n"
+                "    def __init__(self):\n"
+                "        self.n = 0\n"
+                "def build():\n"
+                "    graph = Graph()\n"
+                "    return graph\n"
+                "def use(graph: Graph):\n"
+                "    return graph\n",
+            ),
+        )
+        module = module_by_suffix(project, "pkg/types.py")
+        build_facts = function_facts(project, module.functions["build"])
+        use_facts = function_facts(project, module.functions["use"])
+        assert build_facts.local_types == {"graph": "Graph"}
+        assert use_facts.local_types == {"graph": "Graph"}
+
+
+class TestNoFalseNegativesEndToEnd:
+    def test_rl006_fires_through_every_indirection(self):
+        report = lint_paths([str(RESOLVER_PKG)], select=["RL006"])
+        flagged_files = {diagnostic.path.split("/")[-1] for diagnostic in report.active}
+        # state.py is reached via __init__ re-export + module alias;
+        # counter.py via registry dynamic dispatch + from-import-as.
+        assert flagged_files == {"state.py", "counter.py"}
+        assert all(diagnostic.code == "RL006" for diagnostic in report.active)
+        assert len(report.active) == 5
+
+    def test_registry_table_itself_is_not_flagged(self):
+        # REGISTRY is a literal dict nobody mutates: reading it from worker
+        # code is fine; only genuine mutable state may fire.
+        report = lint_paths([str(RESOLVER_PKG)], select=["RL006"])
+        assert not any("registry.py" in d.path for d in report.active)
+        assert not any("dispatch.py" in d.path for d in report.active)
