@@ -10,7 +10,7 @@ reviewed waivers that fail the build when they go stale
 (:mod:`repro.analysis.lint.waivers`), a whole-program resolution layer
 (symbol table, import resolver, conservative call graph, data-flow pass:
 :mod:`~repro.analysis.lint.symbols` / :mod:`~repro.analysis.lint.callgraph`
-/ :mod:`~repro.analysis.lint.dataflow`), and eight project-specific rules:
+/ :mod:`~repro.analysis.lint.dataflow`), and nine project-specific rules:
 
 ========  ==================================================================
 RL001     nondeterminism sources (``random.*``, wall clocks, ``os.urandom``,
@@ -28,6 +28,8 @@ RL007     njit subset (``@njit`` kernels validated against a conservative
           nopython allowlist, with numba never imported)
 RL008     cache-invalidation discipline (attribute writes on cache-backed
           classes bump a version or call an invalidation hook)
+RL009     docstring discipline (public serving/session surface documented,
+          query methods cross-referencing their DESIGN.md section)
 RL090/91  malformed / stale waiver comments
 RL000     unreadable / unparsable file (syntax error)
 ========  ==================================================================

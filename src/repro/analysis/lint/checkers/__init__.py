@@ -1,4 +1,4 @@
-"""The project-specific invariant checkers (RL001-RL008)."""
+"""The project-specific invariant checkers (RL001-RL009)."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ from repro.analysis.lint.checkers.rl005_fork_labels import ForkLabelChecker
 from repro.analysis.lint.checkers.rl006_fork_safety import ForkSafetyChecker
 from repro.analysis.lint.checkers.rl007_njit_subset import NjitSubsetChecker
 from repro.analysis.lint.checkers.rl008_cache_invalidation import CacheInvalidationChecker
+from repro.analysis.lint.checkers.rl009_docstrings import DocstringDisciplineChecker
 
 
 def default_checkers() -> tuple:
@@ -23,12 +24,14 @@ def default_checkers() -> tuple:
         ForkSafetyChecker(),
         NjitSubsetChecker(),
         CacheInvalidationChecker(),
+        DocstringDisciplineChecker(),
     )
 
 
 __all__ = [
     "CacheInvalidationChecker",
     "DeterminismChecker",
+    "DocstringDisciplineChecker",
     "ForkLabelChecker",
     "ForkSafetyChecker",
     "MetricsAccountingChecker",

@@ -1,0 +1,99 @@
+"""RL009: docstring discipline on the serving surface.
+
+The serving layer is the first operator-facing boundary of this codebase:
+its contracts (protocol error codes, batching compatibility, admission
+semantics, accounting) live in prose as much as in code, and DESIGN.md §11
+is their canonical home.  RL009 keeps that prose from rotting, in two steps:
+
+* every *public* module, class and function under ``repro/serving/`` and in
+  ``repro/session.py`` must carry a docstring (names with a leading
+  underscore, dunders other than ``__init__`` modules, and nested defs are
+  exempt), and
+* the session's query surface (``apsp`` / ``sssp`` / ``sssp_batch`` /
+  ``shortest_paths`` / ``diameter`` / ``route_tokens``) and every public
+  serving *class* must anchor themselves with a literal ``DESIGN.md §``
+  cross-reference, so the docs-consistency check
+  (tests/test_docs.py) can verify the referenced section exists.
+
+A missing docstring on internal helpers elsewhere in the tree is a style
+question; on the serving surface it is an operability bug, which is why the
+rule is scoped rather than global.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, SourceFile
+
+#: Files the rule applies to (path suffixes, like RL004's allow-list).
+SCOPED_SUFFIXES = ("repro/serving/", "repro/session.py")
+
+#: Methods of the public query surface that must cite their DESIGN.md home.
+QUERY_SURFACE = frozenset(
+    {"apsp", "sssp", "sssp_batch", "shortest_paths", "diameter", "route_tokens"}
+)
+
+
+def _in_scope(source: SourceFile) -> bool:
+    normalized = str(source.path).replace("\\", "/")
+    return any(suffix in normalized for suffix in SCOPED_SUFFIXES)
+
+
+class DocstringDisciplineChecker(Checker):
+    code = "RL009"
+    name = "docstring-discipline"
+    description = "public serving/session surface lacking docstrings or DESIGN.md refs"
+
+    def check(self, source: SourceFile) -> Iterable[Diagnostic]:
+        if not _in_scope(source):
+            return
+        if ast.get_docstring(source.tree) is None:
+            yield self.diagnostic(
+                source,
+                source.tree.body[0] if source.tree.body else source.tree,
+                "module on the serving surface has no docstring",
+            )
+        yield from self._check_body(source, source.tree.body, class_name=None)
+
+    def _check_body(
+        self, source: SourceFile, body: list[ast.stmt], class_name: str | None
+    ) -> Iterable[Diagnostic]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                docstring = ast.get_docstring(node)
+                if docstring is None:
+                    yield self.diagnostic(
+                        source, node, f"public class {node.name!r} has no docstring"
+                    )
+                elif "repro/serving/" in str(source.path).replace(
+                    "\\", "/"
+                ) and "DESIGN.md §" not in docstring:
+                    yield self.diagnostic(
+                        source,
+                        node,
+                        f"public serving class {node.name!r} must cross-reference "
+                        "its DESIGN.md section (e.g. 'DESIGN.md §11')",
+                    )
+                yield from self._check_body(source, node.body, class_name=node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                docstring = ast.get_docstring(node)
+                if docstring is None:
+                    kind = "method" if class_name else "function"
+                    yield self.diagnostic(
+                        source, node, f"public {kind} {node.name!r} has no docstring"
+                    )
+                elif node.name in QUERY_SURFACE and class_name == "HybridSession":
+                    if "DESIGN.md §" not in docstring:
+                        yield self.diagnostic(
+                            source,
+                            node,
+                            f"query-surface method {node.name!r} must cross-reference "
+                            "its DESIGN.md section (e.g. 'DESIGN.md §6')",
+                        )

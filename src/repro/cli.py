@@ -188,9 +188,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows of the per-kernel profile breakdown (with --profile)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio multi-tenant query server over TCP (DESIGN.md §11)",
+    )
+    serve_parser.add_argument("--n", type=int, default=200, help="graph size")
+    serve_parser.add_argument("--seed", type=int, default=1, help="graph and model seed")
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds the batcher waits before draining the queue",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=64, help="bound on admitted, unanswered requests"
+    )
+    serve_parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="per-tenant bound within --max-pending (default: no quota)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=32, help="largest coalesced group (one pass)"
+    )
+    serve_parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="serve one query per pass (the E16 baseline mode)",
+    )
+
+    client_parser = subparsers.add_parser(
+        "client",
+        help="send newline-delimited JSON requests (stdin or args) to a running server",
+    )
+    client_parser.add_argument("--host", default="127.0.0.1", help="server address")
+    client_parser.add_argument("--port", type=int, default=8642, help="server port")
+    client_parser.add_argument(
+        "requests",
+        nargs="*",
+        default=None,
+        help="request JSON objects; with none given, lines are read from stdin",
+    )
+
+    serve_bench_parser = subparsers.add_parser(
+        "serve-bench",
+        help="run the E16 serving benchmark (batched vs sequential) and write its artifacts",
+    )
+    serve_bench_parser.add_argument("--n", type=int, default=256, help="graph size")
+    serve_bench_parser.add_argument(
+        "--queries", type=int, default=40, help="SSSP queries in the workload mix"
+    )
+    serve_bench_parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    serve_bench_parser.add_argument(
+        "--batch-window", type=float, default=0.005, help="server batch window in seconds"
+    )
+    serve_bench_parser.add_argument(
+        "--out",
+        default=None,
+        help="directory for manifest.json + metrics.jsonl + summary.json (default: print only)",
+    )
+
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the static invariant linter (RL001-RL008) over the source tree",
+        help="run the static invariant linter (RL001-RL009) over the source tree",
     )
     lint_parser.add_argument(
         "paths",
@@ -434,6 +499,128 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
     return 0
 
 
+def run_serve_command(args) -> int:
+    """Start the asyncio query server over TCP and block until interrupted.
+
+    Builds the seeded workload graph, wraps it in a
+    :class:`~repro.session.HybridSession`, and serves the line-delimited JSON
+    protocol of DESIGN.md §11 on ``--host``/``--port`` until Ctrl-C; the
+    shutdown path drains every admitted request before exiting.
+    """
+    import asyncio
+
+    from repro.graphs import generators
+    from repro.hybrid import ModelConfig
+    from repro.serving import QueryServer, ServerConfig, serve_tcp
+    from repro.session import HybridSession
+    from repro.util.rand import RandomSource
+
+    if args.n < 2:
+        print("--n must be at least 2", file=sys.stderr)
+        return 2
+    graph = generators.random_geometric_like_graph(
+        args.n, neighbourhood=2, rng=RandomSource(args.seed), extra_edge_probability=0.01
+    )
+    session = HybridSession(graph, ModelConfig(rng_seed=args.seed))
+    config = ServerConfig(
+        batch_window=args.batch_window,
+        max_pending=args.max_pending,
+        tenant_quota=args.tenant_quota,
+        max_batch=args.max_batch,
+        coalesce=not args.no_coalesce,
+    )
+
+    async def _serve() -> int:
+        import contextlib
+        import signal
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            # Graceful drain on both signals; add_signal_handler is
+            # unavailable on some platforms (then Ctrl-C still interrupts).
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        async with QueryServer(session, config) as server:
+            listener = await serve_tcp(server, host=args.host, port=args.port)
+            bound = listener.sockets[0].getsockname()
+            print(
+                f"serving n={args.n} (seed {args.seed}) on {bound[0]}:{bound[1]} -- "
+                f"window {config.batch_window}s, max_pending {config.max_pending}, "
+                f"quota {config.tenant_quota}, coalesce {config.coalesce}",
+                flush=True,
+            )
+            try:
+                await stop.wait()
+            finally:
+                listener.close()
+                await listener.wait_closed()
+        summary = server.tenant_summary()
+        if summary:
+            print(f"drained; per-tenant totals: {json.dumps(summary, sort_keys=True)}")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+        return 0
+
+
+def run_client_command(args) -> int:
+    """Send requests to a running server and print one response per line."""
+    import asyncio
+
+    from repro.serving import query_tcp
+
+    lines = args.requests if args.requests else [line for line in sys.stdin if line.strip()]
+    requests = []
+    for line in lines:
+        try:
+            requests.append(json.loads(line))
+        except ValueError as error:
+            print(f"client: bad request line {line!r}: {error}", file=sys.stderr)
+            return 2
+    if not requests:
+        print("client: no requests given", file=sys.stderr)
+        return 2
+    try:
+        responses = asyncio.run(query_tcp(args.host, args.port, requests))
+    except OSError as error:
+        print(f"client: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    for response in responses:
+        print(json.dumps(response, sort_keys=True))
+    return 0 if all(response.get("ok") for response in responses) else 1
+
+
+def run_serve_bench_command(args) -> int:
+    """Run the E16 benchmark and optionally persist its artifact trio."""
+    from repro.serving import benchmark as serving_benchmark
+
+    if args.n < 2 or args.queries < 1:
+        print("--n must be >= 2 and --queries >= 1", file=sys.stderr)
+        return 2
+    summary = serving_benchmark.run_comparison(
+        args.n, args.queries, args.seed, batch_window=args.batch_window
+    )
+    batched = summary["modes"]["batched"]
+    sequential = summary["modes"]["sequential"]
+    print(
+        f"E16 n={summary['n']} queries={summary['query_count']} seed={summary['seed']}:\n"
+        f"  batched:    {batched['passes']} passes, {batched['total_rounds']} rounds, "
+        f"{batched['qps']} qps, p50 {batched['p50_ms']}ms, p99 {batched['p99_ms']}ms\n"
+        f"  sequential: {sequential['passes']} passes, {sequential['total_rounds']} rounds, "
+        f"{sequential['qps']} qps, p50 {sequential['p50_ms']}ms, p99 {sequential['p99_ms']}ms\n"
+        f"  round ratio {summary['round_throughput_ratio']}x, "
+        f"answers identical: {summary['responses_identical']}"
+    )
+    if args.out:
+        paths = serving_benchmark.write_run_artifacts(args.out, summary)
+        print(f"wrote {paths['manifest']}, {paths['metrics']}, {paths['summary']}")
+    return 0 if summary["responses_identical"] else 1
+
+
 def run_bench_command(args) -> int:
     """Time the hot graph kernels on the numpy plane vs the compiled plane.
 
@@ -564,6 +751,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "query":
         return serve_query_workload(args.n, args.seed, args.repeat)
+
+    if args.command == "serve":
+        return run_serve_command(args)
+
+    if args.command == "client":
+        return run_client_command(args)
+
+    if args.command == "serve-bench":
+        return run_serve_bench_command(args)
 
     if args.command == "bench":
         return run_bench_command(args)

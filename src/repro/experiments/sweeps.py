@@ -1,4 +1,4 @@
-"""The per-experiment sweeps (E1-E15 of the DESIGN.md index), in shard form.
+"""The per-experiment sweeps (E1-E16 of the DESIGN.md index), in shard form.
 
 Every experiment reproduces one artefact of the paper (or, for E14, of this
 library's serving layer).  Each is registered via
@@ -1135,3 +1135,104 @@ def robustness_shard(scale: str, seed: int, params: dict[str, object]) -> list[l
             exact,
         ]
     ]
+
+
+# -------------------------------------------------------------------------- E16
+def _e16_parameters(scale: str) -> tuple[int, int]:
+    if scale == "small":
+        return 64, 8
+    if scale == "medium":
+        return 256, 40
+    return 512, 64
+
+
+def _e16_plan(scale: str) -> list[ShardPlan]:
+    n, queries = _e16_parameters(scale)
+    return [ShardPlan(family="serving", seed=7, params={"n": n, "queries": queries})]
+
+
+_E16_HEADERS = [
+    "n",
+    "queries",
+    "batched passes",
+    "sequential passes",
+    "batched rounds",
+    "sequential rounds",
+    "round ratio",
+    "identical",
+    "batched qps",
+    "batched p50 ms",
+    "batched p99 ms",
+    "sequential qps",
+]
+
+
+def _e16_finalize(scale: str, payloads: list[object]) -> ExperimentTable:
+    # Deterministic columns come from the hashed rows; the serving-quality
+    # wall measurements ride next to them under the payload's hash-excluded
+    # wall_time_seconds slot (the E13 pattern) and are re-attached here.
+    rows = []
+    for payload in payloads:
+        wall = payload["wall_time_seconds"]
+        rows.append(
+            payload["rows"][0]
+            + [
+                wall["batched_qps"],
+                wall["batched_p50_ms"],
+                wall["batched_p99_ms"],
+                wall["sequential_qps"],
+            ]
+        )
+    return ExperimentTable(
+        "E16",
+        "Serving layer: cross-query batching vs one-query-per-pass (QPS, tails)",
+        _E16_HEADERS,
+        rows,
+        notes=[
+            "The round ratio (sequential / batched total network rounds, shared "
+            "preprocessing included) is deterministic at the fixed seed and is "
+            "what the regression gate pins; QPS and latency percentiles are "
+            "wall-clock serving quality and stay outside the hashed payload.  "
+            "The identical column asserts the DESIGN.md §11 contract: batching "
+            "changes cost, never answers.",
+        ],
+    )
+
+
+@register_sweep("E16", plan=_e16_plan, finalize=_e16_finalize)
+def serving_shard(scale: str, seed: int, params: dict[str, object]) -> dict[str, object]:
+    """E16: one serving workload, batched and sequential, on fresh servers.
+
+    Drives :func:`repro.serving.benchmark.run_comparison` -- a multi-tenant
+    SSSP-heavy request mix answered by the asyncio query server with
+    coalescing on and off -- and reports the deterministic cost profile next
+    to the wall-clock QPS/latency measurements (DESIGN.md §11).
+    """
+    from repro.serving import benchmark as serving_benchmark
+
+    summary = serving_benchmark.run_comparison(
+        int(params["n"]), int(params["queries"]), seed
+    )
+    batched = summary["modes"]["batched"]
+    sequential = summary["modes"]["sequential"]
+    return {
+        "rows": [
+            [
+                summary["n"],
+                summary["query_count"],
+                batched["passes"],
+                sequential["passes"],
+                batched["total_rounds"],
+                sequential["total_rounds"],
+                summary["round_throughput_ratio"],
+                summary["responses_identical"],
+            ]
+        ],
+        "wall_time_seconds": {
+            "batched_qps": batched["qps"],
+            "batched_p50_ms": batched["p50_ms"],
+            "batched_p99_ms": batched["p99_ms"],
+            "sequential_qps": sequential["qps"],
+            "elapsed": batched["elapsed_s"] + sequential["elapsed_s"],
+        },
+    }

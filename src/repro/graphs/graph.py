@@ -63,7 +63,9 @@ class WeightedGraph:
         Number of nodes; nodes are ``0 .. n-1``.
     backend:
         ``"dict"``, ``"csr"`` or ``"auto"`` (default); see the module
-        docstring.  ``"csr"`` requires numpy.
+        docstring.  ``"csr"`` requires numpy.  Backend selection, the frozen
+        CSR view and the batched kernels are specified in DESIGN.md §4; all
+        backends are bit-identical in results (only wall-clock differs).
     """
 
     def __init__(self, n: int, backend: str = "auto") -> None:

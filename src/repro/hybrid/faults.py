@@ -170,6 +170,8 @@ class FaultModel:
     default-constructed model injects nothing: a network configured with
     ``FaultModel()`` is bit-identical to one configured with ``faults=None``
     (the engine checks :attr:`enabled` once and takes the ideal path).
+    Semantics, retransmission layer and the fault-free-identity contract:
+    DESIGN.md §8.
 
     Attributes
     ----------

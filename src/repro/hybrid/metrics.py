@@ -76,7 +76,12 @@ class PhaseBreakdown:
 
 @dataclass
 class RoundMetrics:
-    """Counters collected while simulating one protocol execution."""
+    """Counters collected while simulating one protocol execution.
+
+    ``label`` is an optional free-form tag for scope bookkeeping (the serving
+    layer labels per-tenant scopes ``tenant:<name>``, see DESIGN.md §11); it
+    never participates in equality or accounting.
+    """
 
     local_rounds: int = 0
     global_rounds: int = 0
@@ -93,6 +98,7 @@ class RoundMetrics:
     global_retried: int = 0
     phases: dict[str, PhaseBreakdown] = field(default_factory=lambda: defaultdict(PhaseBreakdown))
     cut_bits: dict[str, int] = field(default_factory=dict)
+    label: str | None = field(default=None, repr=False, compare=False)
     _scopes: list["RoundMetrics"] = field(default_factory=list, repr=False, compare=False)
 
     @property
@@ -115,7 +121,7 @@ class RoundMetrics:
             self._scopes.append(scope)
 
     @contextmanager
-    def scoped(self) -> Iterator["RoundMetrics"]:
+    def scoped(self, label: str | None = None) -> Iterator["RoundMetrics"]:
         """Observe every charge recorded while the context is active.
 
         Yields a fresh :class:`RoundMetrics`; all charges (rounds, traffic,
@@ -123,9 +129,11 @@ class RoundMetrics:
         are mirrored into it.  Scopes nest -- an inner scope sees a subset of
         what the outer one sees -- and unlike a snapshot subtraction the
         scope's ``max_sent_per_round`` / ``max_received_per_round`` are the
-        true per-round maxima *within* the scope.
+        true per-round maxima *within* the scope.  ``label`` tags the scope
+        (e.g. ``tenant:<name>`` in the serving layer) without affecting the
+        accounting or equality.
         """
-        scope = RoundMetrics()
+        scope = RoundMetrics(label=label)
         self._scopes.append(scope)
         try:
             yield scope

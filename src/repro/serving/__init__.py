@@ -1,0 +1,51 @@
+"""Async multi-tenant serving front end over :class:`repro.session.HybridSession`.
+
+The package turns the session's amortization into a serving win: a
+long-running :class:`QueryServer` accepts concurrent APSP / SSSP / diameter /
+shortest-paths / token-routing requests over a line-delimited JSON protocol
+(in-process, or TCP via :func:`serve_tcp`), coalesces compatible queries into
+single simulation passes, enforces admission control, and keeps per-tenant
+round/traffic ledgers.  Architecture, protocol, batching rules and
+determinism caveats: DESIGN.md §11; operator guide: the README's Serving
+section; throughput/latency characterization: experiment E16
+(:mod:`repro.serving.benchmark`).
+"""
+
+from __future__ import annotations
+
+from repro.serving.batching import batch_key, plan_batches
+from repro.serving.protocol import (
+    ERROR_CODES,
+    OPERATIONS,
+    ProtocolError,
+    Query,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serving.server import (
+    QueryServer,
+    ServerConfig,
+    ServerStats,
+    TenantAccount,
+    query_tcp,
+    serve_tcp,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "OPERATIONS",
+    "ProtocolError",
+    "Query",
+    "QueryServer",
+    "ServerConfig",
+    "ServerStats",
+    "TenantAccount",
+    "batch_key",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "plan_batches",
+    "query_tcp",
+    "serve_tcp",
+]

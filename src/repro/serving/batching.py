@@ -1,0 +1,85 @@
+"""Cross-query coalescing policy of the serving layer (DESIGN.md §11).
+
+Two queries may share one simulation pass when answering them together is
+*exact* -- the fanned-out responses must be bit-identical to what each query
+would have received alone on the same session.  The compatibility rules:
+
+* ``sssp`` queries always coalesce: the batch runs through
+  :meth:`HybridSession.sssp_batch`, which forces every source into the
+  skeleton (Lemma 4.5) and answers each source exactly -- the multi-source
+  pass shares skeleton, dissemination and the CLIQUE transport.
+* ``apsp`` queries coalesce when they request the same skeleton probability:
+  the session computes the matrix once and every query fans out the same
+  result.
+* ``diameter`` queries always coalesce (one estimate serves all).
+* ``shortest-paths`` queries coalesce only on *identical* source sets: the
+  Theorem 4.1 framework with several distinct sources is approximate, and
+  merging different sets would change each query's representative detours.
+* ``route-tokens`` never coalesces -- merging token batches changes the
+  router key and the per-endpoint maxima, hence the rounds.
+
+Groups are planned deterministically: queries keep arrival order within a
+group, and groups execute in sorted key order, so a fixed queue content
+yields a fixed execution schedule regardless of wall-clock timing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.serving.protocol import Query
+
+#: Key under which a query may share a pass with others (see module docstring).
+BatchKey = tuple[object, ...]
+
+
+def batch_key(query: Query, index: int) -> BatchKey:
+    """The coalescing key of ``query``; unique per query where forbidden.
+
+    ``index`` is the query's position in the drained queue -- it only enters
+    the key for operations that must never share a pass (``route-tokens``),
+    making their keys unique while keeping the plan deterministic.
+    """
+    if query.op == "sssp":
+        return ("sssp",)
+    if query.op == "apsp":
+        return ("apsp", query.params.get("probability"))
+    if query.op == "diameter":
+        return ("diameter",)
+    if query.op == "shortest-paths":
+        return ("shortest-paths", query.params["sources"])
+    return ("route-tokens", index)
+
+
+def plan_batches(
+    queries: Sequence[Query], max_batch: int, *, coalesce: bool = True
+) -> list[list[int]]:
+    """Partition drained ``queries`` into executable groups of indices.
+
+    Args:
+        queries: The queue content, in arrival order.
+        max_batch: Upper bound on group size; larger compatible sets split
+            into consecutive chunks (each chunk is one simulation pass).
+        coalesce: When False every query forms its own group -- the
+            one-query-per-pass baseline the E16 benchmark compares against.
+
+    Returns:
+        Groups of indices into ``queries``, in deterministic execution order
+        (sorted by batch key, then chunk position); each inner list keeps
+        arrival order.  Indices let the server map coalesced results back to
+        the callers without relying on query-object identity.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    if not coalesce:
+        return [[index] for index in range(len(queries))]
+    grouped: dict[BatchKey, list[int]] = defaultdict(list)
+    for index, query in enumerate(queries):
+        grouped[batch_key(query, index)].append(index)
+    plan: list[list[int]] = []
+    for key in sorted(grouped, key=repr):
+        members = grouped[key]
+        for start in range(0, len(members), max_batch):
+            plan.append(members[start : start + max_batch])
+    return plan

@@ -1,0 +1,263 @@
+"""E16: QPS and tail latency of the serving layer, batched vs sequential.
+
+Runs one deterministic multi-tenant workload twice against fresh
+:class:`~repro.serving.server.QueryServer` instances -- once with coalescing
+on, once in one-query-per-pass mode -- and measures both the *deterministic*
+cost (total network rounds consumed, simulation passes executed, response
+payloads) and the *wall-clock* serving quality (QPS, p50/p99 latency).  The
+two live in different places on disk, following the artifact discipline of
+the experiment engine (DESIGN.md §7) and SNIPPETS.md Snippet 1:
+
+* ``manifest.json`` -- the run's spec and a hash over its deterministic
+  results only; byte-identical across repeat runs at a fixed seed, which is
+  what the CI smoke step and the regression gate check.
+* ``metrics.jsonl`` -- one line per (mode, query) with the measured latency.
+* ``summary.json`` -- the full comparison: per-mode QPS/p50/p99/rounds and
+  the headline ``round_throughput_ratio`` (sequential rounds / batched
+  rounds; the ISSUE's ≥2× batching win, deterministic and gate-able).
+
+The responses themselves must be bit-identical between the two modes -- the
+batching layer may only change *cost*, never *answers* (DESIGN.md §11); the
+run records that check as ``responses_identical``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.graphs import generators
+from repro.hybrid.config import ModelConfig
+from repro.serving.server import QueryServer, ServerConfig
+from repro.session import HybridSession
+from repro.util.rand import RandomSource
+
+#: Tenants of the synthetic workload, in round-robin assignment order.
+TENANTS = ("acme", "globex")
+
+#: summary.json top-level keys (the CI smoke step asserts this schema).
+SUMMARY_SCHEMA = (
+    "experiment",
+    "n",
+    "query_count",
+    "seed",
+    "batch_window",
+    "modes",
+    "round_throughput_ratio",
+    "wall_speedup",
+    "responses_identical",
+    "payload_hash",
+)
+
+
+def build_workload(n: int, query_count: int, seed: int) -> list[dict[str, Any]]:
+    """The deterministic request mix of one E16 run.
+
+    ``query_count`` SSSP queries from seeded sources, two APSP queries and
+    one diameter query, alternating between :data:`TENANTS` -- the mix keeps
+    every coalescing rule of DESIGN.md §11 exercised while staying
+    SSSP-heavy (the op that amortizes best).
+    """
+    rng = RandomSource(seed).fork("serving:workload")
+    requests: list[dict[str, Any]] = []
+    for index in range(query_count):
+        requests.append(
+            {
+                "id": f"sssp-{index:03d}",
+                "tenant": TENANTS[index % len(TENANTS)],
+                "op": "sssp",
+                "source": rng.randrange(n),
+            }
+        )
+    requests.append({"id": "apsp-000", "tenant": TENANTS[0], "op": "apsp"})
+    requests.append({"id": "apsp-001", "tenant": TENANTS[1], "op": "apsp"})
+    requests.append({"id": "diam-000", "tenant": TENANTS[0], "op": "diameter"})
+    return requests
+
+
+def _workload_graph(n: int, seed: int):
+    return generators.random_geometric_like_graph(
+        n, neighbourhood=2, rng=RandomSource(seed), extra_edge_probability=0.01
+    )
+
+
+def _responses_digest(responses: list[dict[str, Any]]) -> str:
+    """SHA-256 over the answers only.
+
+    ``batch_size`` and the per-result ``cost`` metadata legitimately differ
+    between batching modes; the answers must not (DESIGN.md §11).
+    """
+    lines = []
+    for response in responses:
+        stripped = {k: v for k, v in response.items() if k != "batch_size"}
+        if isinstance(stripped.get("result"), dict):
+            stripped["result"] = {
+                k: v for k, v in stripped["result"].items() if k != "cost"
+            }
+        lines.append(json.dumps(stripped, sort_keys=True, separators=(",", ":")))
+    return hashlib.sha256("\n".join(sorted(lines)).encode()).hexdigest()
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_mode(
+    graph: Any,
+    requests: list[dict[str, Any]],
+    *,
+    seed: int,
+    coalesce: bool,
+    batch_window: float,
+) -> dict[str, Any]:
+    """Serve ``requests`` once on a fresh server; measure cost and latency.
+
+    Returns a dict with the deterministic fields (``total_rounds``,
+    ``passes``, ``responses_digest``, ``tenants``, ``answered``) and the
+    wall-clock fields (``qps``, ``p50_ms``, ``p99_ms``, ``elapsed_s``).
+    """
+
+    async def _serve() -> dict[str, Any]:
+        session = HybridSession(graph, ModelConfig(rng_seed=seed))
+        config = ServerConfig(
+            batch_window=batch_window,
+            max_pending=len(requests) + 1,
+            max_batch=max(1, len(requests)),
+            coalesce=coalesce,
+        )
+        latencies: list[float] = []
+
+        async def timed(request: dict[str, Any]) -> dict[str, Any]:
+            # repro-lint: waive[RL001] -- E16 latency stamps; ride outside the hashed payload
+            started = time.perf_counter()
+            response = await server.submit(request)
+            # repro-lint: waive[RL001] -- E16 latency stamps; ride outside the hashed payload
+            latencies.append(time.perf_counter() - started)
+            return response
+
+        async with QueryServer(session, config) as server:
+            # repro-lint: waive[RL001] -- E16 QPS measurement; rides outside the hashed payload
+            run_started = time.perf_counter()
+            # Every request is enqueued before the batch window closes (task
+            # creation does not yield), so batch composition -- and with it
+            # the deterministic cost profile -- is reproducible.
+            tasks = [asyncio.ensure_future(timed(request)) for request in requests]
+            responses = await asyncio.gather(*tasks)
+            # repro-lint: waive[RL001] -- E16 QPS measurement; rides outside the hashed payload
+            elapsed = time.perf_counter() - run_started
+        ordered = sorted(latencies)
+        return {
+            "total_rounds": session.metrics.total_rounds,
+            "passes": server.stats.passes,
+            "answered": server.stats.answered,
+            "responses_digest": _responses_digest(responses),
+            "tenants": server.tenant_summary(),
+            "qps": round(len(requests) / elapsed, 2) if elapsed > 0 else 0.0,
+            "p50_ms": round(1000 * _percentile(ordered, 0.50), 3),
+            "p99_ms": round(1000 * _percentile(ordered, 0.99), 3),
+            "elapsed_s": round(elapsed, 4),
+        }
+
+    return asyncio.run(_serve())
+
+
+#: Keys of a mode result that are deterministic at a fixed seed (hashed);
+#: everything else is wall-clock measurement and stays outside the hash.
+DETERMINISTIC_MODE_KEYS = ("total_rounds", "passes", "answered", "responses_digest", "tenants")
+
+
+def run_comparison(
+    n: int, query_count: int, seed: int, *, batch_window: float = 0.005
+) -> dict[str, Any]:
+    """One full E16 run: batched vs sequential on the same workload.
+
+    Returns the summary dict (schema :data:`SUMMARY_SCHEMA`); the headline
+    ``round_throughput_ratio`` is sequential rounds / batched rounds -- the
+    deterministic measure of the batching win (≥2 at the acceptance point).
+    """
+    graph = _workload_graph(n, seed)
+    requests = build_workload(n, query_count, seed)
+    batched = run_mode(
+        graph, requests, seed=seed, coalesce=True, batch_window=batch_window
+    )
+    sequential = run_mode(
+        graph, requests, seed=seed, coalesce=False, batch_window=batch_window
+    )
+    deterministic = {
+        "n": n,
+        "query_count": len(requests),
+        "seed": seed,
+        "modes": {
+            mode: {key: result[key] for key in DETERMINISTIC_MODE_KEYS}
+            for mode, result in (("batched", batched), ("sequential", sequential))
+        },
+        "round_throughput_ratio": round(
+            sequential["total_rounds"] / max(1, batched["total_rounds"]), 3
+        ),
+        "responses_identical": batched["responses_digest"]
+        == sequential["responses_digest"],
+    }
+    payload_hash = hashlib.sha256(
+        json.dumps(deterministic, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return {
+        "experiment": "E16",
+        "n": n,
+        "query_count": len(requests),
+        "seed": seed,
+        "batch_window": batch_window,
+        "modes": {"batched": batched, "sequential": sequential},
+        "round_throughput_ratio": deterministic["round_throughput_ratio"],
+        "wall_speedup": round(
+            sequential["elapsed_s"] / max(1e-9, batched["elapsed_s"]), 2
+        ),
+        "responses_identical": deterministic["responses_identical"],
+        "payload_hash": payload_hash,
+    }
+
+
+def write_run_artifacts(out_dir: str | Path, summary: dict[str, Any]) -> dict[str, Path]:
+    """Persist one E16 run as manifest.json + metrics.jsonl + summary.json.
+
+    ``manifest.json`` carries only the spec and the deterministic
+    ``payload_hash`` (byte-identical across repeat runs at a fixed seed);
+    ``metrics.jsonl`` one line per (mode, metric); ``summary.json`` the full
+    comparison.  Returns the three paths.
+    """
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "experiment": "E16",
+        "spec": {
+            "n": summary["n"],
+            "query_count": summary["query_count"],
+            "seed": summary["seed"],
+            "batch_window": summary["batch_window"],
+        },
+        "payload_hash": summary["payload_hash"],
+    }
+    manifest_path = root / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    metrics_path = root / "metrics.jsonl"
+    with metrics_path.open("w") as handle:
+        for mode in sorted(summary["modes"]):
+            result = summary["modes"][mode]
+            for key in sorted(result):
+                if key == "tenants":
+                    continue
+                handle.write(
+                    json.dumps(
+                        {"mode": mode, "metric": key, "value": result[key]},
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+    summary_path = root / "summary.json"
+    summary_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return {"manifest": manifest_path, "metrics": metrics_path, "summary": summary_path}

@@ -27,9 +27,13 @@ the order queries arrive in -- which is what makes warm and cold answers
 comparable bit for bit.  Per-query ``probability=`` overrides prepare (and
 cache) additional skeletons keyed by their sampling probability.
 
+Sessions serialize: every public query method holds an internal re-entrant
+lock for the duration of the simulation, so a session shared between threads
+(the serving layer runs all simulation on one executor thread, DESIGN.md §11)
+answers queries one at a time with consistent caches and accounting.
+
 Quick start::
 
-from collections.abc import Iterator, Sequence
     from repro import HybridSession, ModelConfig, generators
     from repro.util.rand import RandomSource
 
@@ -46,7 +50,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 import zlib
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -58,7 +64,7 @@ from repro.core.diameter import DiameterResult, approximate_diameter
 from repro.core.kssp import ShortestPathsResult, shortest_paths_via_clique
 from repro.core.sssp import SSSPResult, sssp_exact
 from repro.core.token_routing import RoutingToken, TokenRouter, TokenRoutingResult
-from repro.graphs.graph import WeightedGraph
+from repro.graphs.graph import INFINITY, WeightedGraph
 from repro.hybrid.config import ModelConfig
 from repro.hybrid.faults import FaultModel
 from repro.hybrid.metrics import RoundMetrics
@@ -171,6 +177,11 @@ class HybridSession:
         self._routers: dict[RouterKey, tuple[TokenRouter, int]] = {}
         self._graph_version = graph.version
         self._active_preparation: RoundMetrics | None = None
+        # Serializes the public query surface: the network, the caches and
+        # the accounting are single-writer state, so concurrent callers (the
+        # serving layer's executor thread plus anything else) take turns.
+        # Re-entrant because queries call back into context()/_preparing().
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- properties
     @property
@@ -218,11 +229,16 @@ class HybridSession:
 
     # ------------------------------------------------------------ invalidation
     def invalidate(self) -> None:
-        """Drop every cached context and router (forced cold restart)."""
-        self._contexts.clear()
-        self._routers.clear()
-        self.network.clear_states()
-        self._graph_version = self.graph.version
+        """Drop every cached context and router (forced cold restart).
+
+        The next query of any kind re-prepares from scratch, exactly as on a
+        fresh session (DESIGN.md §6).
+        """
+        with self._lock:
+            self._contexts.clear()
+            self._routers.clear()
+            self.network.clear_states()
+            self._graph_version = self.graph.version
 
     def _check_version(self) -> None:
         if self.graph.version != self._graph_version:
@@ -278,25 +294,26 @@ class HybridSession:
         the same no matter which query arrives first -- warm answers equal
         cold ones by construction.
         """
-        self._check_version()
-        key: ContextKey = (
-            self.skeleton_probability if probability is None else probability,
-            frozenset(forced_members),
-        )
-        context = self._contexts.get(key)
-        if context is None:
-            tag = self._key_tag(key)
-            with self._preparing():
-                context = prepare_skeleton_context(
-                    self.network,
-                    key[0],
-                    forced_members=sorted(key[1]),
-                    phase=f"session:{tag}:skeleton",
-                    keep_local_knowledge=True,
-                    label=f"session:{tag}",
-                )
-            self._contexts[key] = context
-        return context
+        with self._lock:
+            self._check_version()
+            key: ContextKey = (
+                self.skeleton_probability if probability is None else probability,
+                frozenset(forced_members),
+            )
+            context = self._contexts.get(key)
+            if context is None:
+                tag = self._key_tag(key)
+                with self._preparing():
+                    context = prepare_skeleton_context(
+                        self.network,
+                        key[0],
+                        forced_members=sorted(key[1]),
+                        phase=f"session:{tag}:skeleton",
+                        keep_local_knowledge=True,
+                        label=f"session:{tag}",
+                    )
+                self._contexts[key] = context
+            return context
 
     def _context_with_members(self, members: Sequence[int]) -> SkeletonContext:
         """The canonical context extended to contain ``members`` (Lemma 4.5).
@@ -335,145 +352,318 @@ class HybridSession:
         return f"query{len(self.queries)}:{kind}"
 
     def apsp(self, probability: float | None = None) -> APSPResult:
-        """Exact APSP (Theorem 1.1) on the session's prepared skeleton."""
-        with self._preparing() as prep:
-            context = self.context(probability)
-            context.published_skeleton_distances(context.label + ":publish-skeleton")
-            context.apsp_router(context.label + ":routing")
-        with self.network.metrics.scoped() as scope:
-            result = apsp_exact(self.network, phase=self._query_phase("apsp"), context=context)
-        self._record("apsp", scope, prep.total_rounds, context.apsp_preparation_rounds, result)
-        return result
+        """Exact APSP (Theorem 1.1) on the session's prepared skeleton.
+
+        Args:
+            probability: Optional skeleton sampling probability override; the
+                default is the session's canonical ``1/√n`` skeleton.
+
+        Returns:
+            :class:`~repro.core.apsp.APSPResult` with the exact ``n×n``
+            distance matrix (``inf`` entries for unreachable pairs).
+
+        Raises:
+            ValueError: if ``probability`` is outside ``(0, 1]``.
+
+        Accounting follows DESIGN.md §6; the serving layer (DESIGN.md §11)
+        coalesces identical concurrent APSP queries onto one call.
+        """
+        with self._lock:
+            with self._preparing() as prep:
+                context = self.context(probability)
+                context.published_skeleton_distances(context.label + ":publish-skeleton")
+                context.apsp_router(context.label + ":routing")
+            with self.network.metrics.scoped() as scope:
+                result = apsp_exact(
+                    self.network, phase=self._query_phase("apsp"), context=context
+                )
+            self._record(
+                "apsp", scope, prep.total_rounds, context.apsp_preparation_rounds, result
+            )
+            return result
 
     def sssp(
         self,
         source: int,
         algorithm: CliqueShortestPathAlgorithm | None = None,
     ) -> SSSPResult:
-        """Exact SSSP (Theorem 1.3); the source joins the shared skeleton."""
+        """Exact SSSP (Theorem 1.3); the source joins the shared skeleton.
+
+        Args:
+            source: The source node (``0 <= source < n``).
+            algorithm: Exact CLIQUE SSSP algorithm to simulate; defaults to
+                :class:`~repro.clique.BroadcastBellmanFordSSSP`.
+
+        Returns:
+            :class:`~repro.core.sssp.SSSPResult` with one exact distance per
+            node (``inf`` for unreachable nodes).
+
+        Raises:
+            ValueError: if ``source`` is outside the network or the algorithm
+                is not exact.
+
+        Accounting follows DESIGN.md §6.  Many concurrent SSSP queries can be
+        answered bit-identically in one coalesced pass by
+        :meth:`sssp_batch` (DESIGN.md §11).
+        """
         if not 0 <= source < self.network.n:
             raise ValueError(f"source {source} outside the network")
         algorithm = algorithm or BroadcastBellmanFordSSSP()
-        with self._preparing() as prep:
-            context = self._context_with_members([source])
-            context.transport(context.label + ":simulation")
-        with self.network.metrics.scoped() as scope:
-            result = sssp_exact(
-                self.network,
-                source,
-                algorithm,
-                phase=self._query_phase("sssp"),
-                context=context,
+        with self._lock:
+            with self._preparing() as prep:
+                context = self._context_with_members([source])
+                context.transport(context.label + ":simulation")
+            with self.network.metrics.scoped() as scope:
+                result = sssp_exact(
+                    self.network,
+                    source,
+                    algorithm,
+                    phase=self._query_phase("sssp"),
+                    context=context,
+                )
+            self._record(
+                "sssp", scope, prep.total_rounds, context.simulation_preparation_rounds, result
             )
-        self._record(
-            "sssp", scope, prep.total_rounds, context.simulation_preparation_rounds, result
-        )
-        return result
+            return result
+
+    def sssp_batch(
+        self,
+        sources: Sequence[int],
+        algorithm: CliqueShortestPathAlgorithm | None = None,
+    ) -> list[SSSPResult]:
+        """Answer many SSSP queries in one coalesced simulation pass.
+
+        Every source is force-added to the shared skeleton (Lemma 4.5 applied
+        per source, DESIGN.md §11), so the single multi-source run of the
+        Theorem 4.1 framework stays *exact* for each of them: the returned
+        distances are bit-identical to asking :meth:`sssp` once per source,
+        while the skeleton exploration, CLIQUE transport and simulation are
+        paid once for the whole batch (the cross-query batching plane of the
+        serving layer).
+
+        Args:
+            sources: The query sources; duplicates are allowed and answered
+                from the same lane.
+            algorithm: Exact CLIQUE algorithm able to handle ``len(set(
+                sources))`` sources; defaults to
+                :class:`~repro.clique.BroadcastBellmanFordSSSP` for a single
+                distinct source (matching :meth:`sssp`) and
+                :class:`~repro.clique.GatherShortestPaths` otherwise.
+
+        Returns:
+            One :class:`~repro.core.sssp.SSSPResult` per entry of
+            ``sources``, in input order.  Each carries the full batch's
+            ``rounds`` -- the pass is shared, so per-query attribution is the
+            batch cost (shared-cost accounting, DESIGN.md §11).
+
+        Raises:
+            ValueError: if ``sources`` is empty, any source is outside the
+                network, or the algorithm is not exact.
+        """
+        if not sources:
+            raise ValueError("at least one source is required")
+        for source in sources:
+            if not 0 <= source < self.network.n:
+                raise ValueError(f"source {source} outside the network")
+        unique = sorted(set(sources))
+        if algorithm is None:
+            algorithm = (
+                BroadcastBellmanFordSSSP() if len(unique) == 1 else GatherShortestPaths()
+            )
+        if not algorithm.spec.exact:
+            raise ValueError("sssp_batch requires an exact CLIQUE algorithm")
+        with self._lock:
+            with self._preparing() as prep:
+                context = self._context_with_members(unique)
+                context.transport(context.label + ":simulation")
+            with self.network.metrics.scoped() as scope:
+                batch = shortest_paths_via_clique(
+                    self.network,
+                    unique,
+                    algorithm,
+                    phase=self._query_phase("sssp-batch"),
+                    context=context,
+                )
+            self._record(
+                "sssp-batch",
+                scope,
+                prep.total_rounds,
+                context.simulation_preparation_rounds,
+                batch,
+            )
+        n = self.network.n
+        per_source: dict[int, SSSPResult] = {}
+        for source in unique:
+            distances = {
+                node: batch.estimates[node].get(source, INFINITY) for node in range(n)
+            }
+            per_source[source] = SSSPResult(
+                source=source,
+                distances=distances,
+                rounds=batch.rounds,
+                skeleton_size=batch.skeleton_size,
+                hop_length=batch.hop_length,
+                clique_rounds=batch.clique_rounds,
+            )
+        return [per_source[source] for source in sources]
 
     def shortest_paths(
         self,
         sources: Sequence[int],
         algorithm: CliqueShortestPathAlgorithm | None = None,
     ) -> ShortestPathsResult:
-        """The k-SSP framework (Theorem 4.1) on the session's skeleton."""
+        """The k-SSP framework (Theorem 4.1) on the session's skeleton.
+
+        Args:
+            sources: The query sources.  A single (possibly repeated) source
+                is forced into the skeleton and answered exactly; several
+                distinct sources run through representatives and inherit the
+                Theorem 4.1 approximation guarantee (use :meth:`sssp_batch`
+                for exact multi-source answers).
+            algorithm: CLIQUE algorithm to simulate; defaults to
+                :class:`~repro.clique.GatherShortestPaths`.
+
+        Returns:
+            :class:`~repro.core.kssp.ShortestPathsResult` with per-node
+            estimate maps and the framework's run statistics.
+
+        Raises:
+            ValueError: if ``sources`` is empty or any source is outside the
+                network.
+
+        Accounting follows DESIGN.md §6; batching semantics DESIGN.md §11.
+        """
         for source in sources:
             if not 0 <= source < self.network.n:
                 raise ValueError(f"source {source} outside the network")
         algorithm = algorithm or GatherShortestPaths()
-        with self._preparing() as prep:
-            if len(set(sources)) == 1:
-                context = self._context_with_members(list(sources))
-            else:
-                context = self.context()
-            context.transport(context.label + ":simulation")
-        with self.network.metrics.scoped() as scope:
-            result = shortest_paths_via_clique(
-                self.network,
-                sources,
-                algorithm,
-                phase=self._query_phase("kssp"),
-                context=context,
+        with self._lock:
+            with self._preparing() as prep:
+                if len(set(sources)) == 1:
+                    context = self._context_with_members(list(sources))
+                else:
+                    context = self.context()
+                context.transport(context.label + ":simulation")
+            with self.network.metrics.scoped() as scope:
+                result = shortest_paths_via_clique(
+                    self.network,
+                    sources,
+                    algorithm,
+                    phase=self._query_phase("kssp"),
+                    context=context,
+                )
+            self._record(
+                "shortest-paths",
+                scope,
+                prep.total_rounds,
+                context.simulation_preparation_rounds,
+                result,
             )
-        self._record(
-            "shortest-paths",
-            scope,
-            prep.total_rounds,
-            context.simulation_preparation_rounds,
-            result,
-        )
-        return result
+            return result
 
     def diameter(self, algorithm: CliqueDiameterAlgorithm | None = None) -> DiameterResult:
-        """Diameter approximation (Theorem 5.1) on the session's skeleton."""
+        """Diameter approximation (Theorem 5.1) on the session's skeleton.
+
+        Args:
+            algorithm: CLIQUE diameter algorithm to simulate; defaults to
+                :class:`~repro.clique.GatherDiameter`.
+
+        Returns:
+            :class:`~repro.core.diameter.DiameterResult` whose ``estimate``
+            satisfies the declared ``(α, β)`` guarantee.
+
+        Accounting follows DESIGN.md §6; identical concurrent diameter
+        queries coalesce onto one call in the serving layer (DESIGN.md §11).
+        """
         algorithm = algorithm or GatherDiameter()
-        with self._preparing() as prep:
-            context = self.context()
-            context.transport(context.label + ":simulation")
-        with self.network.metrics.scoped() as scope:
-            result = approximate_diameter(
-                self.network,
-                algorithm,
-                phase=self._query_phase("diameter"),
-                context=context,
+        with self._lock:
+            with self._preparing() as prep:
+                context = self.context()
+                context.transport(context.label + ":simulation")
+            with self.network.metrics.scoped() as scope:
+                result = approximate_diameter(
+                    self.network,
+                    algorithm,
+                    phase=self._query_phase("diameter"),
+                    context=context,
+                )
+            self._record(
+                "diameter",
+                scope,
+                prep.total_rounds,
+                context.simulation_preparation_rounds,
+                result,
             )
-        self._record(
-            "diameter", scope, prep.total_rounds, context.simulation_preparation_rounds, result
-        )
-        return result
+            return result
 
     def route_tokens(self, tokens: Sequence[RoutingToken]) -> TokenRoutingResult:
         """Token routing (Theorem 2.2) with cached helper sets per population.
 
         The :class:`TokenRouter` (helper sets + shared hash) is keyed by the
         token list's endpoint populations and per-endpoint maxima; repeated
-        workloads over the same populations skip the setup entirely.  The
-        returned ``rounds`` cover this routing instance only (the amortized
-        cost); the record's ``cold_rounds`` adds the router setup.
+        workloads over the same populations skip the setup entirely.
+
+        Args:
+            tokens: The :class:`~repro.core.token_routing.RoutingToken` batch
+                to deliver.  An empty batch is answered locally in 0 rounds.
+
+        Returns:
+            :class:`~repro.core.token_routing.TokenRoutingResult` whose
+            ``rounds`` cover this routing instance only (the amortized cost);
+            the query record's ``cold_rounds`` adds the router setup.
+
+        Raises:
+            RuntimeError: if the network topology changed under the session
+                (stale version, see :meth:`invalidate`).
+
+        Accounting follows DESIGN.md §6; the serving layer never coalesces
+        token-routing requests (DESIGN.md §11).
         """
-        self._check_version()
-        if not tokens:
-            result = TokenRoutingResult(
-                delivered={}, rounds=0, mu_senders=1, mu_receivers=1, token_count=0
-            )
-            with self.network.metrics.scoped() as scope:
-                pass
-            self._record("route-tokens", scope, 0, 0, result)
-            return result
-        per_sender: dict[int, int] = {}
-        per_receiver: dict[int, int] = {}
-        for token in tokens:
-            per_sender[token.sender] = per_sender.get(token.sender, 0) + 1
-            per_receiver[token.receiver] = per_receiver.get(token.receiver, 0) + 1
-        key: RouterKey = (
-            frozenset(per_sender),
-            frozenset(per_receiver),
-            max(per_sender.values()),
-            max(per_receiver.values()),
-        )
-        cached = self._routers.get(key)
-        if cached is None:
-            # The phase (and with it the router's hash-seed RNG fork) is
-            # named after the cache key, like the contexts, so identical
-            # workloads get identical routers regardless of arrival order.
-            digest = zlib.crc32(
-                repr((sorted(key[0]), sorted(key[1]), key[2], key[3])).encode()
-            )
-            with self._preparing() as prep:
-                router = TokenRouter(
-                    self.network,
-                    senders=list(per_sender),
-                    receivers=list(per_receiver),
-                    max_tokens_per_sender=key[2],
-                    max_tokens_per_receiver=key[3],
-                    phase=f"session:routing:{digest:08x}",
+        with self._lock:
+            self._check_version()
+            if not tokens:
+                result = TokenRoutingResult(
+                    delivered={}, rounds=0, mu_senders=1, mu_receivers=1, token_count=0
                 )
-            cached = (router, prep.total_rounds)
-            self._routers[key] = cached
-            preparation_rounds = prep.total_rounds
-        else:
-            preparation_rounds = 0
-        router, setup_rounds = cached
-        with self.network.metrics.scoped() as scope:
-            result = router.route(tokens)
-        self._record("route-tokens", scope, preparation_rounds, setup_rounds, result)
-        return result
+                with self.network.metrics.scoped() as scope:
+                    pass
+                self._record("route-tokens", scope, 0, 0, result)
+                return result
+            per_sender: dict[int, int] = {}
+            per_receiver: dict[int, int] = {}
+            for token in tokens:
+                per_sender[token.sender] = per_sender.get(token.sender, 0) + 1
+                per_receiver[token.receiver] = per_receiver.get(token.receiver, 0) + 1
+            key: RouterKey = (
+                frozenset(per_sender),
+                frozenset(per_receiver),
+                max(per_sender.values()),
+                max(per_receiver.values()),
+            )
+            cached = self._routers.get(key)
+            if cached is None:
+                # The phase (and with it the router's hash-seed RNG fork) is
+                # named after the cache key, like the contexts, so identical
+                # workloads get identical routers regardless of arrival order.
+                digest = zlib.crc32(
+                    repr((sorted(key[0]), sorted(key[1]), key[2], key[3])).encode()
+                )
+                with self._preparing() as prep:
+                    router = TokenRouter(
+                        self.network,
+                        senders=list(per_sender),
+                        receivers=list(per_receiver),
+                        max_tokens_per_sender=key[2],
+                        max_tokens_per_receiver=key[3],
+                        phase=f"session:routing:{digest:08x}",
+                    )
+                cached = (router, prep.total_rounds)
+                self._routers[key] = cached
+                preparation_rounds = prep.total_rounds
+            else:
+                preparation_rounds = 0
+            router, setup_rounds = cached
+            with self.network.metrics.scoped() as scope:
+                result = router.route(tokens)
+            self._record("route-tokens", scope, preparation_rounds, setup_rounds, result)
+            return result

@@ -1,0 +1,18 @@
+from __future__ import annotations
+
+
+class UndocumentedHandler:
+    def handle(self, request):
+        """Handle one request."""
+        return request
+
+
+class UnanchoredHandler:
+    """A handler whose docstring never cites its design section."""
+
+    def describe(self):
+        return "no docstring above either"
+
+
+def public_entry(payload):
+    return payload

@@ -1,0 +1,14 @@
+"""Fixture: a session whose query surface forgot its DESIGN.md anchors."""
+
+from __future__ import annotations
+
+
+class HybridSession:
+    """The session fixture (not the real one)."""
+
+    def sssp(self, source):
+        """Single-source shortest paths, documented but unanchored."""
+        return source
+
+    def diameter(self):
+        return 0

@@ -1,0 +1,23 @@
+"""Fixture: a fully documented serving module (see DESIGN.md §11)."""
+
+from __future__ import annotations
+
+
+class DocumentedHandler:
+    """Accepts requests and answers them in order (DESIGN.md §11)."""
+
+    def handle(self, request):
+        """Handle one request."""
+        return request
+
+    def _internal(self):
+        return None
+
+
+def public_entry(payload):
+    """Validate and enqueue one payload."""
+    return payload
+
+
+def _helper():
+    return None

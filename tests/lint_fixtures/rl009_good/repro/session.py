@@ -1,0 +1,14 @@
+"""Fixture: a session whose query surface carries its DESIGN.md anchors."""
+
+from __future__ import annotations
+
+
+class HybridSession:
+    """The session fixture (not the real one)."""
+
+    def sssp(self, source):
+        """Single-source shortest paths; accounting per DESIGN.md §6."""
+        return source
+
+    def _private_query(self):
+        return None

@@ -47,6 +47,13 @@ class TestExamples:
         assert "False" not in output  # every completed run stays exact
         assert "FaultToleranceExceededError" in output
 
+    def test_serving_demo(self, monkeypatch, capsys):
+        run_example("serving_demo.py", monkeypatch, argv=["64"])
+        output = capsys.readouterr().out
+        assert "ok=False" not in output
+        assert "batch_size=6" in output  # all six SSSP queries shared one pass
+        assert "acme" in output and "globex" in output
+
     def test_lower_bound_gadgets(self, monkeypatch, capsys):
         run_example("lower_bound_gadgets.py", monkeypatch)
         output = capsys.readouterr().out

@@ -27,6 +27,7 @@ class TestRegistry:
             "E13",
             "E14",
             "E15",
+            "E16",
         ]
 
     def test_unknown_experiment_raises(self):

@@ -6,7 +6,8 @@ fixture proves it does not over-fire.  The waiver layer (parsing, stale
 detection, malformed comments), the JSON artifact schema, ``--select``
 semantics, the CLI exit codes (plus ``--format github`` and
 ``--waiver-report``), RL000 parse-failure hardening, the whole-program
-rules RL006-RL008, and the clean-tree self-check (with its wall-clock
+rules RL006-RL008, the scoped docstring rule RL009, and the clean-tree
+self-check (with its wall-clock
 budget) are covered alongside.  The resolution layer itself is covered in
 ``tests/test_lint_resolver.py``.
 """
@@ -225,6 +226,33 @@ class TestRL008CacheInvalidation:
         # Version bumps, hook calls, cache-slot fills, lazy-fill counters,
         # and a disciplined external writer.
         report = lint_fixture("rl008_good.py", select=["RL008"])
+        assert report.active == []
+
+
+class TestRL009DocstringDiscipline:
+    def test_fires_on_undocumented_serving_surface(self):
+        report = lint_fixture("rl009_bad", select=["RL009"])
+        messages = "\n".join(d.message for d in report.active)
+        assert set(codes(report)) == {"RL009"}
+        # Serving module: no module docstring, undocumented class +
+        # function, and a class docstring without its DESIGN.md anchor.
+        assert "module on the serving surface has no docstring" in messages
+        assert "'UndocumentedHandler' has no docstring" in messages
+        assert "'UnanchoredHandler' must cross-reference" in messages
+        assert "'describe' has no docstring" in messages
+        assert "'public_entry' has no docstring" in messages
+        # Session query surface: documented-but-unanchored and undocumented.
+        assert "query-surface method 'sssp' must cross-reference" in messages
+        assert "'diameter' has no docstring" in messages
+
+    def test_quiet_on_documented_surface_and_private_names(self):
+        report = lint_fixture("rl009_good", select=["RL009"])
+        assert report.active == []
+
+    def test_out_of_scope_files_are_ignored(self):
+        # A module far from the serving surface never triggers RL009,
+        # documented or not.
+        report = lint_fixture("rl001_bad.py", select=["RL009"])
         assert report.active == []
 
 
