@@ -160,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--repeat", type=int, default=2, help="how many times to repeat the workload"
     )
+    query_parser.add_argument(
+        "--mutate",
+        type=int,
+        default=0,
+        help="edge-weight mutations applied between repetitions; the warm "
+        "session repairs its contexts through the delta log (DESIGN.md §12)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -433,13 +440,16 @@ def run_regress_command(args) -> int:
     return 0 if report.status == "pass" else 1
 
 
-def serve_query_workload(n: int, seed: int, repeat: int) -> int:
+def serve_query_workload(n: int, seed: int, repeat: int, mutate: int = 0) -> int:
     """Answer a mixed workload from one session and print the accounting.
 
     The workload interleaves SSSP, diameter and APSP queries ``repeat`` times
     against a single :class:`~repro.session.HybridSession`; only the first
     pass pays preprocessing, which is exactly what the printed amortized vs
-    cold-equivalent columns show.
+    cold-equivalent columns show.  With ``mutate > 0`` that many random
+    edge-weight updates land between repetitions and the session repairs its
+    warm contexts through the delta log instead of rebuilding them
+    (DESIGN.md §12); the per-key repair decisions are printed at the end.
     """
     from repro.graphs import generators
     from repro.session import HybridSession
@@ -451,6 +461,9 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
         return 2
     if repeat < 1:
         print("--repeat must be at least 1", file=sys.stderr)
+        return 2
+    if mutate < 0:
+        print("--mutate must be at least 0", file=sys.stderr)
         return 2
     graph = generators.random_geometric_like_graph(
         n, neighbourhood=2, rng=RandomSource(seed), extra_edge_probability=0.01
@@ -466,10 +479,20 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
     )
     print(header)
     print("-" * len(header))
-    for _ in range(repeat):
+    mutation_rng = RandomSource(seed).fork("cli:mutations")
+    edges = sorted((u, v) for u, v, _ in graph.edges())
+    for repetition in range(repeat):
+        if mutate and repetition:
+            for _ in range(mutate):
+                u, v = edges[mutation_rng.randrange(len(edges))]
+                new_weight = graph.weight(u, v) + 1 + mutation_rng.randrange(4)
+                session.update_weight(u, v, new_weight)
+                print(f"{'mutate':>14s} edge {{{u}, {v}}} -> weight {new_weight}")
         workload = [
             ("sssp", source_rng.randrange(n)),
-            ("diameter", None),
+            # Weight mutations leave the unit-weight regime, where the
+            # Section 5 diameter algorithm does not apply.
+            ("diameter", None) if not mutate else ("sssp", source_rng.randrange(n)),
             ("sssp", source_rng.randrange(n)),
             ("apsp", None),
         ]
@@ -496,6 +519,12 @@ def serve_query_workload(n: int, seed: int, repeat: int) -> int:
         f"+ {session.preprocessing_rounds} preprocessing rounds (paid once); "
         f"cold-equivalent total {sum(record.cold_rounds for record in session.queries)}."
     )
+    if session.repairs:
+        decisions = ", ".join(
+            f"{record.key_tag}: {record.action} ({record.rounds} rounds)"
+            for record in session.repairs
+        )
+        print(f"context repairs after mutations: {decisions}")
     return 0
 
 
@@ -750,7 +779,7 @@ def main(argv: list[str] | None = None) -> int:
         return run_regress_command(args)
 
     if args.command == "query":
-        return serve_query_workload(args.n, args.seed, args.repeat)
+        return serve_query_workload(args.n, args.seed, args.repeat, args.mutate)
 
     if args.command == "serve":
         return run_serve_command(args)

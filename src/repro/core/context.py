@@ -35,8 +35,71 @@ from repro.core.skeleton import (
     skeleton_graph_from_limited,
 )
 from repro.core.token_routing import TokenRouter
+from repro.graphs.graph import GraphDelta, WeightedGraph
+from repro.graphs.skeleton_analysis import skeleton_hop_length
+from repro.hybrid.errors import StaleContextError
 from repro.hybrid.network import HybridNetwork
 from repro.localnet.token_dissemination import disseminate_tokens
+
+#: Fraction of exploration rows a delta batch may damage before
+#: :meth:`SkeletonContext.repair` refuses and the owner rebuilds cold: past
+#: this point the incremental path re-does most of the cold exploration's
+#: work anyway, so the simpler full rebuild is preferred (DESIGN.md §12).
+DEFAULT_DAMAGE_THRESHOLD = 0.5
+
+
+def _estimated_damage(limited: np.ndarray, deltas: Sequence[GraphDelta]) -> np.ndarray:
+    """Per-row estimate of which exploration rows a delta batch perturbs.
+
+    The *decision* metric behind the damage threshold: a row ``s`` is counted
+    as damaged when some mutated edge is plausibly on one of its ``d_h``
+    shortest paths -- the edge is *tight* from ``s`` in the old matrix
+    (``d_h(s,u) + w == d_h(s,v)`` either way round; removals and weight
+    increases only matter on such rows) or the new weight creates an
+    improving detour (``d_h(s,u) + w_new <= d_h(s,v)``; additions and weight
+    decreases).  This is an estimate, not a certificate: correctness never
+    depends on it, because :meth:`SkeletonContext.repair` *recomputes* the
+    sound superset of rows (anything that can reach an endpoint within ``h``
+    hops in the old or new topology).  At simulation scale that superset is
+    usually "everyone" -- ``h`` rivals the diameter -- which would make a
+    superset-based threshold refuse every repair; the tight estimate instead
+    tracks how much of the published state actually moves (DESIGN.md §12).
+    """
+    damaged = np.zeros(limited.shape[0], dtype=bool)
+    for delta in deltas:
+        to_u = limited[:, delta.u]
+        to_v = limited[:, delta.v]
+        finite_u = np.isfinite(to_u)
+        finite_v = np.isfinite(to_v)
+        if delta.old_weight is not None:  # the edge existed: tightness test
+            w = delta.old_weight
+            damaged |= finite_u & (np.abs(to_u + w - to_v) < 1e-9)
+            damaged |= finite_v & (np.abs(to_v + w - to_u) < 1e-9)
+        if delta.weight is not None and (
+            delta.old_weight is None or delta.weight < delta.old_weight
+        ):  # the edge is new or got cheaper: improvement test
+            w = delta.weight
+            damaged |= finite_u & (to_u + w <= to_v)
+            damaged |= finite_v & (to_v + w <= to_u)
+    return damaged
+
+
+def _changed_skeleton_edges(
+    old_graph: WeightedGraph, new_graph: WeightedGraph
+) -> list[tuple[int, int, int | None]]:
+    """Skeleton edges (by skeleton index) whose weight changed, plus removals.
+
+    Removed edges carry weight None -- the dissemination token is then a
+    retraction.  Sorted for determinism.
+    """
+    old_edges = {(u, v): w for u, v, w in old_graph.edges()}
+    new_edges = {(u, v): w for u, v, w in new_graph.edges()}
+    changed: list[tuple[int, int, int | None]] = []
+    for key in sorted(old_edges.keys() | new_edges.keys()):
+        new_weight = new_edges.get(key)
+        if old_edges.get(key) != new_weight:
+            changed.append((key[0], key[1], new_weight))
+    return changed
 
 
 @dataclass
@@ -74,6 +137,12 @@ class SkeletonContext:
     publish_rounds: int = 0
     transport_rounds: int = 0
     router_rounds: int = 0
+    #: Rounds charged by delta repairs that produced this context (summed
+    #: across a repair chain).  Deliberately *not* part of the per-query
+    #: cold-equivalent counters: a cold run never pays repair, so
+    #: ``cold_rounds`` must not include it -- repair charges land in the
+    #: owner's preprocessing ledger instead (DESIGN.md §12).
+    repair_rounds: int = 0
     #: Stable name for phases charged by the lazy pieces when the *owner* of
     #: the context (rather than a query) realises them -- the session names
     #: contexts after their cache key so preparation phases are independent
@@ -170,6 +239,139 @@ class SkeletonContext:
             self.router_rounds += self.network.metrics.total_rounds - rounds_before
         return self._apsp_router
 
+    # ----------------------------------------------------------------- repair
+    def repair(
+        self,
+        deltas: Sequence[GraphDelta],
+        *,
+        damage_threshold: float = DEFAULT_DAMAGE_THRESHOLD,
+    ) -> "SkeletonContext" | None:
+        """Patch this context to the current graph, or None for a cold rebuild.
+
+        Given the contiguous :class:`~repro.graphs.graph.GraphDelta` batch
+        that carried the graph from this context's ``graph_version`` to the
+        current one, re-runs the depth-``h`` exploration *only from the
+        damaged sources* (rows of the kept ``knowledge_matrix`` that could
+        see a mutated endpoint in the old or new topology), patches the
+        matrix in a copy, rebuilds the skeleton graph and local distance
+        maps from it, and -- when the skeleton edge publication had been
+        materialised -- re-disseminates only the changed/retracted skeleton
+        edges through the token-dissemination machinery.  On weight-only
+        delta batches the CLIQUE transport and the APSP router survive:
+        helper sets, the routing hash and the padding plan are functions of
+        the hop topology, the skeleton membership and the RNG labels alone,
+        so they are exactly what a cold rebuild would reconstruct.
+
+        Determinism contract (DESIGN.md §12): skeleton sampling is a pure
+        function of the seed and the phase label, so a cold rebuild after
+        the mutation draws the *same* skeleton node set; every patched row
+        equals the row a full re-exploration would produce (the batched
+        kernels compute rows independently per source).  A repaired context
+        is therefore bit-identical to a cold rebuild in its distance
+        matrices, routing plans and RNG fork labels -- only the rounds paid
+        to get there differ, and those are charged under
+        ``<label>:repair:*`` phases and accumulated in ``repair_rounds``.
+
+        Returns None -- leaving ``self`` untouched -- when repair is not
+        worthwhile or not possible: the exploration outcome was not kept, a
+        delta endpoint is a skeleton member, the cold build had doubled the
+        exploration depth for connectivity, the estimated damage
+        (:func:`_estimated_damage`, the fraction of rows whose published
+        distances plausibly move) exceeds ``damage_threshold``, the delta
+        log did not cover the version gap (empty batch), or the patched
+        skeleton comes out disconnected (detected after the repair flood;
+        those rounds are honestly kept).
+        """
+        network = self.network
+        if self.is_current():
+            return self
+        if not deltas:
+            return None
+        base = self.skeleton
+        limited = base.knowledge_matrix
+        if limited is None:
+            return None
+        if any(delta.u in base.index_of or delta.v in base.index_of for delta in deltas):
+            return None
+        expected_hop_length = skeleton_hop_length(
+            network.n,
+            1.0 / base.sampling_probability,
+            xi=network.config.skeleton_xi,
+        )
+        if base.hop_length != expected_hop_length:
+            # The cold build doubled h until the skeleton connected; replaying
+            # that search incrementally is not worth the complexity.
+            return None
+        if int(_estimated_damage(limited, deltas).sum()) > damage_threshold * network.n:
+            return None
+        # The rows actually recomputed are the sound superset: anything that
+        # could reach a mutated endpoint within h hops, old or new topology.
+        endpoints = sorted({node for delta in deltas for node in (delta.u, delta.v)})
+        damaged = np.isfinite(limited[:, endpoints]).any(axis=1)
+        local = network.local_graph
+        for ball in local.balls_many(endpoints, base.hop_length):
+            damaged[ball] = True
+        sources = [int(source) for source in np.flatnonzero(damaged)]
+
+        # The repair flood: the delta records propagate h hops so every
+        # damaged source can re-derive its d_h row -- min(h, D) local rounds,
+        # like the cold exploration, but none of the cold global phases.
+        rounds_before = network.metrics.total_rounds
+        network.charge_local_rounds(base.hop_length, phase=self.label + ":repair:exploration")
+        patched = np.array(limited, copy=True)
+        if sources:
+            patched[sources] = local.hop_limited_distance_matrix(sources, base.hop_length)
+        new_graph = skeleton_graph_from_limited(patched, base.nodes)
+        if len(base.nodes) > 1 and not new_graph.is_connected():
+            return None
+        weight_only = all(not delta.topological for delta in deltas)
+        skeleton = Skeleton(
+            nodes=list(base.nodes),
+            index_of=dict(base.index_of),
+            graph=new_graph,
+            hop_length=base.hop_length,
+            sampling_probability=base.sampling_probability,
+            local_distances=local_distance_maps(patched, base.nodes),
+            rounds_charged=base.rounds_charged,
+            knowledge_matrix=patched,
+        )
+        repaired = SkeletonContext(
+            network=network,
+            skeleton=skeleton,
+            graph_version=network.graph.version,
+            skeleton_rounds=self.skeleton_rounds,
+            publish_rounds=self.publish_rounds,
+            # On a topology delta the transport/router are dropped and their
+            # counters restart: the lazy rebuild re-charges them exactly as a
+            # cold context would.
+            transport_rounds=self.transport_rounds if weight_only else 0,
+            router_rounds=self.router_rounds if weight_only else 0,
+            label=self.label,
+        )
+        if self._skeleton_distances is not None:
+            changed = _changed_skeleton_edges(base.graph, new_graph)
+            if changed:
+                edge_tokens: dict[int, list[tuple[int, int, int | None]]] = {}
+                for u, v, weight in changed:
+                    holder = skeleton.original_id(u)
+                    edge_tokens.setdefault(holder, []).append(
+                        (skeleton.original_id(u), skeleton.original_id(v), weight)
+                    )
+                disseminate_tokens(network, edge_tokens, phase=self.label + ":repair:publish")
+            repaired._skeleton_distances = new_graph.distance_matrix()
+        if weight_only:
+            repaired._transport = self._transport
+            repaired._apsp_router = self._apsp_router
+            if repaired._transport is not None:
+                # The transport's exchange plan only reads skeleton membership
+                # (unchanged); point it at the repaired skeleton so later
+                # callers never see the stale edge weights through it.
+                repaired._transport.skeleton = skeleton
+        repaired.repair_rounds = self.repair_rounds + (
+            network.metrics.total_rounds - rounds_before
+        )
+        return repaired
+
     # -------------------------------------------------------------- extension
     def extended(self, members: Sequence[int]) -> "SkeletonContext" | None:
         """A derived context whose skeleton additionally contains ``members``.
@@ -187,10 +389,21 @@ class SkeletonContext:
         length (the caller then prepares a fresh context with the member
         forced in, exactly like a cold run).  Derived contexts are cached per
         member set and share the base exploration matrix.
+
+        Raises :class:`~repro.hybrid.errors.StaleContextError` when the base
+        is stale: a derived context copies ``graph_version`` from its base,
+        so extending a stale base would mint a context that *looks* current
+        while its distances describe a graph that no longer exists
+        (DESIGN.md §12) -- the owner must repair or rebuild first.
         """
         for member in members:
             if not 0 <= member < self.network.n:
                 raise ValueError(f"skeleton member {member} outside the network")
+        if not self.is_current():
+            raise StaleContextError(
+                f"cannot extend a stale context: graph at version "
+                f"{self.network.graph.version}, context built at {self.graph_version}"
+            )
         extra = frozenset(members) - frozenset(self.skeleton.nodes)
         if not extra:
             return self

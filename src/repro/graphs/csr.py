@@ -109,6 +109,27 @@ def build_csr(adjacency: Sequence[dict]) -> CSRAdjacency:
     return CSRAdjacency(n, indptr, indices, weights)
 
 
+def refresh_weight(csr: CSRAdjacency, u: int, v: int, weight: float) -> CSRAdjacency:
+    """A CSR view with one undirected edge's weight replaced in place.
+
+    A weight-only mutation leaves ``indptr``/``indices`` (the frozen
+    topology) valid, so the refreshed view *shares* them and only copies and
+    patches the weight array -- ``O(m)`` array work instead of the
+    Python-loop re-freeze of :func:`build_csr`.  The result is bit-identical
+    to re-freezing the mutated adjacency: per-row neighbour order is
+    unchanged, so the new weight lands in exactly the slot a rebuild would
+    put it in (``unit_weights`` is re-derived from the patched array).
+    """
+    weights = csr.weights.copy()
+    for a, b in ((u, v), (v, u)):
+        start, stop = int(csr.indptr[a]), int(csr.indptr[a + 1])
+        position = start + int(np.searchsorted(csr.indices[start:stop], b))
+        if position >= stop or int(csr.indices[position]) != b:
+            raise KeyError(f"edge {{{u}, {v}}} not present in the CSR view")
+        weights[position] = float(weight)
+    return CSRAdjacency(csr.n, csr.indptr, csr.indices, weights)
+
+
 def _gather_edges(csr: CSRAdjacency, cols: np.ndarray):
     """Positions into ``csr.indices`` of all edges leaving ``cols``, plus counts.
 

@@ -39,7 +39,9 @@ tests/test_compiled_plane.py assert property-style.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 try:  # numpy is a hard dependency of the repo, but the dict backend works without it.
     import numpy as _np
@@ -52,6 +54,49 @@ except ImportError:  # pragma: no cover - exercised only in stripped environment
 INFINITY = float("inf")
 
 _BACKENDS = ("auto", "dict", "csr", "csr-njit")
+
+#: How many mutations the delta log retains.  ``deltas_since`` answers None
+#: once a gap falls off the log, so consumers (delta repair, DESIGN.md §12)
+#: degrade to a cold rebuild rather than replaying an incomplete history.
+DELTA_LOG_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One recorded mutation of a :class:`WeightedGraph` (DESIGN.md §12).
+
+    Every mutation that bumps :attr:`WeightedGraph.version` appends exactly
+    one delta, so the log is a contiguous, replayable history of the version
+    counter: ``version`` is the counter value *after* the mutation applied.
+    No-op mutations (re-adding an edge at its current weight) record nothing
+    because they bump nothing.
+
+    Attributes
+    ----------
+    kind:
+        ``"add"`` (new edge), ``"remove"`` (edge deleted) or ``"update"``
+        (weight change on an existing edge; the hop topology is unchanged).
+    u, v:
+        The edge endpoints, in the order the caller named them.
+    weight:
+        The weight after the mutation (None for ``"remove"``).
+    old_weight:
+        The weight before the mutation (None for ``"add"``).
+    version:
+        :attr:`WeightedGraph.version` after this mutation.
+    """
+
+    kind: str
+    u: int
+    v: int
+    weight: int | None
+    old_weight: int | None
+    version: int
+
+    @property
+    def topological(self) -> bool:
+        """Whether the mutation changed the edge set (vs only a weight)."""
+        return self.kind != "update"
 
 
 class WeightedGraph:
@@ -82,6 +127,7 @@ class WeightedGraph:
         self._csr = None
         self._hop_diameter: float | None = None
         self._version = 0
+        self._deltas: deque[GraphDelta] = deque(maxlen=DELTA_LOG_LIMIT)
 
     # ------------------------------------------------------------------ basic
     @property
@@ -104,14 +150,31 @@ class WeightedGraph:
 
     @property
     def version(self) -> int:
-        """Mutation counter: incremented by every ``add_edge`` / ``remove_edge``.
+        """Mutation counter: incremented by every effective mutation.
 
-        Derived caches outside the graph (the network's hop-diameter cache,
-        a session's preprocessing cache) compare the version they were built
-        at against the current one -- the same freeze/invalidate discipline
-        the internal CSR view uses.
+        ``add_edge`` (on a new edge or with a changed weight), ``remove_edge``
+        and ``update_weight`` each bump it exactly once and append one
+        :class:`GraphDelta` to the log; a no-op mutation (re-adding an edge at
+        its current weight) bumps nothing.  Derived caches outside the graph
+        (the network's hop-diameter cache, a session's preprocessing cache)
+        compare the version they were built at against the current one -- the
+        same freeze/invalidate discipline the internal CSR view uses.
         """
         return self._version
+
+    def deltas_since(self, version: int) -> list[GraphDelta] | None:
+        """The mutations applied after ``version``, oldest first.
+
+        Returns ``[]`` when ``version`` is current, and None when the history
+        back to ``version`` is not fully available (the log evicted it, or
+        ``version`` is from a different graph's counter) -- the caller must
+        then treat the graph as arbitrarily changed (DESIGN.md §12).
+        """
+        if version == self._version:
+            return []
+        if version > self._version or self._version - version > len(self._deltas):
+            return None
+        return [delta for delta in self._deltas if delta.version > version]
 
     def csr(self):
         """The frozen CSR view (built on first use, dropped on mutation)."""
@@ -140,10 +203,16 @@ class WeightedGraph:
         return v in self._adjacency[u]
 
     def add_edge(self, u: int, v: int, weight: int = 1) -> None:
-        """Insert (or overwrite) the undirected edge ``{u, v}``.
+        """Insert the undirected edge ``{u, v}``, or update its weight.
 
         Weights must be positive integers; the paper assumes ``w : E -> [W]``
         with ``W`` polynomial in ``n`` so that a weight fits in one message.
+
+        Duplicate-edge semantics (pinned, DESIGN.md §12): adding an edge that
+        already exists is exactly :meth:`update_weight` -- the weight is
+        *replaced*, never accumulated, and re-adding at the current weight is
+        a no-op that bumps neither :attr:`version` nor the delta log and
+        leaves every frozen cache intact.
         """
         self._check_node(u)
         self._check_node(v)
@@ -151,24 +220,57 @@ class WeightedGraph:
             raise ValueError("self loops are not allowed")
         if weight <= 0:
             raise ValueError("edge weights must be positive")
-        if v not in self._adjacency[u]:
-            self._edge_count += 1
+        if v in self._adjacency[u]:
+            self.update_weight(u, v, weight)
+            return
+        self._edge_count += 1
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
         self._csr = None
         self._hop_diameter = None
         self._version += 1
+        self._deltas.append(GraphDelta("add", u, v, weight, None, self._version))
+
+    def update_weight(self, u: int, v: int, weight: int) -> None:
+        """Set the weight of the existing undirected edge ``{u, v}``.
+
+        A weight-only mutation leaves the hop topology untouched, so the
+        hop-diameter cache survives and a frozen CSR view is refreshed in
+        place (:func:`repro.graphs.csr.refresh_weight` patches the weight
+        array and shares the topology arrays) instead of being dropped and
+        rebuilt.  Setting the current weight again is a no-op: no version
+        bump, no delta, no cache work (DESIGN.md §12).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        current = self._adjacency[u].get(v)
+        if current is None:
+            raise KeyError(f"edge {{{u}, {v}}} does not exist")
+        if weight <= 0:
+            raise ValueError("edge weights must be positive")
+        if weight == current:
+            return
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+        if self._csr is not None:
+            from repro.graphs import csr as csr_backend
+
+            self._csr = csr_backend.refresh_weight(self._csr, u, v, weight)
+        self._version += 1
+        self._deltas.append(GraphDelta("update", u, v, weight, current, self._version))
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}`` (must exist)."""
         if v not in self._adjacency[u]:
             raise KeyError(f"edge {{{u}, {v}}} does not exist")
+        old_weight = self._adjacency[u][v]
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._edge_count -= 1
         self._csr = None
         self._hop_diameter = None
         self._version += 1
+        self._deltas.append(GraphDelta("remove", u, v, None, old_weight, self._version))
 
     def weight(self, u: int, v: int) -> int:
         """Weight of the edge ``{u, v}`` (must exist)."""

@@ -12,6 +12,7 @@ from repro.hybrid.errors import (
     FaultToleranceExceededError,
     HybridModelError,
     ProtocolError,
+    StaleContextError,
 )
 from repro.hybrid.faults import FaultModel
 from repro.hybrid.metrics import PhaseBreakdown, RoundMetrics
@@ -28,6 +29,7 @@ __all__ = [
     "FaultToleranceExceededError",
     "HybridModelError",
     "ProtocolError",
+    "StaleContextError",
     "Inboxes",
     "Outboxes",
 ]

@@ -17,6 +17,14 @@ class ProtocolError(HybridModelError):
     (e.g. a receiver was asked for a token it never announced)."""
 
 
+class StaleContextError(HybridModelError):
+    """A prepared :class:`~repro.core.context.SkeletonContext` was asked to
+    serve (or derive) answers after the underlying graph mutated past the
+    version it was built at.  Raised instead of silently answering for a
+    graph that no longer exists; the owner resolves staleness by delta
+    repair or a cold rebuild (DESIGN.md §12)."""
+
+
 class FaultToleranceExceededError(HybridModelError):
     """A reliable exchange exhausted its retransmission budget with messages
     still undelivered (the injected faults beat the configured

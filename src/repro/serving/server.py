@@ -257,6 +257,52 @@ class QueryServer:
         finally:
             self._release(query)
 
+    # ---------------------------------------------------------------- mutation
+    async def mutate(
+        self, kind: str, u: int, v: int, weight: float | None = None
+    ) -> dict[str, Any]:
+        """Apply one graph mutation without dropping the warm session (§12).
+
+        Args:
+            kind: ``"add"``, ``"remove"`` or ``"update"`` (see
+                :meth:`~repro.session.HybridSession.update_weight`).
+            u, v: Edge endpoints.
+            weight: New edge weight; required for ``add`` and ``update``.
+
+        Returns:
+            ``{"kind", "u", "v", "weight", "version"}`` with the graph
+            version after the mutation.
+
+        The mutation runs on the same one-thread executor as the simulation
+        passes, so it strictly serializes with them: passes already running
+        finish on the graph they started with, and every later pass sees the
+        new version.  Nothing is recomputed here -- the session's delta log
+        lets the next pass that touches a warm context repair it in place
+        (or fall back to a cold rebuild), with the repair rounds charged
+        inside that pass and therefore on the ledgers of the tenants it
+        serves (DESIGN.md §12).
+        """
+        if self._closing:
+            raise ProtocolError("shutting-down", "server is draining")
+        if kind in ("add", "update") and weight is None:
+            raise ProtocolError("bad-request", f"mutation {kind!r} requires a weight")
+
+        def apply() -> int:
+            if kind == "add":
+                self.session.add_edge(u, v, weight)
+            elif kind == "remove":
+                self.session.remove_edge(u, v)
+            elif kind == "update":
+                self.session.update_weight(u, v, weight)
+            else:
+                raise ProtocolError("bad-request", f"unknown mutation kind {kind!r}")
+            return self.session.graph.version
+
+        version = await asyncio.get_running_loop().run_in_executor(
+            self._executor, apply
+        )
+        return {"kind": kind, "u": u, "v": v, "weight": weight, "version": version}
+
     # ----------------------------------------------------------------- batcher
     async def _run(self) -> None:
         while True:

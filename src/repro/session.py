@@ -15,9 +15,16 @@ Accounting (see DESIGN.md §6): preprocessing charges accumulate in
 *amortized* per-query :class:`RoundMetrics` next to the *cold-equivalent*
 round count (amortized + the preparation cost of the reused state).  All
 cached state is keyed by the graph's mutation counter
-(:attr:`WeightedGraph.version`, the CSR freeze/invalidate pattern): any
-``add_edge`` / ``remove_edge`` invalidates the whole cache and the next query
-re-prepares from scratch.
+(:attr:`WeightedGraph.version`, the CSR freeze/invalidate pattern).  When the
+graph mutates under the session, the next query resolves the version
+mismatch through *delta repair* (DESIGN.md §12): every cached context is
+patched in place via :meth:`SkeletonContext.repair` using the graph's delta
+log, falling back to a cold rebuild per key when the damage rule says so;
+each decision is recorded in :attr:`HybridSession.repairs` and the repair
+rounds land in the preprocessing ledger, so the amortized-vs-cold invariant
+("amortized + preprocessing = network total") keeps holding.  Repaired
+answers are bit-identical to cold rebuilds.  ``enable_repair=False`` restores
+the old drop-everything behaviour (the E17 baseline).
 
 By default every query of a session shares one canonical skeleton sampled
 with probability ``1/√n`` (the Theorem 1.1 optimum; exact for APSP and, with
@@ -59,7 +66,11 @@ from dataclasses import dataclass
 from repro.clique import BroadcastBellmanFordSSSP, GatherDiameter, GatherShortestPaths
 from repro.clique.interfaces import CliqueDiameterAlgorithm, CliqueShortestPathAlgorithm
 from repro.core.apsp import APSPResult, apsp_exact
-from repro.core.context import SkeletonContext, prepare_skeleton_context
+from repro.core.context import (
+    DEFAULT_DAMAGE_THRESHOLD,
+    SkeletonContext,
+    prepare_skeleton_context,
+)
 from repro.core.diameter import DiameterResult, approximate_diameter
 from repro.core.kssp import ShortestPathsResult, shortest_paths_via_clique
 from repro.core.sssp import SSSPResult, sssp_exact
@@ -124,6 +135,32 @@ class QueryRecord:
         return self.metrics.total_rounds + self.shared_preparation_rounds
 
 
+@dataclass(frozen=True)
+class RepairRecord:
+    """One per-key resolution of a graph-version mismatch (DESIGN.md §12).
+
+    Attributes
+    ----------
+    key_tag:
+        The context cache key the decision was made for (the same tag that
+        names the key's preparation phases).
+    action:
+        ``"repaired"`` when :meth:`SkeletonContext.repair` patched the cached
+        context, ``"rebuilt"`` when the damage rule refused and the key was
+        dropped (the next query needing it re-prepares cold).
+    deltas:
+        Number of graph mutations the decision covered.
+    rounds:
+        Network rounds charged by the repair attempt (0 for an uncharged
+        refusal); accounted in the session's preprocessing ledger.
+    """
+
+    key_tag: str
+    action: str
+    deltas: int
+    rounds: int
+
+
 class HybridSession:
     """A serving session over one graph: shared preprocessing, many queries.
 
@@ -140,6 +177,15 @@ class HybridSession:
     keep_results:
         When True, each :class:`QueryRecord` retains the query's result
         object; off by default so the query log holds only the accounting.
+    enable_repair:
+        When True (default), a graph-version mismatch is resolved by delta
+        repair of every cached context (DESIGN.md §12); when False the
+        session falls back to the drop-everything :meth:`invalidate`, which
+        is the cold-rebuild baseline E17 measures against.
+    repair_threshold:
+        Damage threshold passed to :meth:`SkeletonContext.repair`: the
+        fraction of exploration rows a delta batch may touch before the
+        session prefers a cold rebuild for that key.
     fault_model:
         Optional :class:`~repro.hybrid.faults.FaultModel` the session's
         network runs under; it overrides ``config.faults``.  With faults
@@ -159,6 +205,8 @@ class HybridSession:
         skeleton_probability: float | None = None,
         keep_results: bool = False,
         fault_model: FaultModel | None = None,
+        enable_repair: bool = True,
+        repair_threshold: float = DEFAULT_DAMAGE_THRESHOLD,
     ) -> None:
         if fault_model is not None:
             config = dataclasses.replace(config or ModelConfig(), faults=fault_model)
@@ -169,10 +217,16 @@ class HybridSession:
             raise ValueError("skeleton_probability must be in (0, 1]")
         self.skeleton_probability = skeleton_probability
         self.keep_results = keep_results
+        self.enable_repair = enable_repair
+        if not 0 <= repair_threshold <= 1:
+            raise ValueError("repair_threshold must be in [0, 1]")
+        self.repair_threshold = repair_threshold
         #: Rounds (and traffic) charged preparing shared state, across all keys.
         self.preprocessing = RoundMetrics()
         #: One record per answered query, in order.
         self.queries: list[QueryRecord] = []
+        #: One :class:`RepairRecord` per (mutation batch, cached key) decision.
+        self.repairs: list[RepairRecord] = []
         self._contexts: dict[ContextKey, SkeletonContext] = {}
         self._routers: dict[RouterKey, tuple[TokenRouter, int]] = {}
         self._graph_version = graph.version
@@ -241,16 +295,65 @@ class HybridSession:
             self._graph_version = self.graph.version
 
     def _check_version(self) -> None:
-        if self.graph.version != self._graph_version:
-            self.invalidate()
+        """Resolve a graph-version mismatch by delta repair (DESIGN.md §12).
+
+        With repair enabled and the delta log covering the gap, every cached
+        context is offered the delta batch: a successful repair keeps the key
+        warm (bit-identical to a cold rebuild), a refusal drops the key so
+        the next query needing it re-prepares cold.  Routers survive
+        weight-only batches (helper sets are hop-topology functions) and are
+        dropped otherwise.  Without usable deltas, everything is invalidated
+        as before.  Each per-key decision is appended to :attr:`repairs` and
+        repair rounds are charged to the preprocessing ledger.
+        """
+        with self._lock:
+            if self.graph.version == self._graph_version:
+                return
+            deltas = self.graph.deltas_since(self._graph_version) if self.enable_repair else None
+            if not deltas:
+                self.invalidate()
+                return
+            surviving: dict[ContextKey, SkeletonContext] = {}
+            with self._preparing():
+                for key in sorted(self._contexts, key=self._key_tag):
+                    context = self._contexts[key]
+                    rounds_before = self.network.metrics.total_rounds
+                    repaired = context.repair(
+                        deltas, damage_threshold=self.repair_threshold
+                    )
+                    rounds = self.network.metrics.total_rounds - rounds_before
+                    if repaired is None:
+                        action = "rebuilt"
+                    else:
+                        action = "repaired"
+                        surviving[key] = repaired
+                    self.repairs.append(
+                        RepairRecord(self._key_tag(key), action, len(deltas), rounds)
+                    )
+            self._contexts = surviving
+            if any(delta.topological for delta in deltas):
+                self._routers.clear()
+            self._graph_version = self.graph.version
 
     def add_edge(self, u: int, v: int, weight: int = 1) -> None:
-        """Mutate the graph; cached preprocessing is invalidated lazily."""
-        self.graph.add_edge(u, v, weight)
+        """Mutate the graph; cached preprocessing is delta-repaired lazily."""
+        with self._lock:
+            self.graph.add_edge(u, v, weight)
+
+    def update_weight(self, u: int, v: int, weight: int) -> None:
+        """Re-weight an existing edge; the cheapest mutation to repair after.
+
+        A weight-only delta keeps the hop topology, so the next query's
+        repair pass retains the CLIQUE transport, the APSP router and the
+        token routers, and only patches distances (DESIGN.md §12).
+        """
+        with self._lock:
+            self.graph.update_weight(u, v, weight)
 
     def remove_edge(self, u: int, v: int) -> None:
-        """Mutate the graph; cached preprocessing is invalidated lazily."""
-        self.graph.remove_edge(u, v)
+        """Mutate the graph; cached preprocessing is delta-repaired lazily."""
+        with self._lock:
+            self.graph.remove_edge(u, v)
 
     # ------------------------------------------------------------ preparation
     @contextmanager
@@ -293,27 +396,41 @@ class HybridSession:
         that happened to trigger the build), so the skeleton a key yields is
         the same no matter which query arrives first -- warm answers equal
         cold ones by construction.
+
+        Staleness is re-checked on *every* cache hit, not only in the
+        version sync: a mutation racing in from outside the session lock
+        between the sync and the cache read would otherwise serve a context
+        for a graph that no longer exists (DESIGN.md §12).  A stale hit
+        loops back through :meth:`_check_version` (repair or rebuild) until
+        the returned context is current.
         """
         with self._lock:
-            self._check_version()
             key: ContextKey = (
                 self.skeleton_probability if probability is None else probability,
                 frozenset(forced_members),
             )
-            context = self._contexts.get(key)
-            if context is None:
-                tag = self._key_tag(key)
-                with self._preparing():
-                    context = prepare_skeleton_context(
-                        self.network,
-                        key[0],
-                        forced_members=sorted(key[1]),
-                        phase=f"session:{tag}:skeleton",
-                        keep_local_knowledge=True,
-                        label=f"session:{tag}",
-                    )
-                self._contexts[key] = context
-            return context
+            while True:
+                self._check_version()
+                context = self._contexts.get(key)
+                if context is None:
+                    tag = self._key_tag(key)
+                    with self._preparing():
+                        context = prepare_skeleton_context(
+                            self.network,
+                            key[0],
+                            forced_members=sorted(key[1]),
+                            phase=f"session:{tag}:skeleton",
+                            keep_local_knowledge=True,
+                            label=f"session:{tag}",
+                        )
+                    self._contexts[key] = context
+                if context.is_current():
+                    return context
+                if self.graph.version == self._graph_version:
+                    # The session-level version is in step but this entry is
+                    # not (possible only if the entry was planted out of
+                    # band): drop it so the loop rebuilds rather than spins.
+                    del self._contexts[key]
 
     def _context_with_members(self, members: Sequence[int]) -> SkeletonContext:
         """The canonical context extended to contain ``members`` (Lemma 4.5).

@@ -28,6 +28,7 @@ class TestRegistry:
             "E14",
             "E15",
             "E16",
+            "E17",
         ]
 
     def test_unknown_experiment_raises(self):
@@ -124,6 +125,8 @@ class TestCLI:
         assert parser.parse_args(["run-all", "--scale", "small"]).scale == "small"
         query_args = parser.parse_args(["query", "--n", "64", "--seed", "2", "--repeat", "1"])
         assert (query_args.command, query_args.n, query_args.repeat) == ("query", 64, 1)
+        assert query_args.mutate == 0
+        assert parser.parse_args(["query", "--mutate", "2"]).mutate == 2
         sweep_args = parser.parse_args(
             ["sweep", "--jobs", "4", "--resume", "--only", "E3,E14", "--scale", "medium"]
         )
@@ -192,6 +195,15 @@ class TestCLI:
 
     def test_query_command_rejects_tiny_n(self, capsys):
         assert main(["query", "--n", "1"]) == 2
+
+    def test_query_command_with_mutations_repairs_between_passes(self, capsys):
+        assert main(["query", "--n", "56", "--seed", "3", "--repeat", "2", "--mutate", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "mutate edge" in output
+        assert "context repairs after mutations:" in output
+
+    def test_query_command_rejects_negative_mutate(self, capsys):
+        assert main(["query", "--n", "48", "--mutate", "-1"]) == 2
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0

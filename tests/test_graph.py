@@ -4,7 +4,7 @@
 import pytest
 
 from repro.graphs import generators
-from repro.graphs.graph import INFINITY, WeightedGraph
+from repro.graphs.graph import DELTA_LOG_LIMIT, INFINITY, WeightedGraph
 from repro.util.rand import RandomSource
 
 
@@ -217,3 +217,100 @@ class TestConversion:
         graph = WeightedGraph.from_edges(3, [(0, 1, 4), (1, 2, 5)])
         assert graph.weight(0, 1) == 4
         assert graph.weight(1, 2) == 5
+
+
+class TestMutationSemantics:
+    """Pinned mutation semantics behind the delta log (DESIGN.md §12)."""
+
+    def test_add_edge_duplicate_replaces_weight(self):
+        graph = build_triangle()
+        version = graph.version
+        graph.add_edge(0, 1, 7)
+        assert graph.weight(0, 1) == 7
+        assert graph.weight(1, 0) == 7
+        assert graph.edge_count == 3
+        assert graph.version == version + 1
+        assert graph.deltas_since(version)[-1].kind == "update"
+
+    def test_add_edge_same_weight_is_noop(self):
+        graph = build_triangle()
+        version = graph.version
+        graph.add_edge(0, 1, 2)
+        assert graph.version == version
+        assert graph.deltas_since(version) == []
+
+    def test_update_weight_requires_existing_edge(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2)
+        with pytest.raises(KeyError):
+            graph.update_weight(1, 2, 5)
+
+    def test_update_weight_rejects_nonpositive(self):
+        graph = build_triangle()
+        with pytest.raises(ValueError):
+            graph.update_weight(0, 1, 0)
+
+    def test_update_weight_same_weight_is_noop(self):
+        graph = build_triangle()
+        version = graph.version
+        graph.update_weight(0, 1, 2)
+        assert graph.version == version
+
+    def test_update_weight_patches_both_directions_and_bumps_version(self):
+        graph = build_triangle()
+        version = graph.version
+        graph.update_weight(2, 0, 4)
+        assert graph.weight(0, 2) == 4
+        assert graph.weight(2, 0) == 4
+        assert graph.version == version + 1
+
+    def test_update_weight_keeps_hop_diameter_cache(self):
+        graph = build_triangle()
+        assert graph.hop_diameter() == 1
+        graph.update_weight(0, 1, 9)
+        assert graph._hop_diameter is not None
+        assert graph.hop_diameter() == 1
+
+    def test_update_weight_refreshes_csr_in_place(self):
+        graph = WeightedGraph(4, backend="csr")
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        graph.add_edge(2, 3, 4)
+        before = graph.csr()
+        graph.update_weight(1, 2, 9)
+        after = graph.csr()
+        assert after is not before
+        # The refresh shares the topology arrays and only rewrites weights.
+        assert after.indptr is before.indptr
+        assert after.indices is before.indices
+        rebuilt = WeightedGraph.from_edges(4, graph.edges(), backend="csr").csr()
+        assert (after.weights == rebuilt.weights).all()
+        assert (after.indptr == rebuilt.indptr).all()
+
+    def test_every_mutation_records_a_delta(self):
+        graph = WeightedGraph(4)
+        start = graph.version
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        graph.update_weight(0, 1, 5)
+        graph.remove_edge(1, 2)
+        deltas = graph.deltas_since(start)
+        assert [d.kind for d in deltas] == ["add", "add", "update", "remove"]
+        assert [(d.u, d.v) for d in deltas] == [(0, 1), (1, 2), (0, 1), (1, 2)]
+        assert [d.version for d in deltas] == [start + 1, start + 2, start + 3, start + 4]
+        add, _, update, remove = deltas
+        assert (add.weight, add.old_weight, add.topological) == (2, None, True)
+        assert (update.weight, update.old_weight, update.topological) == (5, 2, False)
+        assert (remove.weight, remove.old_weight, remove.topological) == (None, 3, True)
+
+    def test_deltas_since_edge_cases(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1)
+        assert graph.deltas_since(graph.version) == []
+        assert graph.deltas_since(graph.version + 1) is None  # future version
+        # A gap wider than the bounded log is reported as uncoverable.
+        for _ in range(DELTA_LOG_LIMIT + 1):
+            graph.update_weight(0, 1, 2)
+            graph.update_weight(0, 1, 1)
+        assert graph.deltas_since(0) is None
+        assert len(graph.deltas_since(graph.version - DELTA_LOG_LIMIT)) == DELTA_LOG_LIMIT

@@ -325,9 +325,12 @@ class TestSessionValidation:
 
 class TestSessionInvalidation:
     def test_mutation_invalidates_contexts(self, monkeypatch):
+        # The cold-rebuild pin: repair is switched off so a mutation must
+        # re-run the skeleton computation (TestDeltaRepair covers the warm
+        # path).
         counter = CountingSkeletons(monkeypatch)
         graph = locality_graph(31)
-        session = HybridSession(graph, ModelConfig(rng_seed=31))
+        session = HybridSession(graph, ModelConfig(rng_seed=31), enable_repair=False)
         session.apsp()
         assert counter.calls == 1
         session.add_edge(0, graph.node_count // 2, 1)
@@ -457,3 +460,224 @@ class TestNetworkDiameterCache:
         assert network.hop_diameter() == 3
         graph.add_edge(0, 3)
         assert network.hop_diameter() == 2
+
+
+def repairable_edge(session):
+    """The heaviest edge away from the warm skeleton (repair-friendly)."""
+    skeleton_nodes = set(session.context().skeleton.nodes)
+    return max(
+        (
+            (u, v, w)
+            for u, v, w in session.graph.edges()
+            if u not in skeleton_nodes and v not in skeleton_nodes
+        ),
+        key=lambda edge: (edge[2], edge[0], edge[1]),
+    )
+
+
+class TestDeltaRepair:
+    """Delta repair of warm contexts over evolving graphs (DESIGN.md §12)."""
+
+    def test_weight_update_repairs_without_recomputing_skeleton(self, monkeypatch):
+        counter = CountingSkeletons(monkeypatch)
+        graph = make_graph(33)
+        session = HybridSession(graph, ModelConfig(rng_seed=33))
+        session.apsp()
+        assert counter.calls == 1
+        u, v, weight = repairable_edge(session)
+        session.update_weight(u, v, weight + 3)
+        result = session.apsp()
+        assert counter.calls == 1  # repaired in place, never re-sampled
+        assert [record.action for record in session.repairs] == ["repaired"]
+        assert session.repairs[0].rounds > 0
+        truth = reference.all_pairs_distances(graph)
+        for a in range(graph.node_count):
+            for b, d in truth[a].items():
+                assert result.distance(a, b) == pytest.approx(d)
+
+    def test_repaired_context_bit_identical_to_cold_rebuild(self):
+        warm = HybridSession(make_graph(34), ModelConfig(rng_seed=34))
+        warm.apsp()
+        u, v, weight = repairable_edge(warm)
+        warm.update_weight(u, v, weight + 3)
+        warm_result = warm.apsp()
+        assert [record.action for record in warm.repairs] == ["repaired"]
+
+        cold_graph = make_graph(34)
+        cold_graph.update_weight(u, v, weight + 3)
+        cold = HybridSession(cold_graph, ModelConfig(rng_seed=34))
+        cold_result = cold.apsp()
+
+        warm_context = warm.context()
+        cold_context = cold.context()
+        assert warm_context.label == cold_context.label
+        assert warm_context.skeleton.nodes == cold_context.skeleton.nodes
+        assert (
+            warm_context.skeleton.knowledge_matrix
+            == cold_context.skeleton.knowledge_matrix
+        ).all()
+        assert sorted(warm_context.skeleton.graph.edges()) == sorted(
+            cold_context.skeleton.graph.edges()
+        )
+        assert (warm_result.matrix == cold_result.matrix).all()
+
+    def test_weight_only_delta_keeps_routers_topology_drops_them(self):
+        session = HybridSession(make_graph(35), ModelConfig(rng_seed=35))
+        tokens = make_tokens({0: [(1, ("p", 0))], 2: [(3, ("p", 2))]})
+        session.route_tokens(tokens)
+        assert session._routers
+        u, v, weight = repairable_edge(session)
+        session.update_weight(u, v, weight + 2)
+        session.context()
+        assert session._routers  # weight-only: routing plans survive
+        session.remove_edge(u, v)
+        session.context()
+        assert not session._routers  # topology: plans are rebuilt lazily
+
+    def test_enable_repair_false_always_rebuilds(self, monkeypatch):
+        counter = CountingSkeletons(monkeypatch)
+        session = HybridSession(
+            make_graph(36), ModelConfig(rng_seed=36), enable_repair=False
+        )
+        session.apsp()
+        u, v, weight = repairable_edge(session)
+        session.update_weight(u, v, weight + 3)
+        session.apsp()
+        assert counter.calls == 2
+        assert session.repairs == []
+
+    def test_repair_threshold_validated(self):
+        with pytest.raises(ValueError):
+            HybridSession(make_graph(37), ModelConfig(rng_seed=37), repair_threshold=1.5)
+
+    def test_extended_raises_on_stale_context(self):
+        from repro.hybrid import StaleContextError
+
+        session = HybridSession(make_graph(38), ModelConfig(rng_seed=38))
+        context = session.context()
+        session.graph.add_edge(*next(
+            (u, v)
+            for u in range(session.graph.node_count)
+            for v in range(u + 1, session.graph.node_count)
+            if not session.graph.has_edge(u, v)
+        ), 2)
+        with pytest.raises(StaleContextError):
+            context.extended([0])
+
+    def test_context_cache_hit_rechecks_staleness(self):
+        # Mutate the graph directly (outside the session's own mutators):
+        # the next context() call must still notice and resolve staleness.
+        session = HybridSession(make_graph(39), ModelConfig(rng_seed=39))
+        session.apsp()
+        u, v, weight = repairable_edge(session)
+        session.graph.update_weight(u, v, weight + 3)
+        context = session.context()
+        assert context.is_current()
+        assert session._graph_version == session.graph.version
+
+    def test_out_of_band_stale_entry_rebuilds_instead_of_spinning(self):
+        session = HybridSession(make_graph(40), ModelConfig(rng_seed=40))
+        stale = session.context()
+        object.__setattr__(stale, "graph_version", stale.graph_version - 1)
+        refreshed = session.context()
+        assert refreshed is not stale
+        assert refreshed.is_current()
+
+    def test_repair_rounds_keep_session_accounting_invariant(self):
+        session = HybridSession(make_graph(41), ModelConfig(rng_seed=41))
+        session.apsp()
+        u, v, weight = repairable_edge(session)
+        session.update_weight(u, v, weight + 3)
+        session.apsp()
+        amortized = sum(record.amortized_rounds for record in session.queries)
+        assert (
+            amortized + session.preprocessing_rounds
+            == session.network.metrics.total_rounds
+        )
+
+    @PROPERTY_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        kind=st.sampled_from(["update", "add", "remove"]),
+        pick=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_any_single_mutation_repaired_or_rebuilt_identical_to_cold(
+        self, seed, kind, pick
+    ):
+        """Property: after one random mutation, the warm session's answers and
+        context state are bit-identical to a cold session on the mutated
+        graph -- whether the delta was repaired or refused (DESIGN.md §12)."""
+        graph = generators.connected_workload(
+            24, RandomSource(seed), weighted=True, max_weight=6
+        )
+        warm = HybridSession(graph, ModelConfig(rng_seed=seed))
+        warm.apsp()
+
+        edges = sorted((u, v, w) for u, v, w in graph.edges())
+        if kind == "update":
+            u, v, weight = edges[pick % len(edges)]
+            mutation = ("update", u, v, 1 + (weight + 1 + pick) % 6)
+        elif kind == "add":
+            missing = sorted(
+                (u, v)
+                for u in range(24)
+                for v in range(u + 1, 24)
+                if not graph.has_edge(u, v)
+            )
+            u, v = missing[pick % len(missing)]
+            mutation = ("add", u, v, 1 + pick % 6)
+        else:
+            for u, v, w in edges[pick % len(edges):] + edges[: pick % len(edges)]:
+                graph.remove_edge(u, v)
+                if graph.is_connected():
+                    break
+                graph.add_edge(u, v, w)
+            else:
+                return  # every edge is a bridge; nothing to remove
+            mutation = None
+
+        if mutation is not None:
+            action, u, v, weight = mutation
+            if action == "update":
+                warm.update_weight(u, v, weight)
+            else:
+                warm.add_edge(u, v, weight)
+        warm_result = warm.apsp()
+
+        cold_graph = WeightedGraph(24)
+        for u, v, w in graph.edges():
+            cold_graph.add_edge(u, v, w)
+        cold = HybridSession(cold_graph, ModelConfig(rng_seed=seed))
+        cold_result = cold.apsp()
+
+        assert (warm_result.matrix == cold_result.matrix).all()
+        warm_context, cold_context = warm.context(), cold.context()
+        assert warm_context.skeleton.nodes == cold_context.skeleton.nodes
+        assert (
+            warm_context.skeleton.knowledge_matrix
+            == cold_context.skeleton.knowledge_matrix
+        ).all()
+        assert sorted(warm_context.skeleton.graph.edges()) == sorted(
+            cold_context.skeleton.graph.edges()
+        )
+
+
+@pytest.mark.slow
+class TestE17Smoke:
+    def test_repair_beats_rebuild_and_stays_identical(self):
+        from repro.experiments import run_experiment
+
+        table = run_experiment("E17", scale="small")
+        index = {header: position for position, header in enumerate(table.headers)}
+        rows = {row[index["family"]]: row for row in table.rows}
+        assert set(rows) == {"random", "locality"}
+        # Answers never depend on the repair-vs-rebuild decision...
+        assert all(row[index["identical"]] for row in table.rows)
+        # ...and on the repair-friendly family the warm session both repairs
+        # and strictly beats the cold-rebuild baseline on amortized rounds.
+        random_row = rows["random"]
+        assert random_row[index["repaired"]] > 0
+        assert (
+            random_row[index["repair tail rounds"]]
+            < random_row[index["rebuild tail rounds"]]
+        )
